@@ -1,0 +1,220 @@
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (§5). Each benchmark regenerates the experiment on the
+// simulated cluster and prints the same rows/series the paper reports;
+// key scalars are also attached as benchmark metrics.
+//
+// Experiments are memoized per process, so benchmarks that share runs
+// (the paper's Figure 5 plots the Table 1 runs) pay for them once. Run
+// with:
+//
+//	go test -bench=. -benchmem
+package robuststore_test
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"robuststore/internal/exp"
+	"robuststore/internal/rbe"
+)
+
+// benchSeed fixes every experiment; results are exactly reproducible.
+const benchSeed = 1
+
+// BenchmarkFigure3Speedup regenerates Figure 3: saturation WIPS/WIRT for
+// 4-12 replicas under the three TPC-W profiles, with S_k speedups.
+func BenchmarkFigure3Speedup(b *testing.B) {
+	var r exp.SpeedupResult
+	for i := 0; i < b.N; i++ {
+		r = exp.Speedup(benchSeed)
+	}
+	exp.PrintSpeedup(os.Stdout, r)
+	last := func(p rbe.Profile) exp.ScalePoint {
+		pts := r.Points[p]
+		return pts[len(pts)-1]
+	}
+	b.ReportMetric(last(rbe.Browsing).Speedup, "S12_browsing")
+	b.ReportMetric(last(rbe.Shopping).Speedup, "S12_shopping")
+	b.ReportMetric(last(rbe.Ordering).Speedup, "S12_ordering")
+}
+
+// BenchmarkFigure4Scaleup regenerates Figure 4: WIPS/WIRT at 1000 offered
+// WIPS for 4-12 replicas, with regression fits and the WIPS-WIRT r².
+func BenchmarkFigure4Scaleup(b *testing.B) {
+	var r exp.ScaleupResult
+	for i := 0; i < b.N; i++ {
+		r = exp.Scaleup(benchSeed)
+	}
+	exp.PrintScaleup(os.Stdout, r)
+	b.ReportMetric(r.Correlation[rbe.Shopping], "r2_shopping")
+	b.ReportMetric(r.Correlation[rbe.Ordering], "r2_ordering")
+}
+
+// BenchmarkFigure5OneCrashHistogram regenerates Figure 5: per-second WIPS
+// of a five-replica RobustStore with one crash at t=270 s, per profile.
+func BenchmarkFigure5OneCrashHistogram(b *testing.B) {
+	var m map[string]exp.RunResult
+	for i := 0; i < b.N; i++ {
+		m = exp.FaultMatrix(exp.OneCrash, benchSeed)
+	}
+	for _, profile := range rbe.Profiles {
+		exp.PrintHistogram(os.Stdout, m["5/"+profile.String()[:1]])
+	}
+	b.ReportMetric(m["5/o"].Perf.PV, "PV_5o_pct")
+}
+
+// BenchmarkFigure6RecoveryTimes regenerates Figure 6: one-crash recovery
+// time for {5,8} replicas x 3 profiles x {300,500,700} MB states.
+func BenchmarkFigure6RecoveryTimes(b *testing.B) {
+	var pts []exp.RecoveryTimePoint
+	for i := 0; i < b.N; i++ {
+		pts = exp.RecoveryTimes(benchSeed)
+	}
+	exp.PrintRecoveryTimes(os.Stdout, pts)
+	for _, p := range pts {
+		if p.Servers == 5 && p.Profile == rbe.Browsing && p.StateMB == 500 {
+			b.ReportMetric(p.RecoverySec, "recovery_5b_500MB_s")
+		}
+	}
+}
+
+// BenchmarkTable1OneCrashPerformability regenerates Table 1.
+func BenchmarkTable1OneCrashPerformability(b *testing.B) {
+	var m map[string]exp.RunResult
+	for i := 0; i < b.N; i++ {
+		m = exp.FaultMatrix(exp.OneCrash, benchSeed)
+	}
+	exp.PrintPerformability(os.Stdout, "Table 1 — One failure: performability", m)
+	b.ReportMetric(m["5/s"].Perf.FailureFreeAWIPS, "ffAWIPS_5s")
+	b.ReportMetric(m["5/s"].Perf.PV, "PV_5s_pct")
+}
+
+// BenchmarkTable2OneCrashAccuracy regenerates Table 2.
+func BenchmarkTable2OneCrashAccuracy(b *testing.B) {
+	var m map[string]exp.RunResult
+	for i := 0; i < b.N; i++ {
+		m = exp.FaultMatrix(exp.OneCrash, benchSeed)
+	}
+	exp.PrintAccuracy(os.Stdout, "Table 2 — One failure: accuracy (%)", m)
+	exp.PrintDependability(os.Stdout, "One failure: availability/autonomy", m)
+	b.ReportMetric(m["5/s"].Accuracy, "accuracy_5s_pct")
+}
+
+// BenchmarkFigure7TwoCrashHistogram regenerates Figure 7: two overlapped
+// crashes (t=240 s and t=270 s) on five replicas.
+func BenchmarkFigure7TwoCrashHistogram(b *testing.B) {
+	var m map[string]exp.RunResult
+	for i := 0; i < b.N; i++ {
+		m = exp.FaultMatrix(exp.TwoCrashes, benchSeed)
+	}
+	for _, profile := range rbe.Profiles {
+		exp.PrintHistogram(os.Stdout, m["5/"+profile.String()[:1]])
+	}
+	b.ReportMetric(m["5/b"].Perf.PV, "PV_5b_pct")
+}
+
+// BenchmarkTable3TwoCrashPerformability regenerates Table 3.
+func BenchmarkTable3TwoCrashPerformability(b *testing.B) {
+	var m map[string]exp.RunResult
+	for i := 0; i < b.N; i++ {
+		m = exp.FaultMatrix(exp.TwoCrashes, benchSeed)
+	}
+	exp.PrintPerformability(os.Stdout, "Table 3 — Two overlapped crashes: performability", m)
+	b.ReportMetric(m["5/s"].Perf.PV, "PV_5s_pct")
+}
+
+// BenchmarkTable4TwoCrashAccuracy regenerates Table 4.
+func BenchmarkTable4TwoCrashAccuracy(b *testing.B) {
+	var m map[string]exp.RunResult
+	for i := 0; i < b.N; i++ {
+		m = exp.FaultMatrix(exp.TwoCrashes, benchSeed)
+	}
+	exp.PrintAccuracy(os.Stdout, "Table 4 — Two overlapped crashes: accuracy (%)", m)
+	exp.PrintDependability(os.Stdout, "Two crashes: availability/autonomy", m)
+	b.ReportMetric(m["5/o"].Accuracy, "accuracy_5o_pct")
+}
+
+// BenchmarkFigure8DelayedRecoveryHistogram regenerates Figure 8: both
+// replicas crash at t=240 s; one recovers autonomously, the other by a
+// manual intervention at t=390 s.
+func BenchmarkFigure8DelayedRecoveryHistogram(b *testing.B) {
+	var m map[string]exp.RunResult
+	for i := 0; i < b.N; i++ {
+		m = exp.FaultMatrix(exp.DelayedRecovery, benchSeed)
+	}
+	for _, profile := range rbe.Profiles {
+		exp.PrintHistogram(os.Stdout, m["5/"+profile.String()[:1]])
+	}
+	b.ReportMetric(m["5/s"].PerfR2.PV, "PV_R2_5s_pct")
+}
+
+// BenchmarkTable5DelayedRecoveryPerformability regenerates Table 5.
+func BenchmarkTable5DelayedRecoveryPerformability(b *testing.B) {
+	var m map[string]exp.RunResult
+	for i := 0; i < b.N; i++ {
+		m = exp.FaultMatrix(exp.DelayedRecovery, benchSeed)
+	}
+	exp.PrintDelayedPerformability(os.Stdout, m)
+	b.ReportMetric(m["5/s"].Perf.PV, "PV_R1_5s_pct")
+}
+
+// BenchmarkTable6DelayedRecoveryAccuracy regenerates Table 6 plus the
+// autonomy measure (one manual intervention out of two faults).
+func BenchmarkTable6DelayedRecoveryAccuracy(b *testing.B) {
+	var m map[string]exp.RunResult
+	for i := 0; i < b.N; i++ {
+		m = exp.FaultMatrix(exp.DelayedRecovery, benchSeed)
+	}
+	exp.PrintAccuracy(os.Stdout, "Table 6 — Delayed recovery: accuracy (%)", m)
+	exp.PrintDependability(os.Stdout, "Delayed recovery: availability/autonomy", m)
+	b.ReportMetric(m["5/s"].Autonomy, "autonomy")
+}
+
+// BenchmarkAblationFastVsClassicPaxos compares Treplica's Fast Paxos mode
+// against classic-only Paxos under the write-heavy ordering profile — the
+// protocol choice §2 motivates.
+func BenchmarkAblationFastVsClassicPaxos(b *testing.B) {
+	var a exp.AblationResult
+	for i := 0; i < b.N; i++ {
+		a = exp.AblationFastPaxos(benchSeed)
+	}
+	exp.PrintAblation(os.Stdout, a)
+	b.ReportMetric(a.BaselineWIPS, "fast_WIPS")
+	b.ReportMetric(a.VariantWIPS, "classic_WIPS")
+}
+
+// BenchmarkAblationParallelRecovery compares Treplica's parallel recovery
+// (checkpoint load overlapped with suffix learning, §5.4) against a
+// sequential variant, on the recovery-time metric.
+func BenchmarkAblationParallelRecovery(b *testing.B) {
+	var par, seq exp.RunResult
+	for i := 0; i < b.N; i++ {
+		par = exp.Run(exp.RunConfig{Profile: rbe.Ordering, Servers: 5, StateMB: 500,
+			Fault: exp.OneCrash, Seed: benchSeed})
+		seq = exp.Run(exp.RunConfig{Profile: rbe.Ordering, Servers: 5, StateMB: 500,
+			Fault: exp.OneCrash, Seed: benchSeed, SeqRec: true})
+	}
+	if len(par.RecoveryDur) > 0 {
+		b.ReportMetric(par.RecoveryDur[0], "parallel_recovery_s")
+	}
+	if len(seq.RecoveryDur) > 0 {
+		b.ReportMetric(seq.RecoveryDur[0], "sequential_recovery_s")
+	}
+}
+
+// BenchmarkAblationBatching compares group-commit batching against
+// one-command-per-consensus-value under the ordering profile.
+func BenchmarkAblationBatching(b *testing.B) {
+	var batched, unbatched exp.RunResult
+	for i := 0; i < b.N; i++ {
+		batched = exp.Run(exp.RunConfig{Profile: rbe.Ordering, Servers: 5, StateMB: 300,
+			Measure: 150 * time.Second, Seed: benchSeed})
+		unbatched = exp.Run(exp.RunConfig{Profile: rbe.Ordering, Servers: 5, StateMB: 300,
+			Measure: 150 * time.Second, Seed: benchSeed, NoBatch: true})
+	}
+	b.ReportMetric(batched.AWIPS, "batched_WIPS")
+	b.ReportMetric(unbatched.AWIPS, "unbatched_WIPS")
+	b.ReportMetric(batched.WIRTms, "batched_WIRT_ms")
+	b.ReportMetric(unbatched.WIRTms, "unbatched_WIRT_ms")
+}

@@ -1,0 +1,103 @@
+// Command experiment reproduces the paper's evaluation from the command
+// line: it runs any (or all) of the experiments behind Figures 3-8 and
+// Tables 1-6 on the simulated cluster and prints the same rows and series
+// the paper reports.
+//
+// Usage:
+//
+//	experiment -run all
+//	experiment -run speedup
+//	experiment -run one-crash -servers 5 -profile ordering
+//	experiment -run recovery-times
+//
+// Every run is deterministic for a given -seed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"robuststore/internal/exp"
+	"robuststore/internal/rbe"
+)
+
+func main() {
+	var (
+		which   = flag.String("run", "all", "experiment: speedup | scaleup | one-crash | two-crashes | delayed | recovery-times | ablations | all")
+		seed    = flag.Uint64("seed", 1, "root seed (runs are deterministic per seed)")
+		servers = flag.Int("servers", 5, "replication degree for single-run modes")
+		profile = flag.String("profile", "shopping", "workload profile for single-run modes: browsing | shopping | ordering")
+	)
+	flag.Parse()
+
+	if err := run(*which, *seed, *servers, *profile); err != nil {
+		fmt.Fprintln(os.Stderr, "experiment:", err)
+		os.Exit(1)
+	}
+}
+
+func parseProfile(s string) (rbe.Profile, error) {
+	switch s {
+	case "browsing":
+		return rbe.Browsing, nil
+	case "shopping":
+		return rbe.Shopping, nil
+	case "ordering":
+		return rbe.Ordering, nil
+	default:
+		return 0, fmt.Errorf("unknown profile %q", s)
+	}
+}
+
+func run(which string, seed uint64, servers int, profileName string) error {
+	out := os.Stdout
+	switch which {
+	case "speedup":
+		exp.PrintSpeedup(out, exp.Speedup(seed))
+	case "scaleup":
+		exp.PrintScaleup(out, exp.Scaleup(seed))
+	case "one-crash":
+		profile, err := parseProfile(profileName)
+		if err != nil {
+			return err
+		}
+		r := exp.Run(exp.RunConfig{
+			Profile: profile, Servers: servers, StateMB: 500,
+			Fault: exp.OneCrash, Seed: seed,
+		})
+		exp.PrintHistogram(out, r)
+		m := exp.FaultMatrix(exp.OneCrash, seed)
+		exp.PrintPerformability(out, "Table 1 — One failure: performability", m)
+		exp.PrintAccuracy(out, "Table 2 — One failure: accuracy (%)", m)
+	case "two-crashes":
+		m := exp.FaultMatrix(exp.TwoCrashes, seed)
+		for _, p := range rbe.Profiles {
+			exp.PrintHistogram(out, m["5/"+p.String()[:1]])
+		}
+		exp.PrintPerformability(out, "Table 3 — Two overlapped crashes: performability", m)
+		exp.PrintAccuracy(out, "Table 4 — Two overlapped crashes: accuracy (%)", m)
+	case "delayed":
+		m := exp.FaultMatrix(exp.DelayedRecovery, seed)
+		for _, p := range rbe.Profiles {
+			exp.PrintHistogram(out, m["5/"+p.String()[:1]])
+		}
+		exp.PrintDelayedPerformability(out, m)
+		exp.PrintAccuracy(out, "Table 6 — Delayed recovery: accuracy (%)", m)
+		exp.PrintDependability(out, "Delayed recovery: availability/autonomy", m)
+	case "recovery-times":
+		exp.PrintRecoveryTimes(out, exp.RecoveryTimes(seed))
+	case "ablations":
+		exp.PrintAblation(out, exp.AblationFastPaxos(seed))
+	case "all":
+		for _, w := range []string{"speedup", "scaleup", "one-crash", "two-crashes", "delayed", "recovery-times", "ablations"} {
+			fmt.Fprintln(out)
+			if err := run(w, seed, servers, profileName); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("unknown experiment %q", which)
+	}
+	return nil
+}

@@ -1,0 +1,14 @@
+// Package robuststore is a from-scratch Go reproduction of "Dynamic
+// Content Web Applications: Crash, Failover, and Recovery Analysis"
+// (Vieira, Buzato, Zwaenepoel — DSN 2009): the Treplica replication
+// middleware (Paxos + Fast Paxos, asynchronous persistent queue,
+// replicated state machine with checkpoint-based recovery), the TPC-W
+// on-line bookstore retrofitted onto it (RobustStore), and the full
+// dependability-benchmark harness — workloads, faultloads and measures —
+// that regenerates every table and figure of the paper's evaluation.
+//
+// See README.md for the layout, DESIGN.md for the system inventory and
+// per-experiment index, and EXPERIMENTS.md for paper-vs-measured results.
+// The root package holds only the benchmark harness (bench_test.go);
+// the implementation lives under internal/.
+package robuststore

@@ -1,0 +1,131 @@
+// Command persistentqueue demonstrates Treplica's other programming
+// abstraction (paper §2): the asynchronous persistent queue. Producers on
+// different replicas enqueue asynchronously; every replica dequeues the
+// same totally ordered sequence, and a crashed replica resumes its queue
+// after recovery without missing enqueues.
+//
+//	go run ./examples/persistentqueue
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"time"
+
+	"robuststore/internal/core"
+	"robuststore/internal/env"
+	"robuststore/internal/livenet"
+	"robuststore/internal/paxos"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "persistentqueue:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	const replicas = 3
+	cluster := livenet.New(livenet.Config{Latency: 200 * time.Microsecond})
+	defer cluster.Close()
+
+	queues := make([]*core.Queue, replicas)
+	reps := make([]*core.Replica, replicas)
+	for i := 0; i < replicas; i++ {
+		idx := i
+		cluster.AddNode(func() env.Node {
+			q, r := core.NewQueue(core.Config{
+				CheckpointInterval: time.Second,
+				Paxos: paxos.Config{
+					HeartbeatInterval: 20 * time.Millisecond,
+					LeaderTimeout:     150 * time.Millisecond,
+					SweepInterval:     10 * time.Millisecond,
+					BatchDelay:        time.Millisecond,
+				},
+			})
+			queues[idx] = q
+			reps[idx] = r
+			return r
+		})
+	}
+	cluster.StartAll()
+
+	// Wait for the queue service to come up.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if reps[0].Ready() && reps[0].HasLeader() {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+
+	// Producers on all three replicas; Enqueue is asynchronous.
+	for i := 1; i <= 9; i++ {
+		queues[i%replicas].Enqueue(fmt.Sprintf("job-%d", i))
+	}
+
+	// Every replica observes the same total order.
+	fmt.Println("dequeue order per replica:")
+	var reference []string
+	for r := 0; r < replicas; r++ {
+		var got []string
+		for len(got) < 9 {
+			item, err := queues[r].Dequeue(ctx)
+			if err != nil {
+				return fmt.Errorf("replica %d dequeue: %w", r, err)
+			}
+			got = append(got, item.(string))
+		}
+		fmt.Printf("  replica %d: %v\n", r, got)
+		if reference == nil {
+			reference = got
+			continue
+		}
+		for i := range got {
+			if got[i] != reference[i] {
+				return fmt.Errorf("total order violated at %d: %v vs %v", i, got, reference)
+			}
+		}
+	}
+
+	// Crash a replica, keep producing, recover it: the queue preserves
+	// its state and the recovered replica has not missed any enqueues
+	// (paper §2).
+	fmt.Println("crashing replica 2, enqueueing 3 more jobs ...")
+	cluster.Crash(2)
+	for i := 10; i <= 12; i++ {
+		queues[i%2].Enqueue(fmt.Sprintf("job-%d", i))
+	}
+	// Drain them on a live replica.
+	for i := 0; i < 3; i++ {
+		if _, err := queues[0].Dequeue(ctx); err != nil {
+			return err
+		}
+	}
+	cluster.Restart(2)
+
+	// The recovered replica resumes from its last checkpoint: items it
+	// dequeued after that checkpoint are re-delivered (at-least-once),
+	// and — the paper's guarantee — no enqueue made while it was down
+	// is ever missed. Drain until the three jobs enqueued during the
+	// outage appear.
+	want := map[string]bool{"job-10": true, "job-11": true, "job-12": true}
+	var recovered []string
+	for len(want) > 0 {
+		item, err := queues[2].Dequeue(ctx)
+		if err != nil {
+			return fmt.Errorf("recovered replica dequeue: %w", err)
+		}
+		job := item.(string)
+		recovered = append(recovered, job)
+		delete(want, job)
+	}
+	fmt.Printf("replica 2 after recovery dequeued: %v\n", recovered)
+	fmt.Println("jobs 10-12, enqueued during the outage, all arrived — done")
+	return nil
+}

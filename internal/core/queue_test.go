@@ -1,0 +1,167 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"robuststore/internal/env"
+	"robuststore/internal/paxos"
+	"robuststore/internal/sim"
+)
+
+// queueCluster wires persistent queues into the simulator. Dequeue is
+// blocking (live-runtime API), so these tests consume via TryDequeue from
+// inside the event loop.
+type queueCluster struct {
+	s        *sim.Sim
+	queues   []*Queue
+	replicas []*Replica
+}
+
+func newQueueCluster(t *testing.T, n int, seed uint64) *queueCluster {
+	t.Helper()
+	c := &queueCluster{
+		queues:   make([]*Queue, n),
+		replicas: make([]*Replica, n),
+	}
+	c.s = sim.New(sim.Config{Seed: seed})
+	for i := 0; i < n; i++ {
+		idx := i
+		c.s.AddNode(func() env.Node {
+			q, r := NewQueue(Config{
+				CheckpointInterval: 10 * time.Second,
+				Paxos:              paxos.Config{BatchDelay: 2 * time.Millisecond},
+			})
+			c.queues[idx] = q
+			c.replicas[idx] = r
+			return r
+		})
+	}
+	c.s.StartAll()
+	return c
+}
+
+func TestQueueTotalOrderAcrossProducers(t *testing.T) {
+	c := newQueueCluster(t, 3, 21)
+	const total = 30
+	for i := 0; i < total; i++ {
+		i := i
+		c.s.After(2*time.Second+time.Duration(i)*10*time.Millisecond, func() {
+			c.replicas[i%3].Submit(i, nil)
+		})
+	}
+	c.s.RunFor(10 * time.Second)
+
+	var sequences [3][]int
+	for r := 0; r < 3; r++ {
+		for {
+			item, ok := c.queues[r].TryDequeue()
+			if !ok {
+				break
+			}
+			sequences[r] = append(sequences[r], item.(int))
+		}
+		if len(sequences[r]) != total {
+			t.Fatalf("replica %d delivered %d items, want %d", r, len(sequences[r]), total)
+		}
+	}
+	for r := 1; r < 3; r++ {
+		for i := range sequences[0] {
+			if sequences[r][i] != sequences[0][i] {
+				t.Fatalf("order differs at %d: %v vs %v", i, sequences[r], sequences[0])
+			}
+		}
+	}
+}
+
+func TestQueueLenAndTryDequeue(t *testing.T) {
+	c := newQueueCluster(t, 3, 22)
+	c.s.After(2*time.Second, func() { c.replicas[0].Submit("a", nil) })
+	c.s.After(2100*time.Millisecond, func() { c.replicas[0].Submit("b", nil) })
+	c.s.RunFor(6 * time.Second)
+	if got := c.queues[0].Len(); got != 2 {
+		t.Fatalf("Len = %d, want 2", got)
+	}
+	item, ok := c.queues[0].TryDequeue()
+	if !ok || item != "a" {
+		t.Fatalf("TryDequeue = %v/%v", item, ok)
+	}
+	if got := c.queues[0].Len(); got != 1 {
+		t.Fatalf("Len after dequeue = %d", got)
+	}
+	if _, ok := c.queues[1].TryDequeue(); !ok {
+		t.Fatal("other replica missing items")
+	}
+}
+
+func TestQueueUndequeuedItemsSurviveCrash(t *testing.T) {
+	c := newQueueCluster(t, 3, 23)
+	const total = 10
+	for i := 0; i < total; i++ {
+		i := i
+		c.s.After(2*time.Second+time.Duration(i)*50*time.Millisecond, func() {
+			c.replicas[i%2].Submit(i, nil) // only nodes 0 and 1 produce
+		})
+	}
+	// Let replica 2 receive everything, checkpoint (covers the pending
+	// items), then crash and recover: nothing may be lost.
+	c.s.RunFor(8 * time.Second)
+	c.s.At(c.s.Now(), func() { c.replicas[2].Checkpoint(nil) })
+	c.s.RunFor(5 * time.Second)
+	c.s.Crash(2)
+	c.s.RunFor(2 * time.Second)
+	c.s.Restart(2)
+	c.s.RunFor(20 * time.Second)
+
+	var got []int
+	for {
+		item, ok := c.queues[2].TryDequeue()
+		if !ok {
+			break
+		}
+		got = append(got, item.(int))
+	}
+	if len(got) != total {
+		t.Fatalf("recovered queue has %d items, want %d: %v", len(got), total, got)
+	}
+	seen := make(map[int]bool)
+	for _, v := range got {
+		if seen[v] {
+			t.Fatalf("duplicate item %d after recovery (checkpoint covered them)", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestQueueDequeueContext(t *testing.T) {
+	// Dequeue on an empty queue must honor context cancellation. The
+	// queue is not wired to any runtime here; only the blocking wait is
+	// under test.
+	q := &Queue{signal: make(chan struct{}, 1)}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if _, err := q.Dequeue(ctx); err == nil {
+		t.Fatal("Dequeue on empty queue must fail on context expiry")
+	}
+}
+
+func TestQueueMachineRestoreRejectsGarbage(t *testing.T) {
+	q := &Queue{signal: make(chan struct{}, 1)}
+	m := &queueMachine{q: q}
+	m.Restore(42) // wrong type: must not panic or corrupt
+	if q.Len() != 0 {
+		t.Fatal("garbage restore changed state")
+	}
+	m.q.push("x")
+	data, size := m.Snapshot()
+	if size <= 0 {
+		t.Fatal("non-positive snapshot size")
+	}
+	q2 := &Queue{signal: make(chan struct{}, 1)}
+	m2 := &queueMachine{q: q2}
+	m2.Restore(data)
+	if q2.Len() != 1 {
+		t.Fatalf("restored queue has %d items", q2.Len())
+	}
+}

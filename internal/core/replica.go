@@ -1,0 +1,599 @@
+// Package core implements Treplica (paper §2): middleware for building
+// highly available applications over an asynchronous persistent queue
+// backed by Paxos and Fast Paxos (internal/paxos).
+//
+// Two programming abstractions are offered, mirroring the paper:
+//
+//   - Replica: the state machine interface. The application is a black box
+//     whose deterministic transitions ("actions") are totally ordered and
+//     executed on every replica; getState()/checkpointing and recovery are
+//     transparent.
+//   - Queue: the asynchronous persistent queue, a totally ordered
+//     collection of objects with asynchronous Enqueue and blocking
+//     Dequeue.
+//
+// Recovery follows §2 and §5.4: a restarted replica loads its most recent
+// local checkpoint and, in parallel, learns the missing log suffix from
+// the active replicas; once re-synchronized it proceeds as if it had never
+// crashed. When the suffix is no longer retained anywhere, the replica
+// falls back to a full remote state transfer (an extension the paper's
+// retention policy avoids).
+package core
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"time"
+
+	"robuststore/internal/env"
+	"robuststore/internal/paxos"
+)
+
+// StateMachine is the application contract: a deterministic black box.
+// Execute must be a pure function of the current state and the action —
+// all non-determinism (timestamps, random numbers) must be captured inside
+// the action by the caller before submission, exactly as RobustStore does
+// for TPC-W (paper §4, task II).
+type StateMachine interface {
+	// Execute applies one action and returns its result.
+	Execute(action any) any
+
+	// Snapshot returns an immutable deep copy of the state plus its
+	// nominal serialized size in bytes (the paper's 300/500/700 MB
+	// state sizes drive recovery time through this value).
+	Snapshot() (data any, size int64)
+
+	// Restore replaces the state from a Snapshot payload.
+	Restore(data any)
+}
+
+// Config parameterizes a Replica.
+type Config struct {
+	// Machine builds a fresh, empty state machine for each incarnation.
+	Machine func() StateMachine
+
+	// FastPaxos enables fast rounds while ⌈3N/4⌉ replicas are alive.
+	FastPaxos bool
+
+	// CheckpointInterval is the period between checkpoints. Default
+	// 60 s.
+	CheckpointInterval time.Duration
+
+	// RetainInstances is how many decided instances are kept past the
+	// last checkpoint to serve recovering peers. Default 200000.
+	RetainInstances int64
+
+	// SequentialRecovery disables the checkpoint-load ∥ suffix-learning
+	// overlap of §5.4 (ablation): consensus boots only after the
+	// application checkpoint has been restored.
+	SequentialRecovery bool
+
+	// DisableRemoteSnapshot forbids a replica whose needed log suffix
+	// was compacted everywhere from fetching a full checkpoint from a
+	// peer (the paper's Treplica recovers from the local checkpoint
+	// plus the learned suffix only; the remote fallback is an
+	// extension, enabled by default).
+	DisableRemoteSnapshot bool
+
+	// ActionSize models an action's serialized size in bytes; nil means
+	// 160 bytes.
+	ActionSize func(action any) int64
+
+	// Paxos carries engine tuning (batching, timeouts). Deliver,
+	// CmdSize, FastEnabled and OnCatchUpGap are owned by the replica
+	// and ignored here.
+	Paxos paxos.Config
+
+	// OnCheckpoint, if non-nil, is invoked when a checkpoint starts,
+	// with its size; the web tier uses it to charge the serialization
+	// pause to the replica CPU.
+	OnCheckpoint func(size int64)
+
+	// OnRecovered, if non-nil, fires once per incarnation when a
+	// replica that started from a checkpoint has re-synchronized with
+	// the cluster (recovery-time measurements, Figure 6).
+	OnRecovered func()
+
+	// OnReady, if non-nil, fires when the application state is restored
+	// and the replica can serve local reads.
+	OnReady func()
+}
+
+func (c Config) withDefaults() Config {
+	if c.CheckpointInterval == 0 {
+		c.CheckpointInterval = 60 * time.Second
+	}
+	if c.RetainInstances == 0 {
+		c.RetainInstances = 200000
+	}
+	if c.ActionSize == nil {
+		c.ActionSize = func(any) int64 { return 160 }
+	}
+	return c
+}
+
+// command is the envelope every action travels in: the origin replica and
+// a local sequence number correlate results back to the submitter.
+type command struct {
+	Origin env.NodeID
+	Seq    int64
+	Action any
+}
+
+// Snapshot payloads.
+type metaSnap struct {
+	LastApplied paxos.InstanceID
+}
+
+type appSnap struct {
+	LastApplied paxos.InstanceID
+	Delivered   paxos.DeliveredState
+	Data        any
+	Size        int64
+}
+
+// Core-level transfer messages (remote checkpoint fallback).
+type snapReqMsg struct{}
+
+func (snapReqMsg) WireSize() int64 { return 48 }
+
+type snapReplyMsg struct {
+	OK   bool
+	Snap appSnap
+}
+
+func (m snapReplyMsg) WireSize() int64 { return 64 + m.Snap.Size }
+
+// ErrNotReady is returned for submissions while the replica is still
+// recovering its application state.
+var ErrNotReady = errors.New("core: replica state not yet recovered")
+
+// Replica is one member of a replicated state machine. It implements
+// env.Node; construct one per incarnation via its Config.Machine factory
+// wiring (see NewReplica) and hand it to a runtime.
+type Replica struct {
+	cfg Config
+	e   env.Env
+	me  env.NodeID
+
+	sm StateMachine
+	en *paxos.Engine
+
+	appReady    bool
+	recovering  bool
+	recovered   bool
+	lastApplied paxos.InstanceID
+	buffer      []bufferedValue
+
+	nextSeq int64
+	pending map[int64]func(result any, err error)
+
+	lastCheckpoint paxos.InstanceID
+	hasCheckpoint  bool
+	checkpointing  bool
+
+	snapAsked    bool
+	recheckArmed bool
+	applied      int64 // actions applied this incarnation (stats)
+	joinedAt     time.Time
+	recoveredAt  time.Time
+
+	// Published introspection state: these mirror the loop-confined
+	// fields above so application goroutines in the live runtime can
+	// poll them without racing the event loop.
+	pubReady       atomic.Bool
+	pubRecovered   atomic.Bool
+	pubHasLeader   atomic.Bool
+	pubLastApplied atomic.Int64
+	pubApplied     atomic.Int64
+	pubEnv         atomic.Value // env.Env, set once at Start
+}
+
+type bufferedValue struct {
+	inst paxos.InstanceID
+	v    paxos.Value
+}
+
+var _ env.Node = (*Replica)(nil)
+
+// NewReplica builds a replica for one incarnation.
+func NewReplica(cfg Config) *Replica {
+	cfg = cfg.withDefaults()
+	if cfg.Machine == nil {
+		panic("core: Config.Machine is required")
+	}
+	return &Replica{cfg: cfg, pending: make(map[int64]func(any, error))}
+}
+
+// Start implements env.Node: it boots consensus and runs recovery. The
+// tiny meta snapshot is read first so the engine can begin learning the
+// log suffix from its peers while the (large) application checkpoint
+// streams from the local disk in parallel — the overlap §5.4 credits for
+// the leveling of recovery times.
+func (r *Replica) Start(e env.Env) {
+	r.e = e
+	r.pubEnv.Store(e)
+	r.me = e.ID()
+	r.joinedAt = e.Now()
+	r.sm = r.cfg.Machine()
+
+	e.Storage().LoadSnapshot("meta", func(snap env.Snapshot, ok bool) {
+		floor := paxos.InstanceID(0)
+		if ok {
+			meta, good := snap.Data.(metaSnap)
+			if good {
+				floor = meta.LastApplied + 1
+				r.recovering = true
+			}
+		}
+		bootEngine := func() {
+			pcfg := r.cfg.Paxos
+			pcfg.FastEnabled = r.cfg.FastPaxos
+			pcfg.CmdSize = func(cmd any) int64 {
+				c, ok := cmd.(command)
+				if !ok {
+					return 64
+				}
+				return 48 + r.cfg.ActionSize(c.Action)
+			}
+			pcfg.Deliver = r.onDeliver
+			pcfg.OnCatchUpGap = r.onCatchUpGap
+			r.en = paxos.New(pcfg)
+			r.en.Boot(e, floor, nil)
+		}
+		loadApp := func() {
+			e.Storage().LoadSnapshot("app", func(snap env.Snapshot, ok bool) {
+				if r.cfg.SequentialRecovery {
+					bootEngine()
+				}
+				if !ok {
+					// Fresh replica: empty state is the initial state.
+					r.finishRestore(appSnap{LastApplied: -1})
+					return
+				}
+				app, good := snap.Data.(appSnap)
+				if !good {
+					r.e.Logf("core: malformed app snapshot; starting empty")
+					r.finishRestore(appSnap{LastApplied: -1})
+					return
+				}
+				r.sm.Restore(app.Data)
+				r.finishRestore(app)
+			})
+		}
+		if r.cfg.SequentialRecovery {
+			// Ablation: no checkpoint/suffix overlap — consensus joins
+			// only after the state is restored.
+			loadApp()
+		} else {
+			bootEngine()
+			loadApp()
+		}
+		r.scheduleCheckpoint()
+		r.publishLoop()
+	})
+}
+
+// finishRestore completes application-state recovery and drains buffered
+// deliveries.
+func (r *Replica) finishRestore(app appSnap) {
+	r.lastApplied = app.LastApplied
+	r.lastCheckpoint = app.LastApplied
+	r.hasCheckpoint = r.recovering
+	if app.Delivered != nil {
+		r.en.SetDelivered(app.Delivered)
+	}
+	if app.LastApplied >= 0 {
+		r.en.SkipTo(app.LastApplied + 1)
+	}
+	r.appReady = true
+	r.pubReady.Store(true)
+	if !r.recovering {
+		r.pubRecovered.Store(true)
+	}
+	buf := r.buffer
+	r.buffer = nil
+	for _, bv := range buf {
+		r.apply(bv.inst, bv.v)
+	}
+	if r.cfg.OnReady != nil {
+		r.cfg.OnReady()
+	}
+	r.maybeRecovered()
+}
+
+// Receive implements env.Node.
+func (r *Replica) Receive(from env.NodeID, msg env.Message) {
+	if r.en != nil && r.en.Handle(from, msg) {
+		return
+	}
+	switch m := msg.(type) {
+	case snapReqMsg:
+		r.onSnapReq(from)
+	case snapReplyMsg:
+		r.onSnapReply(m)
+	}
+}
+
+// --- Submission --------------------------------------------------------
+
+// Submit proposes an action for totally ordered execution; done (optional)
+// is invoked on this node's executor with the local execution result once
+// the action has been applied here. All replica-visible non-determinism
+// must already be resolved inside the action (paper §4).
+func (r *Replica) Submit(action any, done func(result any, err error)) {
+	if r.en == nil || !r.appReady {
+		if done != nil {
+			done(nil, ErrNotReady)
+		}
+		return
+	}
+	r.nextSeq++
+	if done != nil {
+		r.pending[r.nextSeq] = done
+	}
+	r.en.Submit(command{Origin: r.me, Seq: r.nextSeq, Action: action})
+}
+
+// Execute proposes an action and blocks until it has been applied locally,
+// mirroring the synchronous execute() of Treplica's state machine API. It
+// must be called from outside the node's executor (live runtime only).
+func (r *Replica) Execute(ctx context.Context, action any) (any, error) {
+	e, ok := r.pubEnv.Load().(env.Env)
+	if !ok {
+		return nil, ErrNotReady
+	}
+	type outcome struct {
+		result any
+		err    error
+	}
+	ch := make(chan outcome, 1)
+	e.Post(func() {
+		r.Submit(action, func(result any, err error) {
+			ch <- outcome{result, err}
+		})
+	})
+	select {
+	case out := <-ch:
+		return out.result, out.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// publishLoop refreshes the published leadership flag so application
+// goroutines can await service readiness without touching loop state.
+func (r *Replica) publishLoop() {
+	r.pubHasLeader.Store(r.en != nil && r.en.CurrentBallot().Seq >= 0)
+	r.e.After(100*time.Millisecond, r.publishLoop)
+}
+
+// --- Delivery ----------------------------------------------------------
+
+func (r *Replica) onDeliver(inst paxos.InstanceID, v paxos.Value) {
+	if !r.appReady {
+		r.buffer = append(r.buffer, bufferedValue{inst: inst, v: v})
+		return
+	}
+	r.apply(inst, v)
+}
+
+func (r *Replica) apply(inst paxos.InstanceID, v paxos.Value) {
+	if inst <= r.lastApplied {
+		return
+	}
+
+	for _, cmd := range v.Cmds {
+		c, ok := cmd.(command)
+		if !ok {
+			r.e.Logf("core: dropping malformed command %T", cmd)
+			continue
+		}
+		result := r.sm.Execute(c.Action)
+		r.applied++
+		if c.Origin == r.me {
+			if done, ok := r.pending[c.Seq]; ok {
+				delete(r.pending, c.Seq)
+				done(result, nil)
+			}
+		}
+	}
+	r.lastApplied = inst
+	r.pubLastApplied.Store(int64(inst))
+	r.pubApplied.Store(r.applied)
+	r.maybeRecovered()
+}
+
+// members returns the consensus group this replica belongs to.
+func (r *Replica) members() []env.NodeID {
+	if r.cfg.Paxos.Members != nil {
+		return r.cfg.Paxos.Members
+	}
+	return r.e.Peers()
+}
+
+// maybeRecovered fires OnRecovered once the replica has both restored its
+// checkpoint and drained the backlog the cluster accumulated while it was
+// down. The decided watermark (MaxKnown) is only trustworthy once the
+// failure detector has heard from a quorum, so recovery detection waits
+// for that plus a short grace period; a slow ticker re-checks while
+// recovering in case no new traffic arrives.
+func (r *Replica) maybeRecovered() {
+	if !r.recovering || r.recovered || !r.appReady {
+		return
+	}
+	grace := r.e.Now().Sub(r.joinedAt) >= time.Second
+	quorumSeen := r.en.AliveCount() >= paxos.ClassicQuorum(len(r.members()))
+	if grace && quorumSeen && r.en.FirstUnchosen() > r.en.MaxKnown() {
+		r.recovered = true
+		r.pubRecovered.Store(true)
+		r.recoveredAt = r.e.Now()
+		if r.cfg.OnRecovered != nil {
+			r.cfg.OnRecovered()
+		}
+		return
+	}
+	if !r.recheckArmed {
+		r.recheckArmed = true
+		r.e.After(250*time.Millisecond, func() {
+			r.recheckArmed = false
+			r.maybeRecovered()
+		})
+	}
+}
+
+// --- Checkpointing -----------------------------------------------------
+
+func (r *Replica) scheduleCheckpoint() {
+	// Spread replicas' checkpoints across the interval so they do not
+	// pause in lockstep.
+	phase := time.Duration(int64(r.me)) * r.cfg.CheckpointInterval / time.Duration(8)
+	r.e.After(r.cfg.CheckpointInterval+phase, r.checkpointLoop)
+}
+
+func (r *Replica) checkpointLoop() {
+	r.Checkpoint(nil)
+	r.e.After(r.cfg.CheckpointInterval, r.checkpointLoop)
+}
+
+// Checkpoint takes a durable checkpoint now: snapshot the state machine,
+// write it to stable storage, then compact the consensus log up to it
+// (minus the retention window that serves recovering peers). done, if
+// non-nil, runs when the checkpoint is durable.
+func (r *Replica) Checkpoint(done func()) {
+	// An initial checkpoint (nothing applied yet, nothing checkpointed)
+	// is meaningful: it makes the pre-populated state durable, which is
+	// how the experiments install the TPC-W population before the
+	// measurement interval.
+	initial := r.lastApplied == -1 && r.lastCheckpoint == -1 && !r.hasCheckpoint
+	if !r.appReady || r.checkpointing || (r.lastApplied <= r.lastCheckpoint && !initial) {
+		if done != nil {
+			done()
+		}
+		return
+	}
+	r.checkpointing = true
+	data, size := r.sm.Snapshot()
+	snap := appSnap{
+		LastApplied: r.lastApplied,
+		Delivered:   r.en.DeliveredSeqs(),
+		Data:        data,
+		Size:        size,
+	}
+	if r.cfg.OnCheckpoint != nil {
+		r.cfg.OnCheckpoint(size)
+	}
+	at := r.lastApplied
+	r.e.Storage().SaveSnapshot("app", env.Snapshot{Data: snap, Size: size}, func(error) {
+		r.e.Storage().SaveSnapshot("meta", env.Snapshot{Data: metaSnap{LastApplied: at}, Size: 256}, func(error) {
+			r.lastCheckpoint = at
+			r.hasCheckpoint = true
+			r.checkpointing = false
+			compactThrough := at - paxos.InstanceID(r.cfg.RetainInstances)
+			if compactThrough >= 0 {
+				r.en.Compact(compactThrough)
+			}
+			if done != nil {
+				done()
+			}
+		})
+	})
+}
+
+// --- Remote snapshot fallback -------------------------------------------
+
+func (r *Replica) onCatchUpGap(firstAvail paxos.InstanceID) {
+	if r.cfg.DisableRemoteSnapshot || r.snapAsked {
+		return
+	}
+	r.snapAsked = true
+	// Ask every member; first useful reply wins.
+	for _, p := range r.members() {
+		if p != r.me {
+			r.e.Send(p, snapReqMsg{})
+		}
+	}
+}
+
+func (r *Replica) onSnapReq(from env.NodeID) {
+	// Serve our most recent durable checkpoint; reading it charges our
+	// disk, transferring it charges the network, both as in a real
+	// state transfer.
+	r.e.Storage().LoadSnapshot("app", func(snap env.Snapshot, ok bool) {
+		if !ok {
+			r.e.Send(from, snapReplyMsg{})
+			return
+		}
+		app, good := snap.Data.(appSnap)
+		if !good {
+			r.e.Send(from, snapReplyMsg{})
+			return
+		}
+		r.e.Send(from, snapReplyMsg{OK: true, Snap: app})
+	})
+}
+
+func (r *Replica) onSnapReply(m snapReplyMsg) {
+	if !m.OK || !r.appReady || m.Snap.LastApplied <= r.lastApplied {
+		r.snapAsked = false
+		return
+	}
+	r.sm.Restore(m.Snap.Data)
+	r.lastApplied = m.Snap.LastApplied
+	r.lastCheckpoint = m.Snap.LastApplied
+	r.en.SetDelivered(m.Snap.Delivered)
+	r.en.SkipTo(m.Snap.LastApplied + 1)
+	r.snapAsked = false
+	r.maybeRecovered()
+}
+
+// --- Introspection -----------------------------------------------------
+//
+// Ready, Recovered, HasLeader, LastApplied and AppliedCount are backed by
+// published atomics and safe to poll from any goroutine (the live
+// runtime's application threads do exactly that). The remaining accessors
+// touch loop-confined state and must be called from the node's executor —
+// in practice, from simulator context or via env.Post.
+
+// Ready reports whether local state is restored (reads can be served).
+func (r *Replica) Ready() bool { return r.pubReady.Load() }
+
+// Recovered reports whether a post-crash incarnation has fully
+// re-synchronized (true from the start for a fresh replica).
+func (r *Replica) Recovered() bool { return r.pubRecovered.Load() }
+
+// HasLeader reports whether this replica has observed an established
+// consensus leader — i.e. whether submissions can make progress now.
+func (r *Replica) HasLeader() bool { return r.pubHasLeader.Load() }
+
+// LastApplied returns the highest applied instance.
+func (r *Replica) LastApplied() paxos.InstanceID {
+	return paxos.InstanceID(r.pubLastApplied.Load())
+}
+
+// AppliedCount returns actions applied in this incarnation.
+func (r *Replica) AppliedCount() int64 { return r.pubApplied.Load() }
+
+// Machine exposes the local state machine for read-only queries. Reads
+// are served locally without total ordering, as in RobustStore where 95 %
+// (browsing) to 50 % (ordering) of interactions are local reads (§5.2).
+// Loop-confined.
+func (r *Replica) Machine() StateMachine { return r.sm }
+
+// Backlog returns the decided-but-unapplied instance count.
+// Loop-confined.
+func (r *Replica) Backlog() int64 {
+	if r.en == nil {
+		return 0
+	}
+	return r.en.Backlog()
+}
+
+// IsLeader reports whether this replica currently coordinates consensus.
+// Loop-confined.
+func (r *Replica) IsLeader() bool { return r.en != nil && r.en.IsLeader() }
+
+// Engine exposes the consensus engine for tests and metrics.
+// Loop-confined.
+func (r *Replica) Engine() *paxos.Engine { return r.en }

@@ -1,0 +1,203 @@
+package exp
+
+import (
+	"time"
+
+	"robuststore/internal/rbe"
+	"robuststore/internal/stats"
+)
+
+// This file defines the experiment suites of §5, each returning the data
+// behind one figure or table of the paper.
+
+// scalePoints are the replication degrees swept by the speedup and
+// scaleup experiments (paper: 4–12 servers; 18 nodes minus 5 clients and
+// 1 proxy).
+var scalePoints = []int{4, 5, 6, 8, 10, 12}
+
+// shortMeasure shrinks failure-free sweeps: AWIPS is stable (browsing CV
+// ≈ 0.01), so a 150 s interval gives the same means as the paper's 540 s
+// at a fraction of the simulation cost.
+const shortMeasure = 150 * time.Second
+
+// ScalePoint is one (replicas, profile) measurement.
+type ScalePoint struct {
+	Servers int
+	Profile rbe.Profile
+	WIPS    float64
+	WIRTms  float64
+	Speedup float64 // relative to the 4-replica baseline (Figure 3)
+}
+
+// SpeedupResult is the data behind Figure 3: saturation WIPS and WIRT for
+// 4–12 replicas under the three profiles, with S_k = pi_k / pi_4.
+type SpeedupResult struct {
+	Points map[rbe.Profile][]ScalePoint
+}
+
+// Speedup runs the Figure 3 sweep. The RBE population is large enough to
+// saturate the biggest deployment (the paper's five client nodes).
+func Speedup(seed uint64) SpeedupResult {
+	out := SpeedupResult{Points: make(map[rbe.Profile][]ScalePoint)}
+	for _, profile := range rbe.Profiles {
+		var base float64
+		for _, k := range scalePoints {
+			r := Run(RunConfig{
+				Profile:  profile,
+				Servers:  k,
+				StateMB:  500, // paper §5.2: initial state 500 MB
+				Fault:    NoFault,
+				Browsers: saturationBrowsers,
+				Measure:  shortMeasure,
+				Seed:     seed,
+			})
+			if base == 0 {
+				base = r.AWIPS
+			}
+			out.Points[profile] = append(out.Points[profile], ScalePoint{
+				Servers: k,
+				Profile: profile,
+				WIPS:    r.AWIPS,
+				WIRTms:  r.WIRTms,
+				Speedup: r.AWIPS / base,
+			})
+		}
+	}
+	return out
+}
+
+// ScaleupResult is the data behind Figure 4: WIPS and WIRT at a fixed
+// offered load of 1000 WIPS for 4–12 replicas, with the least-squares
+// regression and WIPS/WIRT correlation the paper reports (§5.3).
+type ScaleupResult struct {
+	Points      map[rbe.Profile][]ScalePoint
+	Fit         map[rbe.Profile]stats.Regression // WIPS vs replicas
+	Correlation map[rbe.Profile]float64          // r² of WIPS vs WIRT
+}
+
+// Scaleup runs the Figure 4 sweep (1000 RBEs, 300 MB state).
+func Scaleup(seed uint64) ScaleupResult {
+	out := ScaleupResult{
+		Points:      make(map[rbe.Profile][]ScalePoint),
+		Fit:         make(map[rbe.Profile]stats.Regression),
+		Correlation: make(map[rbe.Profile]float64),
+	}
+	for _, profile := range rbe.Profiles {
+		var ks, wips, wirt []float64
+		for _, k := range scalePoints {
+			r := Run(RunConfig{
+				Profile:  profile,
+				Servers:  k,
+				StateMB:  300, // paper §5.3: 300 MB to avoid swapping
+				Fault:    NoFault,
+				Browsers: faultBrowsers,
+				Measure:  shortMeasure,
+				Seed:     seed,
+			})
+			out.Points[profile] = append(out.Points[profile], ScalePoint{
+				Servers: k,
+				Profile: profile,
+				WIPS:    r.AWIPS,
+				WIRTms:  r.WIRTms,
+			})
+			ks = append(ks, float64(k))
+			wips = append(wips, r.AWIPS)
+			wirt = append(wirt, r.WIRTms)
+		}
+		out.Fit[profile] = stats.LinearFit(ks, wips)
+		corr := stats.Correlation(wips, wirt)
+		out.Correlation[profile] = corr * corr
+	}
+	return out
+}
+
+// FaultMatrix runs one faultload across the paper's dependability grid:
+// replication degrees 5 and 8, all three profiles, 500 MB state (Tables
+// 1–6, Figures 5, 7, 8).
+func FaultMatrix(kind FaultKind, seed uint64) map[string]RunResult {
+	out := make(map[string]RunResult)
+	for _, servers := range []int{5, 8} {
+		for _, profile := range rbe.Profiles {
+			r := Run(RunConfig{
+				Profile: profile,
+				Servers: servers,
+				StateMB: 500,
+				Fault:   kind,
+				Seed:    seed,
+			})
+			out[matrixKey(servers, profile)] = r
+		}
+	}
+	return out
+}
+
+func matrixKey(servers int, profile rbe.Profile) string {
+	return string(rune('0'+servers)) + "/" + profile.String()[:1]
+}
+
+// RecoveryTimePoint is one bar of Figure 6.
+type RecoveryTimePoint struct {
+	Servers     int
+	Profile     rbe.Profile
+	StateMB     int
+	RecoverySec float64
+}
+
+// RecoveryTimes reproduces Figure 6: one-crash recovery duration for
+// every combination of replication degree {5, 8}, profile and initial
+// state size {300, 500, 700} MB. Runs are shortened (crash earlier,
+// shorter tail) since only the recovery duration is measured.
+func RecoveryTimes(seed uint64) []RecoveryTimePoint {
+	var out []RecoveryTimePoint
+	for _, servers := range []int{5, 8} {
+		for _, profile := range rbe.Profiles {
+			for _, stateMB := range []int{300, 500, 700} {
+				r := Run(RunConfig{
+					Profile: profile,
+					Servers: servers,
+					StateMB: stateMB,
+					Fault:   OneCrash,
+					Measure: 300 * time.Second,
+					CrashAt: 90,
+					Seed:    seed,
+				})
+				sec := -1.0
+				if len(r.RecoveryDur) > 0 {
+					sec = r.RecoveryDur[0]
+				}
+				out = append(out, RecoveryTimePoint{
+					Servers:     servers,
+					Profile:     profile,
+					StateMB:     stateMB,
+					RecoverySec: sec,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// AblationResult compares a design choice on/off under one workload.
+type AblationResult struct {
+	Name         string
+	BaselineWIPS float64
+	VariantWIPS  float64
+	BaselineWIRT float64
+	VariantWIRT  float64
+	BaselineNote string
+	VariantNote  string
+}
+
+// AblationFastPaxos compares Fast Paxos against classic-only Paxos at the
+// reference workload — the design choice §2 motivates.
+func AblationFastPaxos(seed uint64) AblationResult {
+	fast := Run(RunConfig{Profile: rbe.Ordering, Servers: 5, StateMB: 300,
+		Browsers: faultBrowsers, Measure: shortMeasure, Seed: seed})
+	classic := Run(RunConfig{Profile: rbe.Ordering, Servers: 5, StateMB: 300,
+		Browsers: faultBrowsers, Measure: shortMeasure, Seed: seed, NoFast: true})
+	return AblationResult{
+		Name:         "fast-paxos-vs-classic",
+		BaselineWIPS: fast.AWIPS, BaselineWIRT: fast.WIRTms, BaselineNote: "fast paxos",
+		VariantWIPS: classic.AWIPS, VariantWIRT: classic.WIRTms, VariantNote: "classic paxos",
+	}
+}

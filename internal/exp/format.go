@@ -1,0 +1,239 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"robuststore/internal/rbe"
+	"robuststore/internal/stats"
+)
+
+// This file renders experiment results as the rows the paper prints —
+// one formatter per table and figure.
+
+// PrintSpeedup renders Figure 3 as two aligned series (WIPS and WIRT per
+// replication degree) plus the S_k values the text quotes.
+func PrintSpeedup(w io.Writer, r SpeedupResult) {
+	fmt.Fprintln(w, "Figure 3 — Speedup (saturation, 500 MB state)")
+	fmt.Fprintf(w, "%-10s", "replicas")
+	for _, k := range scalePoints {
+		fmt.Fprintf(w, "%8d", k)
+	}
+	fmt.Fprintln(w)
+	for _, profile := range rbe.Profiles {
+		pts := r.Points[profile]
+		fmt.Fprintf(w, "%-10s", profile.String()+" WIPS")
+		for _, pt := range pts {
+			fmt.Fprintf(w, "%8.0f", pt.WIPS)
+		}
+		fmt.Fprintln(w)
+		fmt.Fprintf(w, "%-10s", "  WIRT ms")
+		for _, pt := range pts {
+			fmt.Fprintf(w, "%8.0f", pt.WIRTms)
+		}
+		fmt.Fprintln(w)
+		fmt.Fprintf(w, "%-10s", "  S_k")
+		for _, pt := range pts {
+			fmt.Fprintf(w, "%8.2f", pt.Speedup)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// PrintScaleup renders Figure 4: WIPS/WIRT at 1000 offered WIPS plus the
+// regression slope and the WIPS-WIRT r² of §5.3.
+func PrintScaleup(w io.Writer, r ScaleupResult) {
+	fmt.Fprintln(w, "Figure 4 — Scaleup at 1000 WIPS (300 MB state)")
+	fmt.Fprintf(w, "%-10s", "replicas")
+	for _, k := range scalePoints {
+		fmt.Fprintf(w, "%8d", k)
+	}
+	fmt.Fprintln(w)
+	for _, profile := range rbe.Profiles {
+		pts := r.Points[profile]
+		fmt.Fprintf(w, "%-10s", profile.String()+" WIPS")
+		for _, pt := range pts {
+			fmt.Fprintf(w, "%8.0f", pt.WIPS)
+		}
+		fmt.Fprintln(w)
+		fmt.Fprintf(w, "%-10s", "  WIRT ms")
+		for _, pt := range pts {
+			fmt.Fprintf(w, "%8.0f", pt.WIRTms)
+		}
+		fmt.Fprintln(w)
+		fit := r.Fit[profile]
+		fmt.Fprintf(w, "  fit: WIPS = %.2f·k %+.1f   r²(WIPS,WIRT) = %.4f\n",
+			fit.Slope, fit.Intercept, r.Correlation[profile])
+	}
+}
+
+// PrintPerformability renders Tables 1 and 3: failure-free vs recovery
+// AWIPS, CVs and PV per R/P row.
+func PrintPerformability(w io.Writer, title string, m map[string]RunResult) {
+	fmt.Fprintln(w, title)
+	fmt.Fprintf(w, "%-6s %14s %6s %14s %6s %8s\n",
+		"R/P", "ff AWIPS", "CV", "rec AWIPS", "CV", "PV(%)")
+	for _, key := range matrixOrder() {
+		r, ok := m[key]
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(w, "%-6s %14.1f %6.2f %14.2f %6.2f %8.1f\n",
+			key, r.Perf.FailureFreeAWIPS, r.Perf.FailureFreeCV,
+			r.Perf.RecoveryAWIPS, r.Perf.RecoveryCV, r.Perf.PV)
+	}
+}
+
+// PrintDelayedPerformability renders Table 5 with its two recovery
+// windows.
+func PrintDelayedPerformability(w io.Writer, m map[string]RunResult) {
+	fmt.Fprintln(w, "Table 5 — Delayed recovery: performability")
+	fmt.Fprintf(w, "%-6s %12s %12s %8s %12s %8s\n",
+		"R/P", "ff AWIPS", "R1 AWIPS", "PV(%)", "R2 AWIPS", "PV(%)")
+	for _, key := range matrixOrder() {
+		r, ok := m[key]
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(w, "%-6s %12.1f %12.2f %8.1f %12.2f %8.1f\n",
+			key, r.Perf.FailureFreeAWIPS,
+			r.Perf.RecoveryAWIPS, r.Perf.PV,
+			r.PerfR2.RecoveryAWIPS, r.PerfR2.PV)
+	}
+}
+
+// PrintAccuracy renders Tables 2, 4 and 6.
+func PrintAccuracy(w io.Writer, title string, m map[string]RunResult) {
+	fmt.Fprintln(w, title)
+	fmt.Fprintf(w, "%-9s %10s %10s %10s\n", "replicas", "browsing", "shopping", "ordering")
+	for _, servers := range []int{5, 8} {
+		fmt.Fprintf(w, "%-9d", servers)
+		for _, profile := range rbe.Profiles {
+			r := m[matrixKey(servers, profile)]
+			fmt.Fprintf(w, " %10.3f", r.Accuracy)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// PrintDependability renders the availability/autonomy summary of §5.7.
+func PrintDependability(w io.Writer, title string, m map[string]RunResult) {
+	fmt.Fprintln(w, title)
+	fmt.Fprintf(w, "%-6s %13s %9s %7s %7s\n", "R/P", "availability", "autonomy", "faults", "errors")
+	for _, key := range matrixOrder() {
+		r, ok := m[key]
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(w, "%-6s %13.5f %9.2f %7d %7d\n",
+			key, r.Availability, r.Autonomy, r.Faults, r.Errors)
+	}
+}
+
+// PrintHistogram renders a Figures 5/7/8 panel: the per-second WIPS
+// series of one run as a text sparkline with crash/recovery markers,
+// binned to fit a terminal.
+func PrintHistogram(w io.Writer, r RunResult) {
+	fmt.Fprintf(w, "WIPS histogram — %s, %d replicas, %v (c=crash, r=recovered)\n",
+		r.Cfg.Profile, r.Cfg.Servers, r.Cfg.Fault)
+	const cols = 120
+	n := len(r.Series)
+	if n == 0 {
+		return
+	}
+	bin := (n + cols - 1) / cols
+	// Scale to the 99th percentile so one outlier bucket does not
+	// flatten the plot.
+	peak := stats.Percentile(r.Series, 99)
+	if peak < 1 {
+		peak = 1
+	}
+	const rows = 12
+	grid := make([][]byte, rows)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", (n+bin-1)/bin))
+	}
+	for c := 0; c*bin < n; c++ {
+		var sum float64
+		var cnt int
+		for i := c * bin; i < n && i < (c+1)*bin; i++ {
+			sum += r.Series[i]
+			cnt++
+		}
+		h := int(sum / float64(cnt) / peak * float64(rows))
+		if h >= rows {
+			h = rows - 1
+		}
+		for y := 0; y <= h; y++ {
+			grid[rows-1-y][c] = '#'
+		}
+	}
+	for _, row := range grid {
+		fmt.Fprintf(w, "|%s\n", string(row))
+	}
+	marks := []byte(strings.Repeat("-", (n+bin-1)/bin))
+	for _, cs := range r.CrashSec {
+		if i := int(cs) / bin; i >= 0 && i < len(marks) {
+			marks[i] = 'c'
+		}
+	}
+	for _, rs := range r.RecoverySec {
+		if i := int(rs) / bin; i >= 0 && i < len(marks) {
+			marks[i] = 'r'
+		}
+	}
+	fmt.Fprintf(w, "+%s  (0..%ds, peak %.0f WIPS)\n", string(marks), n, peak)
+}
+
+// PrintRecoveryTimes renders Figure 6 as a table: recovery seconds per
+// (replicas, profile, state size).
+func PrintRecoveryTimes(w io.Writer, pts []RecoveryTimePoint) {
+	fmt.Fprintln(w, "Figure 6 — One failure: recovery times (s)")
+	fmt.Fprintf(w, "%-9s %-10s %8s %8s %8s\n", "replicas", "profile", "300MB", "500MB", "700MB")
+	type key struct {
+		servers int
+		profile rbe.Profile
+	}
+	rows := map[key]map[int]float64{}
+	for _, p := range pts {
+		k := key{p.Servers, p.Profile}
+		if rows[k] == nil {
+			rows[k] = map[int]float64{}
+		}
+		rows[k][p.StateMB] = p.RecoverySec
+	}
+	keys := make([]key, 0, len(rows))
+	for k := range rows {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].servers != keys[j].servers {
+			return keys[i].servers < keys[j].servers
+		}
+		return keys[i].profile < keys[j].profile
+	})
+	for _, k := range keys {
+		fmt.Fprintf(w, "%-9d %-10s %8.0f %8.0f %8.0f\n",
+			k.servers, k.profile, rows[k][300], rows[k][500], rows[k][700])
+	}
+}
+
+// PrintAblation renders one ablation comparison.
+func PrintAblation(w io.Writer, a AblationResult) {
+	fmt.Fprintf(w, "Ablation %s:\n  %-16s %8.1f WIPS %8.1f ms\n  %-16s %8.1f WIPS %8.1f ms\n",
+		a.Name, a.BaselineNote, a.BaselineWIPS, a.BaselineWIRT,
+		a.VariantNote, a.VariantWIPS, a.VariantWIRT)
+}
+
+// matrixOrder returns the paper's row order for the dependability tables.
+func matrixOrder() []string {
+	var keys []string
+	for _, servers := range []int{5, 8} {
+		for _, profile := range rbe.Profiles {
+			keys = append(keys, matrixKey(servers, profile))
+		}
+	}
+	return keys
+}

@@ -1,0 +1,391 @@
+package exp
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"robuststore/internal/metrics"
+	"robuststore/internal/paxos"
+	"robuststore/internal/rbe"
+	"robuststore/internal/sim"
+	"robuststore/internal/tpcw"
+	"robuststore/internal/webtier"
+)
+
+// FaultKind selects one of the paper's faultloads.
+type FaultKind int
+
+// The faultloads of §5.
+const (
+	NoFault         FaultKind = iota // speedup/scaleup baselines
+	OneCrash                         // §5.4: one crash at t=270 s, autonomous recovery
+	TwoCrashes                       // §5.5: crashes at t=240 s and t=270 s, autonomous recoveries
+	DelayedRecovery                  // §5.6: both crash at t=240 s; one autonomous, one manual at t=390 s
+)
+
+// String implements fmt.Stringer.
+func (k FaultKind) String() string {
+	switch k {
+	case NoFault:
+		return "none"
+	case OneCrash:
+		return "one-crash"
+	case TwoCrashes:
+		return "two-crashes"
+	case DelayedRecovery:
+		return "delayed-recovery"
+	default:
+		return "unknown"
+	}
+}
+
+// RunConfig describes one experiment run.
+type RunConfig struct {
+	Profile rbe.Profile
+	Servers int
+	StateMB int // initial state size: 300, 500 or 700
+	Fault   FaultKind
+
+	Browsers int           // RBE population; default faultBrowsers
+	Measure  time.Duration // measurement interval; default 540 s
+	Seed     uint64
+	NoFast   bool // disable Fast Paxos (ablation)
+	NoBatch  bool // disable command batching (ablation)
+	SeqRec   bool // disable parallel recovery (ablation)
+
+	// CrashAt overrides the faultload's first crash time (seconds from
+	// run start) for shortened recovery-time runs; 0 keeps the paper's
+	// times.
+	CrashAt float64
+}
+
+func (c RunConfig) withDefaults() RunConfig {
+	if c.Profile == 0 {
+		c.Profile = rbe.Shopping
+	}
+	if c.Servers == 0 {
+		c.Servers = 5
+	}
+	if c.StateMB == 0 {
+		c.StateMB = 500
+	}
+	if c.Browsers == 0 {
+		c.Browsers = faultBrowsers
+	}
+	if c.Measure == 0 {
+		c.Measure = measure
+	}
+	return c
+}
+
+// key returns the memoization key.
+func (c RunConfig) key() string {
+	return fmt.Sprintf("%v/%d/%d/%v/%d/%v/%d/%v/%v/%v/%.0f",
+		c.Profile, c.Servers, c.StateMB, c.Fault, c.Browsers, c.Measure,
+		c.Seed, c.NoFast, c.NoBatch, c.SeqRec, c.CrashAt)
+}
+
+// RunResult aggregates everything the paper reports about one run.
+type RunResult struct {
+	Cfg RunConfig
+
+	// Whole-measurement performance.
+	AWIPS  float64
+	CV     float64
+	WIRTms float64
+
+	// Series is the per-second WIPS histogram over the full run
+	// (0..duration), as plotted in Figures 5, 7 and 8.
+	Series []float64
+
+	// Fault windows and dependability.
+	CrashSec    []float64 // crash times, seconds from run start
+	RecoverySec []float64 // recovery-complete times, seconds from run start
+	RecoveryDur []float64 // per crashed replica, seconds (Figure 6)
+
+	Perf   metrics.Performability // first recovery window vs failure-free
+	PerfR2 metrics.Performability // second window (delayed recovery only)
+
+	Accuracy     float64
+	Availability float64
+	Autonomy     float64
+	Faults       int
+	Errors       int
+	Total        int
+
+	InitialStateMB float64
+	FinalStateMB   float64
+	FastActive     bool
+	Proxy          webtier.ProxyStats
+}
+
+// --- Population cache ---------------------------------------------------
+
+var popCache sync.Map // int (EBs) -> *tpcw.Store prototype
+
+func populationFor(stateMB int) *tpcw.Store {
+	ebs := ebsForStateMB(stateMB)
+	if v, ok := popCache.Load(ebs); ok {
+		return v.(*tpcw.Store)
+	}
+	proto := tpcw.Populate(tpcw.PopConfig{
+		Items:     items,
+		EBs:       ebs,
+		Reduction: populationReduction,
+		Seed:      populationSeed,
+	})
+	actual, _ := popCache.LoadOrStore(ebs, proto)
+	return actual.(*tpcw.Store)
+}
+
+// --- Run memoization ----------------------------------------------------
+
+var (
+	runMu    sync.Mutex
+	runCache = map[string]RunResult{}
+)
+
+// Run executes one experiment (memoized per process: several tables share
+// runs, exactly as in the paper where Figure 5 plots the Table 1 runs).
+func Run(cfg RunConfig) RunResult {
+	cfg = cfg.withDefaults()
+	runMu.Lock()
+	if r, ok := runCache[cfg.key()]; ok {
+		runMu.Unlock()
+		return r
+	}
+	runMu.Unlock()
+	r := runOnce(cfg)
+	runMu.Lock()
+	runCache[cfg.key()] = r
+	runMu.Unlock()
+	return r
+}
+
+// simSched adapts the simulator to the RBE Scheduler interface.
+type simSched struct{ s *sim.Sim }
+
+func (a simSched) Now() time.Time                   { return a.s.Now() }
+func (a simSched) After(d time.Duration, fn func()) { a.s.After(d, fn) }
+
+func runOnce(cfg RunConfig) RunResult {
+	proto := populationFor(cfg.StateMB)
+
+	type recovery struct {
+		server int
+		at     time.Time
+	}
+	var recoveries []recovery
+
+	var pcfg paxos.Config
+	if cfg.NoBatch {
+		pcfg.BatchDelay = time.Microsecond
+		pcfg.MaxBatchCmds = 1
+	}
+	cluster := webtier.NewCluster(webtier.Config{
+		Servers:            cfg.Servers,
+		FastPaxos:          !cfg.NoFast,
+		Store:              proto.Clone,
+		Cal:                webtier.DefaultCalibration(),
+		CheckpointInterval: checkpointInterval,
+		RetainInstances:    retainInstances,
+		Paxos:              pcfg,
+		SequentialRecovery: cfg.SeqRec,
+		Seed:               cfg.Seed*1e6 + uint64(cfg.Servers)*1000 + uint64(cfg.Profile),
+		Net:                expNet,
+		Disk:               expDisk,
+		OnRecovered: func(server int, at time.Time) {
+			recoveries = append(recoveries, recovery{server: server, at: at})
+		},
+	})
+	s := cluster.Sim()
+	cluster.Start()
+
+	// Setup phase: elect a leader, install the initial population
+	// checkpoint on every disk (the paper populates before measuring).
+	s.RunFor(2 * time.Second)
+	ckptDone := false
+	cluster.CheckpointAll(func() { ckptDone = true })
+	deadline := s.Now().Add(60 * time.Second)
+	for !ckptDone && s.Now().Before(deadline) {
+		s.RunFor(time.Second)
+	}
+
+	// T0: the run's time origin (start of ramp-up; the paper's x axis).
+	t0 := s.Now()
+	total := rampUp + cfg.Measure + rampDown
+	recorder := metrics.NewRecorder(t0, time.Second)
+	pop := rbe.New(rbe.Config{
+		Browsers:   cfg.Browsers,
+		Profile:    cfg.Profile,
+		ThinkTime:  thinkTime,
+		Population: proto.Info(),
+		Seed:       cfg.Seed*31 + uint64(cfg.Profile),
+		Recorder:   recorder,
+		Stop:       t0.Add(total),
+	}, simSched{s: s}, cluster.Frontend())
+	pop.Start()
+
+	// Faultload: crash times follow §5.4–5.6, scaled into the
+	// measurement interval if it was shortened.
+	victims := pickVictims(cfg)
+	scale := float64(cfg.Measure) / float64(measure)
+	at := func(sec float64) time.Time {
+		return t0.Add(rampUp + time.Duration(scale*(sec-30)*float64(time.Second)))
+	}
+	firstCrash := 270.0
+	if cfg.Fault == TwoCrashes || cfg.Fault == DelayedRecovery {
+		firstCrash = 240.0
+	}
+	if cfg.CrashAt > 0 {
+		firstCrash = cfg.CrashAt
+	}
+	var crashTimes []time.Time
+	switch cfg.Fault {
+	case OneCrash:
+		t := at(firstCrash)
+		crashTimes = []time.Time{t}
+		s.At(t, func() { cluster.Crash(victims[0]) })
+	case TwoCrashes:
+		tA, tB := at(firstCrash), at(firstCrash+30)
+		crashTimes = []time.Time{tA, tB}
+		s.At(tA, func() { cluster.Crash(victims[0]) })
+		s.At(tB, func() { cluster.Crash(victims[1]) })
+	case DelayedRecovery:
+		tA := at(firstCrash)
+		crashTimes = []time.Time{tA, tA}
+		cluster.SetAutoRestart(victims[1], false)
+		s.At(tA, func() {
+			cluster.Crash(victims[0])
+			cluster.Crash(victims[1])
+		})
+		s.At(at(390), func() { cluster.ManualRecover(victims[1]) })
+	}
+
+	// Run to completion plus a drain tail for late recoveries.
+	s.RunUntil(t0.Add(total + 90*time.Second))
+
+	return collect(cfg, cluster, recorder, t0, total, victims, crashTimes,
+		func() []recoveryEvent {
+			out := make([]recoveryEvent, 0, len(recoveries))
+			for _, r := range recoveries {
+				out = append(out, recoveryEvent{server: r.server, at: r.at})
+			}
+			return out
+		}())
+}
+
+type recoveryEvent struct {
+	server int
+	at     time.Time
+}
+
+// pickVictims chooses crash targets deterministically ("chosen at random",
+// §5.5) — distinct servers, avoiding none in particular.
+func pickVictims(cfg RunConfig) []int {
+	a := int(cfg.Seed+uint64(cfg.Profile)*3) % cfg.Servers
+	b := (a + 1 + int(cfg.Seed)%(cfg.Servers-1)) % cfg.Servers
+	return []int{a, b}
+}
+
+// collect derives the paper's measures from a finished run.
+func collect(cfg RunConfig, cluster *webtier.Cluster, rec *metrics.Recorder,
+	t0 time.Time, total time.Duration, victims []int, crashTimes []time.Time,
+	recoveries []recoveryEvent) RunResult {
+
+	sec := func(t time.Time) float64 { return t.Sub(t0).Seconds() }
+	mStart := int(rampUp.Seconds())
+	mEnd := int((rampUp + cfg.Measure).Seconds())
+
+	res := RunResult{
+		Cfg:    cfg,
+		AWIPS:  rec.AWIPS(mStart, mEnd),
+		CV:     rec.CV(mStart, mEnd),
+		WIRTms: rec.MeanLatency(mStart, mEnd) * 1000,
+		Series: rec.Series(0, int(total.Seconds())),
+		Total:  rec.Total(),
+		Errors: rec.TotalErrors(),
+	}
+	res.Accuracy = rec.Accuracy()
+	res.Proxy = cluster.ProxyStats()
+	res.Availability = metrics.Availability(cluster.Downtime(), total)
+	res.Autonomy = metrics.ComputeAutonomy(cluster.Interventions(), cluster.Faults())
+	res.Faults = cluster.Faults()
+
+	for _, ct := range crashTimes {
+		res.CrashSec = append(res.CrashSec, sec(ct))
+	}
+	// Match recoveries to crashes per victim (first recovery after the
+	// crash).
+	for i, ct := range crashTimes {
+		victim := victims[i%len(victims)]
+		for _, rv := range recoveries {
+			if rv.server == victim && rv.at.After(ct) {
+				res.RecoverySec = append(res.RecoverySec, sec(rv.at))
+				res.RecoveryDur = append(res.RecoveryDur, rv.at.Sub(ct).Seconds())
+				break
+			}
+		}
+	}
+
+	// Performability windows (§5.1): failure-free vs recovery periods
+	// within the measurement interval.
+	if cfg.Fault != NoFault && len(res.CrashSec) > 0 {
+		crash0 := int(res.CrashSec[0])
+		recEnd := mEnd
+		if len(res.RecoverySec) > 0 {
+			recEnd = int(maxFloat(res.RecoverySec))
+			if recEnd > mEnd {
+				recEnd = mEnd
+			}
+		}
+		ff := []metrics.Window{{From: mStart, To: crash0}}
+		if recEnd+1 < mEnd {
+			ff = append(ff, metrics.Window{From: recEnd + 1, To: mEnd})
+		}
+		if cfg.Fault == DelayedRecovery && len(res.RecoverySec) >= 2 {
+			// Two windows: autonomous recovery R1 and manual recovery
+			// R2 (Table 5).
+			r1End := int(res.RecoverySec[0])
+			r2Start := int(390 * float64(cfg.Measure) / float64(measure))
+			if cfg.Measure == measure {
+				r2Start = 390
+			}
+			r2End := int(res.RecoverySec[1])
+			if r2End > mEnd {
+				r2End = mEnd
+			}
+			ffd := []metrics.Window{{From: mStart, To: crash0}}
+			res.Perf = rec.ComputePerformability(ffd, metrics.Window{From: crash0, To: r1End})
+			res.PerfR2 = rec.ComputePerformability(ffd, metrics.Window{From: r2Start, To: r2End})
+		} else {
+			res.Perf = rec.ComputePerformability(ff, metrics.Window{From: crash0, To: recEnd})
+		}
+	}
+
+	// State sizes.
+	res.InitialStateMB = float64(populationFor(cfg.StateMB).NominalBytes()) / 1e6
+	for i := 0; i < cfg.Servers; i++ {
+		if st := cluster.Store(i); st != nil {
+			res.FinalStateMB = float64(st.NominalBytes()) / 1e6
+			break
+		}
+	}
+	for i := 0; i < cfg.Servers; i++ {
+		if r := cluster.Replica(i); r != nil && r.Engine() != nil {
+			res.FastActive = res.FastActive || r.Engine().FastActive()
+		}
+	}
+	return res
+}
+
+func maxFloat(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

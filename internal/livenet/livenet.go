@@ -1,0 +1,342 @@
+// Package livenet is the real-time runtime for the protocol stack: each
+// node runs a goroutine event loop, messages travel over in-process
+// channels with configurable latency and loss, timers use the wall clock,
+// and stable storage is crash-durable within the process. The examples
+// and commands run the same env.Node implementations (internal/core,
+// internal/paxos) on this runtime that the experiments run on the
+// deterministic simulator.
+package livenet
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"robuststore/internal/env"
+	"robuststore/internal/xrand"
+)
+
+// Config parameterizes a live cluster.
+type Config struct {
+	// Latency delays each delivered message (one way). Default 200 µs.
+	Latency time.Duration
+
+	// Jitter adds up to this much extra random delay. Default 0.
+	Jitter time.Duration
+
+	// DropRate silently drops this fraction of messages (fault
+	// injection in tests). Default 0.
+	DropRate float64
+
+	// Seed feeds the per-node deterministic streams handed to protocol
+	// code (message delivery order is still scheduler-dependent).
+	Seed uint64
+}
+
+// Cluster owns a set of live nodes.
+type Cluster struct {
+	cfg   Config
+	mu    sync.Mutex
+	nodes []*liveNode
+	peers []env.NodeID
+	rng   *xrand.Rand
+	wg    sync.WaitGroup
+}
+
+// New creates an empty cluster.
+func New(cfg Config) *Cluster {
+	if cfg.Latency == 0 {
+		cfg.Latency = 200 * time.Microsecond
+	}
+	return &Cluster{cfg: cfg, rng: xrand.New(cfg.Seed*0x9e3779b97f4a7c15 + 3)}
+}
+
+// AddNode registers a node built by factory; the factory runs once per
+// incarnation (start and every restart). All nodes must be added before
+// StartAll.
+func (c *Cluster) AddNode(factory func() env.Node) env.NodeID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	id := env.NodeID(len(c.nodes))
+	n := &liveNode{
+		c:       c,
+		id:      id,
+		factory: factory,
+		rng:     c.rng.Split(),
+		storage: newMemStorage(),
+	}
+	c.nodes = append(c.nodes, n)
+	c.peers = append(c.peers, id)
+	return id
+}
+
+// StartAll boots every node.
+func (c *Cluster) StartAll() {
+	c.mu.Lock()
+	nodes := append([]*liveNode(nil), c.nodes...)
+	c.mu.Unlock()
+	for _, n := range nodes {
+		n.start()
+	}
+}
+
+// Crash kills a node: volatile state and pending work are discarded,
+// stable storage survives.
+func (c *Cluster) Crash(id env.NodeID) { c.nodes[id].crash() }
+
+// Restart boots a fresh incarnation of a crashed node.
+func (c *Cluster) Restart(id env.NodeID) { c.nodes[id].start() }
+
+// Alive reports whether a node is running.
+func (c *Cluster) Alive(id env.NodeID) bool {
+	n := c.nodes[id]
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.alive
+}
+
+// Post schedules fn on a node's event loop (no-op if the node is down).
+// It is how application goroutines hand work to protocol code.
+func (c *Cluster) Post(id env.NodeID, fn func()) { c.nodes[id].post(fn) }
+
+// Close crashes every node and waits for their loops to exit.
+func (c *Cluster) Close() {
+	c.mu.Lock()
+	nodes := append([]*liveNode(nil), c.nodes...)
+	c.mu.Unlock()
+	for _, n := range nodes {
+		n.crash()
+	}
+	c.wg.Wait()
+}
+
+// liveNode is one member across incarnations.
+type liveNode struct {
+	c       *Cluster
+	id      env.NodeID
+	factory func() env.Node
+	rng     *xrand.Rand
+	storage *memStorage
+
+	mu    sync.Mutex
+	alive bool
+	inc   int64
+	inbox chan func()
+	node  env.Node
+}
+
+const inboxSize = 8192
+
+func (n *liveNode) start() {
+	n.mu.Lock()
+	if n.alive {
+		n.mu.Unlock()
+		return
+	}
+	n.inc++
+	inc := n.inc
+	n.alive = true
+	n.inbox = make(chan func(), inboxSize)
+	n.node = n.factory()
+	inbox := n.inbox
+	node := n.node
+	n.mu.Unlock()
+
+	e := &liveEnv{n: n, inc: inc}
+	n.c.wg.Add(1)
+	go func() {
+		defer n.c.wg.Done()
+		for fn := range inbox {
+			fn()
+		}
+	}()
+	n.post(func() { node.Start(e) })
+}
+
+func (n *liveNode) crash() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !n.alive {
+		return
+	}
+	n.alive = false
+	n.inc++ // orphan timers and storage completions
+	n.node = nil
+	close(n.inbox)
+	n.inbox = nil
+}
+
+// post runs fn on the node's loop if it is alive. Overflow drops the
+// event (protocols tolerate loss); blocking here could deadlock loops
+// sending to each other.
+func (n *liveNode) post(fn func()) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !n.alive || n.inbox == nil {
+		return
+	}
+	select {
+	case n.inbox <- fn:
+	default:
+	}
+}
+
+// postInc posts only if the incarnation is still current. The send
+// happens under the mutex so it cannot race the close in crash.
+func (n *liveNode) postInc(inc int64, fn func()) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !n.alive || n.inc != inc || n.inbox == nil {
+		return
+	}
+	select {
+	case n.inbox <- fn:
+	default:
+	}
+}
+
+// liveEnv implements env.Env for one incarnation.
+type liveEnv struct {
+	n   *liveNode
+	inc int64
+}
+
+var _ env.Env = (*liveEnv)(nil)
+
+func (e *liveEnv) ID() env.NodeID      { return e.n.id }
+func (e *liveEnv) Peers() []env.NodeID { return e.n.c.peers }
+func (e *liveEnv) Now() time.Time      { return time.Now() }
+
+func (e *liveEnv) Post(fn func()) { e.n.postInc(e.inc, fn) }
+
+type liveTimer struct{ t *time.Timer }
+
+func (t *liveTimer) Stop() bool { return t.t.Stop() }
+
+func (e *liveEnv) After(d time.Duration, fn func()) env.Timer {
+	t := time.AfterFunc(d, func() { e.n.postInc(e.inc, fn) })
+	return &liveTimer{t: t}
+}
+
+func (e *liveEnv) Send(to env.NodeID, msg env.Message) {
+	c := e.n.c
+	if int(to) < 0 || int(to) >= len(c.nodes) {
+		return
+	}
+	if c.cfg.DropRate > 0 && rand.Float64() < c.cfg.DropRate {
+		return
+	}
+	target := c.nodes[to]
+	from := e.n.id
+	delay := c.cfg.Latency
+	if c.cfg.Jitter > 0 {
+		delay += time.Duration(rand.Int63n(int64(c.cfg.Jitter)))
+	}
+	time.AfterFunc(delay, func() {
+		target.mu.Lock()
+		node := target.node
+		target.mu.Unlock()
+		if node != nil {
+			target.post(func() {
+				target.mu.Lock()
+				cur := target.node
+				target.mu.Unlock()
+				if cur != nil {
+					cur.Receive(from, msg)
+				}
+			})
+		}
+	})
+}
+
+func (e *liveEnv) Storage() env.Storage { return &storageView{n: e.n, inc: e.inc} }
+
+func (e *liveEnv) Rand() env.Rand { return e.n.rng }
+
+func (e *liveEnv) Logf(format string, args ...any) {}
+
+// memStorage is crash-durable in-process storage: contents survive
+// crash/restart of the node within the process lifetime. Completions are
+// posted back to the owning incarnation's loop.
+type memStorage struct {
+	mu         sync.Mutex
+	records    []env.Record
+	firstIndex int64
+	snapshots  map[string]env.Snapshot
+}
+
+func newMemStorage() *memStorage {
+	return &memStorage{snapshots: make(map[string]env.Snapshot)}
+}
+
+// storageView binds the storage to one incarnation so stale completions
+// are dropped.
+type storageView struct {
+	n   *liveNode
+	inc int64
+}
+
+var _ env.Storage = (*storageView)(nil)
+
+func (s *storageView) done(fn func()) { s.n.postInc(s.inc, fn) }
+
+func (s *storageView) Append(rec env.Record, done func(error)) {
+	st := s.n.storage
+	st.mu.Lock()
+	st.records = append(st.records, rec)
+	st.mu.Unlock()
+	if done != nil {
+		s.done(func() { done(nil) })
+	}
+}
+
+func (s *storageView) ReadRecords(done func([]env.Record, error)) {
+	st := s.n.storage
+	st.mu.Lock()
+	recs := make([]env.Record, len(st.records))
+	copy(recs, st.records)
+	st.mu.Unlock()
+	s.done(func() { done(recs, nil) })
+}
+
+func (s *storageView) Truncate(firstKept int64, done func(error)) {
+	st := s.n.storage
+	st.mu.Lock()
+	if firstKept > st.firstIndex {
+		drop := firstKept - st.firstIndex
+		if drop > int64(len(st.records)) {
+			drop = int64(len(st.records))
+		}
+		st.records = append([]env.Record(nil), st.records[drop:]...)
+		st.firstIndex += drop
+	}
+	st.mu.Unlock()
+	if done != nil {
+		s.done(func() { done(nil) })
+	}
+}
+
+func (s *storageView) FirstIndex() int64 {
+	st := s.n.storage
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.firstIndex
+}
+
+func (s *storageView) SaveSnapshot(name string, snap env.Snapshot, done func(error)) {
+	st := s.n.storage
+	st.mu.Lock()
+	st.snapshots[name] = snap
+	st.mu.Unlock()
+	if done != nil {
+		s.done(func() { done(nil) })
+	}
+}
+
+func (s *storageView) LoadSnapshot(name string, done func(env.Snapshot, bool)) {
+	st := s.n.storage
+	st.mu.Lock()
+	snap, ok := st.snapshots[name]
+	st.mu.Unlock()
+	s.done(func() { done(snap, ok) })
+}

@@ -1,0 +1,250 @@
+package livenet
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"robuststore/internal/core"
+	"robuststore/internal/env"
+	"robuststore/internal/paxos"
+)
+
+// counter is a trivial deterministic state machine.
+type counter struct {
+	mu    sync.Mutex
+	total int64
+}
+
+func (m *counter) Execute(action any) any {
+	d, ok := action.(int64)
+	if !ok {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.total += d
+	return m.total
+}
+
+func (m *counter) Snapshot() (any, int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.total, 64
+}
+
+func (m *counter) Restore(data any) {
+	v, ok := data.(int64)
+	if !ok {
+		return
+	}
+	m.mu.Lock()
+	m.total = v
+	m.mu.Unlock()
+}
+
+func (m *counter) value() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.total
+}
+
+// slots is a mutex-protected registry for objects the node factories
+// rebuild on every incarnation (the test goroutine reads them while node
+// loops replace them).
+type slots struct {
+	mu       sync.Mutex
+	replicas []*core.Replica
+	counters []*counter
+}
+
+func (sl *slots) set(i int, r *core.Replica, m *counter) {
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+	sl.replicas[i] = r
+	sl.counters[i] = m
+}
+
+func (sl *slots) replica(i int) *core.Replica {
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+	return sl.replicas[i]
+}
+
+func (sl *slots) counterValue(i int) int64 {
+	sl.mu.Lock()
+	m := sl.counters[i]
+	sl.mu.Unlock()
+	if m == nil {
+		return -1
+	}
+	return m.value()
+}
+
+func buildCluster(t *testing.T, n int) (*Cluster, *slots) {
+	t.Helper()
+	c := New(Config{Latency: 100 * time.Microsecond, Seed: 9})
+	sl := &slots{
+		replicas: make([]*core.Replica, n),
+		counters: make([]*counter, n),
+	}
+	for i := 0; i < n; i++ {
+		idx := i
+		c.AddNode(func() env.Node {
+			m := &counter{}
+			r := core.NewReplica(core.Config{
+				Machine: func() core.StateMachine {
+					return m
+				},
+				CheckpointInterval: 500 * time.Millisecond,
+				Paxos: paxos.Config{
+					BatchDelay:        time.Millisecond,
+					HeartbeatInterval: 20 * time.Millisecond,
+					LeaderTimeout:     120 * time.Millisecond,
+					SweepInterval:     10 * time.Millisecond,
+				},
+			})
+			sl.set(idx, r, m)
+			return r
+		})
+	}
+	c.StartAll()
+	t.Cleanup(c.Close)
+	return c, sl
+}
+
+func TestLiveReplicatedCounter(t *testing.T) {
+	_, sl := buildCluster(t, 3)
+	waitReady(t, sl.replica(0))
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	var want int64
+	for i := int64(1); i <= 20; i++ {
+		res, err := sl.replica(int(i)%3).Execute(ctx, i)
+		if err != nil {
+			t.Fatalf("execute %d: %v", i, err)
+		}
+		want += i
+		_ = res
+	}
+	// The submitting replica observed each result locally; the others
+	// converge shortly after.
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if sl.counterValue(0) == want && sl.counterValue(1) == want && sl.counterValue(2) == want {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("counters did not converge to %d: %d %d %d",
+		want, sl.counterValue(0), sl.counterValue(1), sl.counterValue(2))
+}
+
+func TestLiveCrashRecovery(t *testing.T) {
+	c, sl := buildCluster(t, 3)
+	waitReady(t, sl.replica(0))
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	var want int64
+	add := func(from int, d int64) {
+		t.Helper()
+		if _, err := sl.replica(from).Execute(ctx, d); err != nil {
+			t.Fatalf("execute: %v", err)
+		}
+		want += d
+	}
+	add(0, 5)
+	add(1, 7)
+
+	c.Crash(2)
+	add(0, 11) // majority still live: progress continues
+	add(1, 13)
+
+	c.Restart(2)
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if sl.counterValue(2) == want {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("restarted replica at %d, want %d", sl.counterValue(2), want)
+}
+
+func TestLiveQueueTotalOrder(t *testing.T) {
+	c := New(Config{Latency: 100 * time.Microsecond, Seed: 10})
+	const n = 3
+	queues := make([]*core.Queue, n)
+	replicas := make([]*core.Replica, n)
+	for i := 0; i < n; i++ {
+		idx := i
+		c.AddNode(func() env.Node {
+			q, r := core.NewQueue(core.Config{
+				Paxos: paxos.Config{
+					BatchDelay:        time.Millisecond,
+					HeartbeatInterval: 20 * time.Millisecond,
+					LeaderTimeout:     120 * time.Millisecond,
+					SweepInterval:     10 * time.Millisecond,
+				},
+			})
+			queues[idx] = q
+			replicas[idx] = r
+			return r
+		})
+	}
+	c.StartAll()
+	t.Cleanup(c.Close)
+	waitReady(t, replicas[0])
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	for i := 0; i < 9; i++ {
+		queues[i%n].Enqueue(i)
+	}
+	// Every replica dequeues the same sequence.
+	var first []int
+	for r := 0; r < n; r++ {
+		var got []int
+		for i := 0; i < 9; i++ {
+			item, err := queues[r].Dequeue(ctx)
+			if err != nil {
+				t.Fatalf("replica %d dequeue %d: %v", r, i, err)
+			}
+			got = append(got, item.(int))
+		}
+		if first == nil {
+			first = got
+			continue
+		}
+		for i := range got {
+			if got[i] != first[i] {
+				t.Fatalf("replica %d order differs at %d: %v vs %v", r, i, got, first)
+			}
+		}
+	}
+	// All nine distinct items arrived.
+	seen := make(map[int]bool)
+	for _, v := range first {
+		seen[v] = true
+	}
+	if len(seen) != 9 {
+		t.Fatalf("expected 9 distinct items, got %v", first)
+	}
+}
+
+func waitReady(t *testing.T, r *core.Replica) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if r != nil && r.Ready() && r.HasLeader() {
+			// A leader exists, so the first Execute does not race the
+			// initial election.
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("replica never became ready")
+}

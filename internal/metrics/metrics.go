@@ -1,0 +1,195 @@
+// Package metrics implements the measurement side of the paper's
+// dependability benchmark: WIPS time series (web interactions per second),
+// WIRT (web interaction response time) and the four dependability measures
+// of §5.1 — availability, performability, accuracy and autonomy.
+package metrics
+
+import (
+	"time"
+
+	"robuststore/internal/stats"
+)
+
+// Recorder accumulates interaction completions into one-second buckets.
+// It is not safe for concurrent use; in the simulator all completions are
+// recorded from the single event loop, and the live runtime wraps it in a
+// mutex.
+type Recorder struct {
+	bucket     time.Duration // width of a WIPS bucket
+	start      time.Time     // experiment origin (bucket 0)
+	wips       []int         // completed interactions per bucket
+	errs       []int         // errored interactions per bucket
+	latencySum []float64     // summed latency (seconds) per bucket
+	total      int
+	totalErrs  int
+}
+
+// NewRecorder returns a Recorder whose bucket 0 starts at start. The paper
+// plots WIPS histograms with one-second resolution.
+func NewRecorder(start time.Time, bucket time.Duration) *Recorder {
+	if bucket <= 0 {
+		bucket = time.Second
+	}
+	return &Recorder{bucket: bucket, start: start}
+}
+
+func (r *Recorder) grow(idx int) {
+	for len(r.wips) <= idx {
+		r.wips = append(r.wips, 0)
+		r.errs = append(r.errs, 0)
+		r.latencySum = append(r.latencySum, 0)
+	}
+}
+
+// Record registers an interaction that completed at time at with the given
+// latency. Errored interactions count toward accuracy but not WIPS.
+func (r *Recorder) Record(at time.Time, latency time.Duration, isErr bool) {
+	idx := int(at.Sub(r.start) / r.bucket)
+	if idx < 0 {
+		return
+	}
+	r.grow(idx)
+	r.total++
+	if isErr {
+		r.errs[idx]++
+		r.totalErrs++
+		return
+	}
+	r.wips[idx]++
+	r.latencySum[idx] += latency.Seconds()
+}
+
+// Total returns the total number of recorded interactions (including
+// errors).
+func (r *Recorder) Total() int { return r.total }
+
+// TotalErrors returns the number of errored interactions.
+func (r *Recorder) TotalErrors() int { return r.totalErrs }
+
+// Series returns the per-bucket WIPS values for buckets in [from, to)
+// (bucket indices, i.e. seconds from the experiment origin for one-second
+// buckets).
+func (r *Recorder) Series(from, to int) []float64 {
+	if from < 0 {
+		from = 0
+	}
+	out := make([]float64, 0, to-from)
+	for i := from; i < to; i++ {
+		if i < len(r.wips) {
+			out = append(out, float64(r.wips[i]))
+		} else {
+			out = append(out, 0)
+		}
+	}
+	return out
+}
+
+// MeanLatency returns the mean latency over buckets [from, to), in
+// seconds. Buckets with no completions contribute nothing.
+func (r *Recorder) MeanLatency(from, to int) float64 {
+	var sum float64
+	var n int
+	for i := from; i < to && i < len(r.wips); i++ {
+		if i < 0 {
+			continue
+		}
+		sum += r.latencySum[i]
+		n += r.wips[i]
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// AWIPS returns the average WIPS over buckets [from, to).
+func (r *Recorder) AWIPS(from, to int) float64 {
+	return stats.Mean(r.Series(from, to))
+}
+
+// CV returns the coefficient of variation of the WIPS series over
+// [from, to).
+func (r *Recorder) CV(from, to int) float64 {
+	return stats.CV(r.Series(from, to))
+}
+
+// Accuracy returns the fraction of requests completed without error, as a
+// percentage (the paper reports e.g. 99.999). An experiment with no
+// requests is 100 % accurate.
+func (r *Recorder) Accuracy() float64 {
+	if r.total == 0 {
+		return 100
+	}
+	return 100 * float64(r.total-r.totalErrs) / float64(r.total)
+}
+
+// Window is a half-open interval of bucket indices.
+type Window struct {
+	From, To int
+}
+
+// Len returns the number of buckets in the window.
+func (w Window) Len() int { return w.To - w.From }
+
+// Performability compares average performance during failure-free windows
+// against the recovery window, per the paper's definition (§5.1):
+// PV = (recovery AWIPS - failure-free AWIPS) / failure-free AWIPS.
+type Performability struct {
+	FailureFreeAWIPS float64
+	FailureFreeCV    float64
+	RecoveryAWIPS    float64
+	RecoveryCV       float64
+	PV               float64 // percent, negative means performance dropped
+}
+
+// ComputePerformability evaluates the failure-free and recovery windows.
+// Multiple failure-free windows are concatenated.
+func (r *Recorder) ComputePerformability(failureFree []Window, recovery Window) Performability {
+	var ff []float64
+	for _, w := range failureFree {
+		ff = append(ff, r.Series(w.From, w.To)...)
+	}
+	rec := r.Series(recovery.From, recovery.To)
+	p := Performability{
+		FailureFreeAWIPS: stats.Mean(ff),
+		FailureFreeCV:    stats.CV(ff),
+		RecoveryAWIPS:    stats.Mean(rec),
+		RecoveryCV:       stats.CV(rec),
+	}
+	if p.FailureFreeAWIPS > 0 {
+		p.PV = 100 * (p.RecoveryAWIPS - p.FailureFreeAWIPS) / p.FailureFreeAWIPS
+	}
+	return p
+}
+
+// Dependability aggregates the four measures of §5.1 for one experiment
+// run.
+type Dependability struct {
+	Availability  float64 // fraction of the run the service was operational
+	Accuracy      float64 // percent of requests answered without error
+	Autonomy      float64 // human interventions per injected fault (0 = fully autonomous)
+	Faults        int
+	Interventions int
+}
+
+// ComputeAutonomy returns interventions/faults, or 0 when no faults were
+// injected.
+func ComputeAutonomy(interventions, faults int) float64 {
+	if faults == 0 {
+		return 0
+	}
+	return float64(interventions) / float64(faults)
+}
+
+// Availability computes the ratio between operational time and total run
+// duration given the downtime observed.
+func Availability(downtime, total time.Duration) float64 {
+	if total <= 0 {
+		return 1
+	}
+	a := 1 - downtime.Seconds()/total.Seconds()
+	if a < 0 {
+		return 0
+	}
+	return a
+}

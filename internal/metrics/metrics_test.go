@@ -1,0 +1,146 @@
+package metrics
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func t0() time.Time { return time.Unix(0, 0).UTC() }
+
+func TestRecorderBuckets(t *testing.T) {
+	r := NewRecorder(t0(), time.Second)
+	r.Record(t0().Add(500*time.Millisecond), 10*time.Millisecond, false)
+	r.Record(t0().Add(700*time.Millisecond), 30*time.Millisecond, false)
+	r.Record(t0().Add(1500*time.Millisecond), 20*time.Millisecond, false)
+	r.Record(t0().Add(2500*time.Millisecond), 0, true) // error
+
+	series := r.Series(0, 3)
+	want := []float64{2, 1, 0}
+	for i := range want {
+		if series[i] != want[i] {
+			t.Errorf("series[%d] = %v, want %v", i, series[i], want[i])
+		}
+	}
+	if r.Total() != 4 || r.TotalErrors() != 1 {
+		t.Errorf("total=%d errors=%d", r.Total(), r.TotalErrors())
+	}
+	if got := r.MeanLatency(0, 1); got != 0.02 {
+		t.Errorf("mean latency bucket 0 = %v, want 0.02", got)
+	}
+	if got := r.AWIPS(0, 2); got != 1.5 {
+		t.Errorf("AWIPS = %v, want 1.5", got)
+	}
+}
+
+func TestRecorderIgnoresPreStart(t *testing.T) {
+	r := NewRecorder(t0().Add(time.Minute), time.Second)
+	r.Record(t0(), time.Millisecond, false) // before the origin
+	if r.Total() != 0 {
+		t.Errorf("pre-start sample counted")
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	r := NewRecorder(t0(), time.Second)
+	if r.Accuracy() != 100 {
+		t.Errorf("empty accuracy = %v", r.Accuracy())
+	}
+	for i := 0; i < 99999; i++ {
+		r.Record(t0().Add(time.Duration(i)*time.Millisecond), time.Millisecond, false)
+	}
+	r.Record(t0(), time.Millisecond, true)
+	// 1 error in 100000: the paper's 99.999 %.
+	if got := r.Accuracy(); got < 99.9985 || got > 99.9995 {
+		t.Errorf("accuracy = %v, want 99.999", got)
+	}
+}
+
+func TestPerformabilityWindows(t *testing.T) {
+	r := NewRecorder(t0(), time.Second)
+	// 10 WIPS for 10 s, then 5 WIPS for 5 s (the "recovery"), then 10
+	// again.
+	emit := func(sec int, n int) {
+		for i := 0; i < n; i++ {
+			r.Record(t0().Add(time.Duration(sec)*time.Second+time.Duration(i)*time.Millisecond),
+				time.Millisecond, false)
+		}
+	}
+	for s := 0; s < 10; s++ {
+		emit(s, 10)
+	}
+	for s := 10; s < 15; s++ {
+		emit(s, 5)
+	}
+	for s := 15; s < 20; s++ {
+		emit(s, 10)
+	}
+	p := r.ComputePerformability(
+		[]Window{{From: 0, To: 10}, {From: 15, To: 20}},
+		Window{From: 10, To: 15},
+	)
+	if p.FailureFreeAWIPS != 10 {
+		t.Errorf("ff AWIPS = %v", p.FailureFreeAWIPS)
+	}
+	if p.RecoveryAWIPS != 5 {
+		t.Errorf("recovery AWIPS = %v", p.RecoveryAWIPS)
+	}
+	if p.PV != -50 {
+		t.Errorf("PV = %v, want -50", p.PV)
+	}
+	if p.FailureFreeCV != 0 {
+		t.Errorf("ff CV = %v, want 0", p.FailureFreeCV)
+	}
+}
+
+func TestAvailabilityAndAutonomy(t *testing.T) {
+	if got := Availability(0, 10*time.Minute); got != 1 {
+		t.Errorf("availability with no downtime = %v", got)
+	}
+	if got := Availability(time.Minute, 10*time.Minute); got != 0.9 {
+		t.Errorf("availability = %v, want 0.9", got)
+	}
+	if got := Availability(20*time.Minute, 10*time.Minute); got != 0 {
+		t.Errorf("availability clamps at 0, got %v", got)
+	}
+	if got := ComputeAutonomy(0, 2); got != 0 {
+		t.Errorf("fully autonomous = %v", got)
+	}
+	if got := ComputeAutonomy(1, 2); got != 0.5 {
+		t.Errorf("autonomy = %v, want 0.5", got)
+	}
+	if got := ComputeAutonomy(3, 0); got != 0 {
+		t.Errorf("no faults autonomy = %v", got)
+	}
+}
+
+// TestRecorderConservation: every recorded sample lands in exactly one
+// bucket; totals always match.
+func TestRecorderConservation(t *testing.T) {
+	err := quick.Check(func(offsets []uint16, errs []bool) bool {
+		r := NewRecorder(t0(), time.Second)
+		n := len(offsets)
+		for i, off := range offsets {
+			isErr := i < len(errs) && errs[i]
+			r.Record(t0().Add(time.Duration(off)*time.Millisecond*10),
+				time.Millisecond, isErr)
+		}
+		if r.Total() != n {
+			return false
+		}
+		var inBuckets float64
+		for _, v := range r.Series(0, 700) {
+			inBuckets += v
+		}
+		return int(inBuckets)+r.TotalErrors() == n
+	}, &quick.Config{MaxCount: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWindowLen(t *testing.T) {
+	if (Window{From: 3, To: 10}).Len() != 7 {
+		t.Error("window length")
+	}
+}

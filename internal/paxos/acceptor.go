@@ -1,0 +1,177 @@
+package paxos
+
+import "robuststore/internal/env"
+
+// This file implements the acceptor role: durable promises and votes.
+// Every state change is persisted to the WAL before the corresponding
+// reply is sent, so a crashed acceptor rejoins without ever contradicting
+// its earlier votes.
+
+// effPromised returns the effective promise for an instance: the global
+// range promise combined with any per-instance promise made during
+// coordinated recovery.
+func (en *Engine) effPromised(inst InstanceID) Ballot {
+	p := en.promised
+	if ip, ok := en.instPromised[inst]; ok && p.Less(ip) {
+		p = ip
+	}
+	return p
+}
+
+func (en *Engine) onPrepare(from env.NodeID, m prepareMsg) {
+	if !en.booted {
+		return
+	}
+	en.noteBallot(m.B)
+	if !en.promised.Less(m.B) {
+		en.e.Send(from, nackMsg{Promised: en.promised})
+		return
+	}
+	en.promised = m.B
+	reply := promiseMsg{B: m.B, From: m.From}
+	for inst, a := range en.accepted {
+		if inst >= m.From {
+			reply.Accepted = append(reply.Accepted, a)
+		}
+	}
+	en.appendRecord(env.Record{Kind: "promise", Data: promiseRec{B: m.B}, Size: 32},
+		func(error) { en.e.Send(from, reply) })
+}
+
+func (en *Engine) onAccept(from env.NodeID, m acceptMsg) {
+	if !en.booted {
+		return
+	}
+	en.noteBallot(m.B)
+	if m.Inst < en.retainedFrom {
+		return // compacted away; the value was long since chosen
+	}
+	eff := en.effPromised(m.Inst)
+	if m.B.Less(eff) {
+		en.e.Send(from, nackMsg{Promised: eff})
+		return
+	}
+	if cur, ok := en.accepted[m.Inst]; ok {
+		if m.B.Less(cur.B) {
+			return
+		}
+		if cur.B == m.B && cur.V.ID != m.V.ID {
+			// One vote per ballot per instance: never overwrite a
+			// same-ballot vote with a different value (fast-round
+			// safety).
+			return
+		}
+	}
+	en.vote(m.Inst, m.B, m.V)
+}
+
+// vote durably accepts (b, v) at inst and acknowledges to the ballot
+// owner (the coordinator counts phase-2b messages).
+func (en *Engine) vote(inst InstanceID, b Ballot, v Value) {
+	en.accepted[inst] = acceptedInfo{Inst: inst, B: b, V: v}
+	if b.Less(en.instPromised[inst]) {
+		// Unreachable given the caller's checks; keep the invariant
+		// explicit.
+		return
+	}
+	en.instPromised[inst] = b
+	if inst >= en.nextFree {
+		en.nextFree = inst + 1
+	}
+	coordinator := b.Owner(en.n)
+	en.appendRecord(env.Record{Kind: "accept", Data: acceptRec{Inst: inst, B: b, V: v}, Size: 32 + v.Size},
+		func(error) { en.e.Send(coordinator, acceptedMsg{B: b, Inst: inst, V: v}) })
+}
+
+// onAny opens fast self-assignment: the coordinator of fast ballot m.B
+// allows acceptors to vote for proposer values at any free instance
+// >= m.From (Fast Paxos phase 2a "any").
+func (en *Engine) onAny(from env.NodeID, m anyMsg) {
+	if !en.booted || !m.B.Fast {
+		return
+	}
+	en.noteBallot(m.B)
+	if en.promised.Less(m.B) {
+		// We missed the prepare (e.g. we were down); adopt the promise
+		// now.
+		en.promised = m.B
+		en.appendRecord(env.Record{Kind: "promise", Data: promiseRec{B: m.B}, Size: 32}, nil)
+	}
+	if m.B.Less(en.promised) {
+		return // a higher ballot exists; this fast round is dead
+	}
+	en.fastBallot = m.B
+	en.fastFrom = m.From
+	if en.nextFree < m.From {
+		en.nextFree = m.From
+	}
+	if en.curBallot.Less(m.B) {
+		en.adoptBallot(m.B)
+	}
+}
+
+// onFastPropose handles a proposer value during a fast round: the
+// acceptor assigns it to its next free instance and votes.
+func (en *Engine) onFastPropose(from env.NodeID, m fastProposeMsg) {
+	if !en.booted {
+		return
+	}
+	fb := en.fastBallot
+	if fb.Seq < 0 || fb.Less(en.promised) {
+		return // no live fast round here; the proposer will retry
+	}
+	if en.isDelivered(m.V.ID) {
+		return // already applied everywhere we know of
+	}
+	// Skip instances that are taken, decided, or promised to a higher
+	// ballot. Starting past the cluster-wide decided watermark keeps
+	// concurrently proposing replicas roughly aligned and collisions
+	// rare.
+	if en.nextFree <= en.maxKnown {
+		en.nextFree = en.maxKnown + 1
+	}
+	for {
+		if en.nextFree < en.fastFrom {
+			en.nextFree = en.fastFrom
+		}
+		inst := en.nextFree
+		_, taken := en.accepted[inst]
+		_, decided := en.chosen[inst]
+		if !taken && !decided && !fb.Less(en.effPromised(inst)) {
+			en.vote(inst, fb, m.V)
+			return
+		}
+		en.nextFree++
+	}
+}
+
+// onRecQuery is the per-instance phase 1a of coordinated recovery: promise
+// ballot m.B for this instance only and report our vote.
+func (en *Engine) onRecQuery(from env.NodeID, m recQueryMsg) {
+	if !en.booted {
+		return
+	}
+	en.noteBallot(m.B)
+	if m.Inst < en.retainedFrom {
+		return
+	}
+	eff := en.effPromised(m.Inst)
+	if m.B.Less(eff) {
+		en.e.Send(from, nackMsg{Promised: eff})
+		return
+	}
+	reply := recInfoMsg{B: m.B, Inst: m.Inst}
+	if a, ok := en.accepted[m.Inst]; ok {
+		reply.Voted = true
+		reply.VB = a.B
+		reply.V = a.V
+	}
+	if eff.Less(m.B) {
+		en.instPromised[m.Inst] = m.B
+		en.appendRecord(env.Record{Kind: "instpromise", Data: instPromiseRec{Inst: m.Inst, B: m.B}, Size: 32},
+			func(error) { en.e.Send(from, reply) })
+		return
+	}
+	// Duplicate query at the already-promised ballot: reply directly.
+	en.e.Send(from, reply)
+}

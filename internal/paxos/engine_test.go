@@ -1,0 +1,277 @@
+package paxos
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"robuststore/internal/env"
+	"robuststore/internal/sim"
+)
+
+// testCluster runs N engines on the simulator and records, per node, the
+// delivered command sequence of the current incarnation.
+type testCluster struct {
+	t         *testing.T
+	s         *sim.Sim
+	n         int
+	engines   []*Engine
+	delivered [][]string              // per node, applied commands in order
+	instOf    []map[InstanceID]string // per node, instance -> command (for consistency checks)
+}
+
+type engineNode struct {
+	c  *testCluster
+	id int
+}
+
+func (n *engineNode) Start(e env.Env) {
+	c := n.c
+	c.delivered[n.id] = nil
+	c.instOf[n.id] = make(map[InstanceID]string)
+	cfg := c.baseConfig()
+	cfg.Deliver = func(inst InstanceID, v Value) {
+		for _, cmd := range v.Cmds {
+			s, ok := cmd.(string)
+			if !ok {
+				c.t.Errorf("node %d: non-string cmd %v", n.id, cmd)
+				continue
+			}
+			c.delivered[n.id] = append(c.delivered[n.id], s)
+			c.instOf[n.id][inst] = fmt.Sprintf("%v", v.ID)
+		}
+	}
+	en := New(cfg)
+	c.engines[n.id] = en
+	en.Boot(e, 0, nil)
+}
+
+func (n *engineNode) Receive(from env.NodeID, msg env.Message) {
+	c := n.c
+	if en := c.engines[n.id]; en != nil {
+		en.Handle(from, msg)
+	}
+}
+
+var testFast bool
+
+func (c *testCluster) baseConfig() Config {
+	return Config{
+		FastEnabled: testFast,
+		BatchDelay:  2 * time.Millisecond,
+	}
+}
+
+func newCluster(t *testing.T, n int, fast bool, seed uint64, net sim.NetConfig) *testCluster {
+	t.Helper()
+	testFast = fast
+	c := &testCluster{
+		t:         t,
+		n:         n,
+		engines:   make([]*Engine, n),
+		delivered: make([][]string, n),
+		instOf:    make([]map[InstanceID]string, n),
+	}
+	c.s = sim.New(sim.Config{Seed: seed, Net: net})
+	for i := 0; i < n; i++ {
+		id := i
+		c.s.AddNode(func() env.Node { return &engineNode{c: c, id: id} })
+	}
+	c.s.StartAll()
+	return c
+}
+
+// submit schedules a command submission at node id after d.
+func (c *testCluster) submit(d time.Duration, id int, cmd string) {
+	c.s.After(d, func() {
+		if en := c.engines[id]; en != nil && c.s.Alive(env.NodeID(id)) {
+			en.Submit(cmd)
+		}
+	})
+}
+
+// checkConsistency verifies that all live nodes delivered consistent
+// sequences: for every pair, one's delivery log is a prefix of the
+// other's, and no node applied a command twice.
+func (c *testCluster) checkConsistency() {
+	c.t.Helper()
+	for id := 0; id < c.n; id++ {
+		seen := make(map[string]bool)
+		for _, cmd := range c.delivered[id] {
+			if seen[cmd] {
+				c.t.Errorf("node %d applied %q twice", id, cmd)
+			}
+			seen[cmd] = true
+		}
+	}
+	for a := 0; a < c.n; a++ {
+		for b := a + 1; b < c.n; b++ {
+			la, lb := c.delivered[a], c.delivered[b]
+			m := len(la)
+			if len(lb) < m {
+				m = len(lb)
+			}
+			for i := 0; i < m; i++ {
+				if la[i] != lb[i] {
+					c.t.Fatalf("divergence at position %d: node %d=%q node %d=%q",
+						i, a, la[i], b, lb[i])
+				}
+			}
+		}
+	}
+	// Same instance must never hold different values on different nodes.
+	for a := 0; a < c.n; a++ {
+		for b := a + 1; b < c.n; b++ {
+			for inst, va := range c.instOf[a] {
+				if vb, ok := c.instOf[b][inst]; ok && va != vb {
+					c.t.Fatalf("instance %d: node %d chose %s, node %d chose %s", inst, a, va, b, vb)
+				}
+			}
+		}
+	}
+}
+
+// requireDelivered asserts that node id applied exactly want commands.
+func (c *testCluster) requireDelivered(id, want int) {
+	c.t.Helper()
+	if got := len(c.delivered[id]); got != want {
+		c.t.Fatalf("node %d delivered %d commands, want %d", id, got, want)
+	}
+}
+
+func testModes(t *testing.T, fn func(t *testing.T, fast bool)) {
+	t.Run("classic", func(t *testing.T) { fn(t, false) })
+	t.Run("fast", func(t *testing.T) { fn(t, true) })
+}
+
+func TestSingleCommand(t *testing.T) {
+	testModes(t, func(t *testing.T, fast bool) {
+		c := newCluster(t, 3, fast, 1, sim.NetConfig{})
+		c.submit(2*time.Second, 1, "hello")
+		c.s.RunFor(6 * time.Second)
+		for id := 0; id < 3; id++ {
+			c.requireDelivered(id, 1)
+		}
+		c.checkConsistency()
+	})
+}
+
+func TestManyProposers(t *testing.T) {
+	testModes(t, func(t *testing.T, fast bool) {
+		const total = 250
+		c := newCluster(t, 5, fast, 2, sim.NetConfig{})
+		for i := 0; i < total; i++ {
+			c.submit(2*time.Second+time.Duration(i)*3*time.Millisecond, i%5,
+				fmt.Sprintf("cmd-%d", i))
+		}
+		c.s.RunFor(12 * time.Second)
+		for id := 0; id < 5; id++ {
+			c.requireDelivered(id, total)
+		}
+		c.checkConsistency()
+	})
+}
+
+func TestLeaderCrashFailover(t *testing.T) {
+	testModes(t, func(t *testing.T, fast bool) {
+		const total = 100
+		c := newCluster(t, 5, fast, 3, sim.NetConfig{})
+		for i := 0; i < total; i++ {
+			c.submit(2*time.Second+time.Duration(i)*20*time.Millisecond, 1+i%4,
+				fmt.Sprintf("cmd-%d", i))
+		}
+		// Node 0 wins the initial election; kill it mid-stream.
+		c.s.After(2500*time.Millisecond, func() { c.s.Crash(0) })
+		c.s.RunFor(15 * time.Second)
+		for id := 1; id < 5; id++ {
+			c.requireDelivered(id, total)
+		}
+		c.checkConsistency()
+	})
+}
+
+func TestCrashRecoverCatchUp(t *testing.T) {
+	testModes(t, func(t *testing.T, fast bool) {
+		const total = 120
+		c := newCluster(t, 5, fast, 4, sim.NetConfig{})
+		for i := 0; i < total; i++ {
+			c.submit(2*time.Second+time.Duration(i)*25*time.Millisecond, i%4,
+				fmt.Sprintf("cmd-%d", i))
+		}
+		c.s.After(3*time.Second, func() { c.s.Crash(4) })
+		c.s.After(6*time.Second, func() { c.s.Restart(4) })
+		c.s.RunFor(20 * time.Second)
+		// Node 4 restarts with delivery floor 0 and must relearn the
+		// full sequence.
+		for id := 0; id < 5; id++ {
+			c.requireDelivered(id, total)
+		}
+		c.checkConsistency()
+	})
+}
+
+func TestMessageLoss(t *testing.T) {
+	testModes(t, func(t *testing.T, fast bool) {
+		const total = 80
+		c := newCluster(t, 5, fast, 5, sim.NetConfig{DropRate: 0.05})
+		for i := 0; i < total; i++ {
+			c.submit(2*time.Second+time.Duration(i)*30*time.Millisecond, i%5,
+				fmt.Sprintf("cmd-%d", i))
+		}
+		c.s.RunFor(30 * time.Second)
+		for id := 0; id < 5; id++ {
+			c.requireDelivered(id, total)
+		}
+		c.checkConsistency()
+	})
+}
+
+func TestBlocksBelowMajority(t *testing.T) {
+	testModes(t, func(t *testing.T, fast bool) {
+		c := newCluster(t, 5, fast, 6, sim.NetConfig{})
+		c.submit(2*time.Second, 0, "before")
+		c.s.RunFor(4 * time.Second)
+		c.requireDelivered(0, 1)
+
+		// Kill three of five: below majority, the queue must block.
+		c.s.Crash(2)
+		c.s.Crash(3)
+		c.s.Crash(4)
+		c.submit(time.Second, 0, "blocked")
+		c.s.RunFor(8 * time.Second)
+		c.requireDelivered(0, 1)
+		c.requireDelivered(1, 1)
+
+		// Recovery restores liveness and the blocked command lands.
+		c.s.Restart(2)
+		c.s.Restart(3)
+		c.s.RunFor(12 * time.Second)
+		for _, id := range []int{0, 1, 2, 3} {
+			c.requireDelivered(id, 2)
+		}
+		c.checkConsistency()
+	})
+}
+
+func TestConcurrentCrashesConsistency(t *testing.T) {
+	testModes(t, func(t *testing.T, fast bool) {
+		const total = 150
+		c := newCluster(t, 5, fast, 7, sim.NetConfig{DropRate: 0.02})
+		for i := 0; i < total; i++ {
+			c.submit(2*time.Second+time.Duration(i)*20*time.Millisecond, i%5,
+				fmt.Sprintf("cmd-%d", i))
+		}
+		c.s.After(2800*time.Millisecond, func() { c.s.Crash(1) })
+		c.s.After(3100*time.Millisecond, func() { c.s.Crash(2) })
+		c.s.After(5*time.Second, func() { c.s.Restart(1) })
+		c.s.After(6*time.Second, func() { c.s.Restart(2) })
+		c.s.RunFor(30 * time.Second)
+		// Nodes that never crashed must have everything that was
+		// submitted while they could make progress; above all, all
+		// sequences must be mutually consistent.
+		c.checkConsistency()
+		if len(c.delivered[0]) == 0 {
+			t.Fatal("no progress at all")
+		}
+	})
+}

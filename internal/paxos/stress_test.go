@@ -1,0 +1,184 @@
+package paxos
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"robuststore/internal/env"
+	"robuststore/internal/sim"
+	"robuststore/internal/xrand"
+)
+
+// TestRandomFaultSchedules is the safety stress test: across many seeded
+// scenarios with random crashes, restarts and message loss, in both
+// classic and fast mode, the delivered sequences of all nodes must remain
+// mutually consistent (prefix relation, no duplicates, one value per
+// instance). Liveness is asserted only for scenarios that end with a
+// quiet, healed period.
+func TestRandomFaultSchedules(t *testing.T) {
+	seeds := 16
+	if testing.Short() {
+		seeds = 4
+	}
+	for seed := 0; seed < seeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			runRandomSchedule(t, uint64(seed))
+		})
+	}
+}
+
+func runRandomSchedule(t *testing.T, seed uint64) {
+	t.Helper()
+	rng := xrand.New(seed*2654435761 + 17)
+	n := 3 + rng.Intn(3)*2 // 3, 5 or 7 nodes
+	fast := rng.Intn(2) == 0
+	drop := 0.0
+	if rng.Intn(3) == 0 {
+		drop = 0.03
+	}
+	c := newCluster(t, n, fast, seed+100, sim.NetConfig{DropRate: drop})
+
+	// Random workload: commands submitted at random nodes over 20 s.
+	total := 100 + rng.Intn(100)
+	for i := 0; i < total; i++ {
+		at := 2*time.Second + time.Duration(rng.Intn(20000))*time.Millisecond
+		c.submit(at, rng.Intn(n), fmt.Sprintf("cmd-%d", i))
+	}
+
+	// Random fault schedule: up to n-majority concurrent crashes, with
+	// restarts a few seconds later.
+	faults := rng.Intn(4)
+	down := 0
+	for f := 0; f < faults; f++ {
+		victim := env.NodeID(rng.Intn(n))
+		crashAt := 3*time.Second + time.Duration(rng.Intn(15000))*time.Millisecond
+		upAt := crashAt + 2*time.Second + time.Duration(rng.Intn(8000))*time.Millisecond
+		c.s.At(c.s.Now().Add(crashAt), func() { c.s.Crash(victim) })
+		c.s.At(c.s.Now().Add(upAt), func() { c.s.Restart(victim) })
+		down++
+	}
+
+	// Run the active phase, then a healed quiet phase for convergence.
+	c.s.RunFor(30 * time.Second)
+	for id := 0; id < n; id++ {
+		c.s.Restart(env.NodeID(id))
+	}
+	c.s.RunFor(30 * time.Second)
+
+	c.checkConsistency()
+
+	// Liveness: every submitted command that was accepted by a live
+	// node must eventually appear everywhere. Commands submitted while
+	// their target node was crashed are legitimately lost (the client
+	// saw an error), so require only that all nodes agree and that the
+	// system made progress.
+	min := len(c.delivered[0])
+	for id := 1; id < n; id++ {
+		if l := len(c.delivered[id]); l < min {
+			min = l
+		}
+	}
+	if min == 0 && faults < n/2 {
+		t.Fatalf("no progress at all (n=%d fast=%v faults=%d)", n, fast, faults)
+	}
+	// After the healed quiet phase all nodes must have converged to the
+	// same length (catch-up completed).
+	for id := 1; id < n; id++ {
+		if len(c.delivered[id]) != len(c.delivered[0]) {
+			t.Fatalf("node %d has %d delivered, node 0 has %d (no convergence)",
+				id, len(c.delivered[id]), len(c.delivered[0]))
+		}
+	}
+}
+
+// TestEngineStatusAccessors exercises the introspection surface.
+func TestEngineStatusAccessors(t *testing.T) {
+	c := newCluster(t, 3, true, 55, sim.NetConfig{})
+	c.submit(2*time.Second, 0, "x")
+	c.s.RunFor(5 * time.Second)
+	var leaders int
+	for id := 0; id < 3; id++ {
+		en := c.engines[id]
+		if en.IsLeader() {
+			leaders++
+		}
+		if en.CurrentBallot().Seq < 0 {
+			t.Errorf("node %d never saw a ballot", id)
+		}
+		if en.AliveCount() != 3 {
+			t.Errorf("node %d alive count = %d", id, en.AliveCount())
+		}
+		if en.FirstUnchosen() < 1 {
+			t.Errorf("node %d firstUnchosen = %d", id, en.FirstUnchosen())
+		}
+		if en.Backlog() > 1 {
+			t.Errorf("node %d backlog = %d after quiesce", id, en.Backlog())
+		}
+	}
+	if leaders != 1 {
+		t.Errorf("%d leaders, want exactly 1", leaders)
+	}
+	if !c.engines[0].FastActive() {
+		t.Error("fast mode should be active with all nodes alive")
+	}
+}
+
+// TestModeFallbackOnCrash: with 5 nodes, fast mode requires ⌈15/4⌉ = 4
+// alive; killing two must switch the ballot to classic, and recovery must
+// switch it back.
+func TestModeFallbackOnCrash(t *testing.T) {
+	c := newCluster(t, 5, true, 56, sim.NetConfig{})
+	c.submit(2*time.Second, 0, "warm")
+	c.s.RunFor(4 * time.Second)
+	if !c.engines[0].FastActive() {
+		t.Fatal("fast mode should start active")
+	}
+	c.s.Crash(3)
+	c.s.Crash(4)
+	// Keep some traffic flowing so the mode change matters.
+	for i := 0; i < 20; i++ {
+		c.submit(time.Duration(i)*200*time.Millisecond, i%3, fmt.Sprintf("c-%d", i))
+	}
+	c.s.RunFor(10 * time.Second)
+	if c.engines[0].FastActive() {
+		t.Fatal("fast mode must fall back to classic below ⌈3N/4⌉ alive")
+	}
+	c.s.Restart(3)
+	c.s.Restart(4)
+	c.s.RunFor(10 * time.Second)
+	if !c.engines[0].FastActive() {
+		t.Fatal("fast mode must resume once ⌈3N/4⌉ are alive again")
+	}
+	c.checkConsistency()
+}
+
+// TestCompactionAndCatchUpAfterTruncation: a node that falls behind a
+// compaction horizon must hit OnCatchUpGap rather than stall silently.
+func TestCompactionBoundsServing(t *testing.T) {
+	c := newCluster(t, 3, false, 57, sim.NetConfig{})
+	const total = 60
+	for i := 0; i < total; i++ {
+		c.submit(2*time.Second+time.Duration(i)*20*time.Millisecond, i%3,
+			fmt.Sprintf("cmd-%d", i))
+	}
+	c.s.RunFor(10 * time.Second)
+	// Compact node 0 and 1 through most of the log.
+	c.s.At(c.s.Now(), func() {
+		c.engines[0].Compact(c.engines[0].FirstUnchosen() - 2)
+		c.engines[1].Compact(c.engines[1].FirstUnchosen() - 2)
+	})
+	c.s.RunFor(2 * time.Second)
+	// A fresh node 2 incarnation with floor 0 cannot be served the
+	// prefix by 0/1 anymore; it must learn that via the gap callback
+	// (here we just verify the cluster stays consistent and live).
+	c.s.Crash(2)
+	c.s.Restart(2)
+	c.submit(time.Second, 0, "after")
+	c.s.RunFor(15 * time.Second)
+	c.checkConsistency()
+	if len(c.delivered[0]) != total+1 {
+		t.Fatalf("node 0 delivered %d, want %d", len(c.delivered[0]), total+1)
+	}
+}

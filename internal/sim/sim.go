@@ -1,0 +1,383 @@
+// Package sim is a deterministic discrete-event simulator that substitutes
+// for the paper's 18-node cluster (§5.1). It runs the real protocol code
+// (internal/paxos, internal/core, internal/webtier) on virtual time with
+// calibrated network, disk and CPU resource models, so experiments covering
+// 600 s of cluster time execute in seconds and are exactly reproducible
+// from a root seed.
+//
+// Crash semantics follow the paper's faultload: killing a node destroys all
+// volatile state (the node object, its timers, its in-flight work) while
+// its simulated stable storage survives; restarting constructs a fresh node
+// through its factory and runs the real recovery path.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"io"
+	"time"
+
+	"robuststore/internal/env"
+	"robuststore/internal/xrand"
+)
+
+// Config parameterizes a simulation.
+type Config struct {
+	// Seed is the root seed; every random stream derives from it.
+	Seed uint64
+
+	// Net models the cluster interconnect (defaults: 1 Gbps switched
+	// Ethernet).
+	Net NetConfig
+
+	// Disk models each node's local disk (defaults: a 7200 rpm SATA
+	// disk, per §5.1).
+	Disk DiskConfig
+
+	// DebugLog, when non-nil, receives node Logf output.
+	DebugLog io.Writer
+}
+
+// Sim is the event loop and cluster container. It is single-threaded: all
+// node callbacks run inside Run*, one at a time, in deterministic order.
+type Sim struct {
+	cfg     Config
+	now     time.Time
+	queue   eventQueue
+	seq     int64
+	rng     *xrand.Rand
+	nodes   []*simNode
+	peers   []env.NodeID
+	started bool
+	blocked map[linkKey]bool // partitioned directed links
+}
+
+type linkKey struct{ from, to env.NodeID }
+
+type event struct {
+	at  int64 // unix nanos; int64 keeps heap comparisons cheap
+	seq int64
+	fn  func()
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// New returns an empty simulation starting at the Unix epoch of virtual
+// time.
+func New(cfg Config) *Sim {
+	cfg.Net = cfg.Net.withDefaults()
+	cfg.Disk = cfg.Disk.withDefaults()
+	return &Sim{
+		cfg:     cfg,
+		now:     time.Unix(0, 0).UTC(),
+		rng:     xrand.New(cfg.Seed*0x9e3779b97f4a7c15 + 1),
+		blocked: make(map[linkKey]bool),
+	}
+}
+
+// Now returns the current virtual time.
+func (s *Sim) Now() time.Time { return s.now }
+
+// Rand returns the simulation's root random stream (for workload
+// generators and fault schedules; nodes get their own split streams).
+func (s *Sim) Rand() *xrand.Rand { return s.rng }
+
+// schedule enqueues fn at time at (clamped to now).
+func (s *Sim) schedule(at time.Time, fn func()) *event {
+	ns := at.UnixNano()
+	if nowNS := s.now.UnixNano(); ns < nowNS {
+		ns = nowNS
+	}
+	s.seq++
+	e := &event{at: ns, seq: s.seq, fn: fn}
+	heap.Push(&s.queue, e)
+	return e
+}
+
+// At schedules a global callback at virtual time at.
+func (s *Sim) At(at time.Time, fn func()) { s.schedule(at, fn) }
+
+// After schedules a global callback after d.
+func (s *Sim) After(d time.Duration, fn func()) { s.schedule(s.now.Add(d), fn) }
+
+// RunUntil executes events until virtual time reaches t. Events scheduled
+// exactly at t are executed.
+func (s *Sim) RunUntil(t time.Time) {
+	limit := t.UnixNano()
+	for len(s.queue) > 0 {
+		e := s.queue[0]
+		if e.at > limit {
+			break
+		}
+		heap.Pop(&s.queue)
+		if e.fn == nil {
+			continue
+		}
+		s.now = time.Unix(0, e.at).UTC()
+		e.fn()
+	}
+	if s.now.Before(t) {
+		s.now = t
+	}
+}
+
+// RunFor advances virtual time by d.
+func (s *Sim) RunFor(d time.Duration) { s.RunUntil(s.now.Add(d)) }
+
+// RunUntilIdle executes events until the queue drains or maxEvents have
+// run, and reports whether the queue drained. It is meant for protocol
+// unit tests; periodic timers (heartbeats) never drain, so tests bound the
+// event count.
+func (s *Sim) RunUntilIdle(maxEvents int) bool {
+	for i := 0; i < maxEvents; i++ {
+		if len(s.queue) == 0 {
+			return true
+		}
+		e := heap.Pop(&s.queue).(*event)
+		if e.fn == nil {
+			continue
+		}
+		s.now = time.Unix(0, e.at).UTC()
+		e.fn()
+	}
+	return len(s.queue) == 0
+}
+
+// simNode holds the runtime state of one cluster member across
+// incarnations.
+type simNode struct {
+	sim         *Sim
+	id          env.NodeID
+	factory     func() env.Node
+	node        env.Node // nil while crashed
+	alive       bool
+	incarnation int64
+	rng         *xrand.Rand
+	storage     *diskStorage
+	nicBusy     time.Time // outbound NIC serialization horizon
+}
+
+// AddNode registers a cluster member built by factory. All nodes must be
+// added before StartAll. The returned ID is dense, starting at 0.
+func (s *Sim) AddNode(factory func() env.Node) env.NodeID {
+	if s.started {
+		panic("sim: AddNode after StartAll")
+	}
+	id := env.NodeID(len(s.nodes))
+	n := &simNode{
+		sim:     s,
+		id:      id,
+		factory: factory,
+		rng:     s.rng.Split(),
+	}
+	n.storage = newDiskStorage(s, n, s.cfg.Disk)
+	s.nodes = append(s.nodes, n)
+	s.peers = append(s.peers, id)
+	return id
+}
+
+// StartAll boots every node.
+func (s *Sim) StartAll() {
+	s.started = true
+	for _, n := range s.nodes {
+		if !n.alive {
+			s.startNode(n)
+		}
+	}
+}
+
+func (s *Sim) startNode(n *simNode) {
+	n.incarnation++
+	n.alive = true
+	n.node = n.factory()
+	inc := n.incarnation
+	// Start runs as an event so that ordering with other events is
+	// deterministic.
+	s.schedule(s.now, func() {
+		if n.incarnation == inc && n.alive {
+			n.node.Start(&nodeEnv{n: n, inc: inc})
+		}
+	})
+}
+
+// Crash kills node id: its volatile state is destroyed, pending timers and
+// in-flight callbacks die, stable storage survives. Crashing a dead node
+// is a no-op.
+func (s *Sim) Crash(id env.NodeID) {
+	n := s.nodes[id]
+	if !n.alive {
+		return
+	}
+	n.alive = false
+	n.node = nil
+	n.incarnation++ // orphan all pending callbacks
+	n.storage.onCrash()
+}
+
+// Restart boots a fresh incarnation of node id from its factory. The new
+// node recovers from the surviving stable storage. Restarting a live node
+// is a no-op.
+func (s *Sim) Restart(id env.NodeID) {
+	n := s.nodes[id]
+	if n.alive {
+		return
+	}
+	s.startNode(n)
+}
+
+// Alive reports whether node id is currently running.
+func (s *Sim) Alive(id env.NodeID) bool { return s.nodes[id].alive }
+
+// Storage returns node id's stable storage (survives crashes). Intended
+// for tests and experiment setup (pre-populating state).
+func (s *Sim) Storage(id env.NodeID) env.Storage { return s.nodes[id].storage }
+
+// SetLink blocks or unblocks the directed network link from → to.
+func (s *Sim) SetLink(from, to env.NodeID, blocked bool) {
+	if blocked {
+		s.blocked[linkKey{from, to}] = true
+	} else {
+		delete(s.blocked, linkKey{from, to})
+	}
+}
+
+// Partition isolates the given nodes from the rest of the cluster in both
+// directions.
+func (s *Sim) Partition(isolated ...env.NodeID) {
+	side := make(map[env.NodeID]bool, len(isolated))
+	for _, id := range isolated {
+		side[id] = true
+	}
+	for _, a := range s.peers {
+		for _, b := range s.peers {
+			if side[a] != side[b] {
+				s.SetLink(a, b, true)
+			}
+		}
+	}
+}
+
+// Heal removes all link blocks.
+func (s *Sim) Heal() { s.blocked = make(map[linkKey]bool) }
+
+// nodeEnv is the env.Env for a single incarnation of a node. Callbacks are
+// delivered only while the incarnation is current.
+type nodeEnv struct {
+	n   *simNode
+	inc int64
+}
+
+var _ env.Env = (*nodeEnv)(nil)
+
+func (e *nodeEnv) live() bool { return e.n.alive && e.n.incarnation == e.inc }
+
+func (e *nodeEnv) ID() env.NodeID      { return e.n.id }
+func (e *nodeEnv) Peers() []env.NodeID { return e.n.sim.peers }
+func (e *nodeEnv) Now() time.Time      { return e.n.sim.now }
+
+func (e *nodeEnv) Post(fn func()) {
+	e.n.sim.schedule(e.n.sim.now, func() {
+		if e.live() {
+			fn()
+		}
+	})
+}
+
+type simTimer struct {
+	ev      *event
+	stopped bool
+}
+
+func (t *simTimer) Stop() bool {
+	if t.stopped || t.ev.fn == nil {
+		return false
+	}
+	t.stopped = true
+	t.ev.fn = nil // the queue skips nil fns
+	return true
+}
+
+func (e *nodeEnv) After(d time.Duration, fn func()) env.Timer {
+	ev := e.n.sim.schedule(e.n.sim.now.Add(d), nil)
+	ev.fn = func() {
+		if e.live() {
+			fn()
+		}
+	}
+	return &simTimer{ev: ev}
+}
+
+func (e *nodeEnv) Send(to env.NodeID, msg env.Message) {
+	e.n.sim.send(e.n, to, msg)
+}
+
+func (e *nodeEnv) Storage() env.Storage { return e.n.storage }
+
+func (e *nodeEnv) Rand() env.Rand { return e.n.rng }
+
+func (e *nodeEnv) Logf(format string, args ...any) {
+	w := e.n.sim.cfg.DebugLog
+	if w == nil {
+		return
+	}
+	fmt.Fprintf(w, "%8.3fs n%d: %s\n",
+		e.n.sim.now.Sub(time.Unix(0, 0).UTC()).Seconds(),
+		e.n.id, fmt.Sprintf(format, args...))
+}
+
+// send models the network: sender NIC serialization, switch latency with
+// jitter, drops and partitions; see NetConfig.
+func (s *Sim) send(from *simNode, to env.NodeID, msg env.Message) {
+	if int(to) < 0 || int(to) >= len(s.nodes) {
+		return
+	}
+	if s.blocked[linkKey{from.id, to}] {
+		return
+	}
+	nc := s.cfg.Net
+	if nc.DropRate > 0 && s.rng.Float64() < nc.DropRate {
+		return
+	}
+	size := nc.sizeOf(msg)
+	var depart time.Time
+	if from.id == to {
+		// Loopback skips the NIC.
+		depart = s.now
+	} else {
+		depart = s.now
+		if from.nicBusy.After(depart) {
+			depart = from.nicBusy
+		}
+		depart = depart.Add(nc.SendOverhead + time.Duration(float64(size)*nc.perByte()))
+		from.nicBusy = depart
+	}
+	lat := nc.BaseLatency
+	if nc.Jitter > 0 {
+		lat += time.Duration(s.rng.Float64() * nc.Jitter * float64(nc.BaseLatency))
+	}
+	arrive := depart.Add(lat)
+	tgt := s.nodes[to]
+	s.schedule(arrive, func() {
+		if tgt.alive && tgt.node != nil {
+			tgt.node.Receive(from.id, msg)
+		}
+	})
+}

@@ -1,0 +1,351 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"robuststore/internal/env"
+)
+
+// echoNode replies to every message and records what it saw.
+type echoNode struct {
+	e        env.Env
+	started  int
+	received []string
+}
+
+func (n *echoNode) Start(e env.Env) {
+	n.e = e
+	n.started++
+}
+
+func (n *echoNode) Receive(from env.NodeID, msg env.Message) {
+	s, ok := msg.(string)
+	if !ok {
+		return
+	}
+	n.received = append(n.received, s)
+	if s == "ping" {
+		n.e.Send(from, "pong")
+	}
+}
+
+// holder tracks the current incarnation of a test node across restarts.
+type holder struct{ n *echoNode }
+
+func twoNodes(t *testing.T, cfg Config) (*Sim, *holder, *holder) {
+	t.Helper()
+	s := New(cfg)
+	a, b := &holder{}, &holder{}
+	s.AddNode(func() env.Node { a.n = &echoNode{}; return a.n })
+	s.AddNode(func() env.Node { b.n = &echoNode{}; return b.n })
+	s.StartAll()
+	s.RunFor(time.Millisecond)
+	return s, a, b
+}
+
+func TestSendReceiveRoundTrip(t *testing.T) {
+	s, a, b := twoNodes(t, Config{Seed: 1})
+	s.At(s.Now(), func() { a.n.e.Send(1, "ping") })
+	s.RunFor(10 * time.Millisecond)
+	if len(b.n.received) != 1 || b.n.received[0] != "ping" {
+		t.Fatalf("b received %v", b.n.received)
+	}
+	if len(a.n.received) != 1 || a.n.received[0] != "pong" {
+		t.Fatalf("a received %v", a.n.received)
+	}
+}
+
+func TestVirtualTimeAdvances(t *testing.T) {
+	s := New(Config{Seed: 1})
+	start := s.Now()
+	fired := time.Time{}
+	s.After(42*time.Second, func() { fired = s.Now() })
+	s.RunFor(time.Minute)
+	if got := fired.Sub(start); got != 42*time.Second {
+		t.Fatalf("timer fired at +%v, want +42s", got)
+	}
+	if got := s.Now().Sub(start); got != time.Minute {
+		t.Fatalf("clock at +%v, want +1m", got)
+	}
+}
+
+func TestEventOrderingDeterministic(t *testing.T) {
+	run := func() []int {
+		s := New(Config{Seed: 7})
+		var order []int
+		for i := 0; i < 10; i++ {
+			i := i
+			s.After(time.Duration(i%3)*time.Millisecond, func() {
+				order = append(order, i)
+			})
+		}
+		s.RunFor(10 * time.Millisecond)
+		return order
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic order: %v vs %v", a, b)
+		}
+	}
+	// Same-time events run in scheduling order.
+	if a[0] != 0 || a[1] != 3 {
+		t.Fatalf("tie-break violated: %v", a)
+	}
+}
+
+func TestCrashDropsTimersAndMessages(t *testing.T) {
+	s, a, b := twoNodes(t, Config{Seed: 2})
+	fired := false
+	s.At(s.Now(), func() {
+		b.n.e.After(5*time.Millisecond, func() { fired = true })
+	})
+	s.Crash(1)
+	s.At(s.Now(), func() { a.n.e.Send(1, "lost") })
+	s.RunFor(20 * time.Millisecond)
+	if fired {
+		t.Fatal("timer of crashed node fired")
+	}
+	if len(b.n.received) != 0 {
+		t.Fatalf("crashed node received %v", b.n.received)
+	}
+	if s.Alive(1) {
+		t.Fatal("node 1 should be dead")
+	}
+}
+
+func TestRestartCreatesFreshIncarnation(t *testing.T) {
+	s, _, b := twoNodes(t, Config{Seed: 3})
+	first := b.n
+	s.Crash(1)
+	s.Restart(1)
+	s.RunFor(time.Millisecond)
+	if !s.Alive(1) {
+		t.Fatal("node 1 should be alive after restart")
+	}
+	// The factory builds a fresh object per incarnation: volatile state
+	// does not survive a crash.
+	if b.n == first {
+		t.Fatal("restart reused the crashed node object")
+	}
+	if b.n.started != 1 {
+		t.Fatalf("fresh incarnation started %d times", b.n.started)
+	}
+}
+
+func TestPartitionBlocksTraffic(t *testing.T) {
+	s, a, b := twoNodes(t, Config{Seed: 4})
+	s.Partition(1)
+	s.At(s.Now(), func() { a.n.e.Send(1, "ping") })
+	s.RunFor(10 * time.Millisecond)
+	if len(b.n.received) != 0 {
+		t.Fatalf("partitioned node received %v", b.n.received)
+	}
+	s.Heal()
+	s.At(s.Now(), func() { a.n.e.Send(1, "ping") })
+	s.RunFor(10 * time.Millisecond)
+	if len(b.n.received) != 1 {
+		t.Fatalf("healed node received %v", b.n.received)
+	}
+}
+
+func TestMessageLossRate(t *testing.T) {
+	s, a, b := twoNodes(t, Config{Seed: 5, Net: NetConfig{DropRate: 0.5}})
+	const sent = 2000
+	s.At(s.Now(), func() {
+		for i := 0; i < sent; i++ {
+			a.n.e.Send(1, "m")
+		}
+	})
+	s.RunFor(time.Second)
+	got := len(b.n.received)
+	if got < sent*35/100 || got > sent*65/100 {
+		t.Fatalf("with 50%% loss, %d/%d delivered", got, sent)
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	s, _, b := twoNodes(t, Config{Seed: 6})
+	fired := false
+	var tm env.Timer
+	s.At(s.Now(), func() {
+		tm = b.n.e.After(5*time.Millisecond, func() { fired = true })
+	})
+	s.RunFor(time.Millisecond)
+	if !tm.Stop() {
+		t.Fatal("Stop reported failure on pending timer")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop reported success")
+	}
+	s.RunFor(20 * time.Millisecond)
+	if fired {
+		t.Fatal("stopped timer fired")
+	}
+}
+
+func TestStorageDurableAcrossCrash(t *testing.T) {
+	s, _, b := twoNodes(t, Config{Seed: 7})
+	appended := false
+	s.At(s.Now(), func() {
+		b.n.e.Storage().Append(env.Record{Kind: "x", Data: 42, Size: 100},
+			func(error) { appended = true })
+	})
+	s.RunFor(100 * time.Millisecond)
+	if !appended {
+		t.Fatal("append never completed")
+	}
+	s.Crash(1)
+	s.Restart(1)
+	s.RunFor(time.Millisecond)
+	var got []env.Record
+	s.At(s.Now(), func() {
+		b.n.e.Storage().ReadRecords(func(recs []env.Record, err error) { got = recs })
+	})
+	s.RunFor(time.Second)
+	if len(got) != 1 || got[0].Data != 42 {
+		t.Fatalf("records after restart: %v", got)
+	}
+}
+
+func TestStorageWriteLostOnCrashBeforeDurability(t *testing.T) {
+	s, _, b := twoNodes(t, Config{Seed: 8, Disk: DiskConfig{SyncLatency: 50 * time.Millisecond}})
+	s.At(s.Now(), func() {
+		b.n.e.Storage().Append(env.Record{Kind: "x", Data: 1, Size: 10}, nil)
+	})
+	// Crash before the 50 ms flush completes: the write must be lost.
+	s.RunFor(10 * time.Millisecond)
+	s.Crash(1)
+	s.Restart(1)
+	var got []env.Record
+	s.RunFor(time.Millisecond)
+	s.At(s.Now(), func() {
+		b.n.e.Storage().ReadRecords(func(recs []env.Record, err error) { got = recs })
+	})
+	s.RunFor(time.Second)
+	if len(got) != 0 {
+		t.Fatalf("non-durable write survived crash: %v", got)
+	}
+}
+
+func TestSnapshotRoundTripAndTruncate(t *testing.T) {
+	s, _, b := twoNodes(t, Config{Seed: 9})
+	done := 0
+	s.At(s.Now(), func() {
+		st := b.n.e.Storage()
+		st.Append(env.Record{Kind: "a", Data: 1, Size: 10}, func(error) { done++ })
+		st.Append(env.Record{Kind: "b", Data: 2, Size: 10}, func(error) { done++ })
+		st.SaveSnapshot("app", env.Snapshot{Data: "state", Size: 1000}, func(error) { done++ })
+	})
+	s.RunFor(time.Second)
+	if done != 3 {
+		t.Fatalf("completions = %d", done)
+	}
+	var snap env.Snapshot
+	var ok bool
+	s.At(s.Now(), func() {
+		b.n.e.Storage().LoadSnapshot("app", func(sn env.Snapshot, o bool) { snap, ok = sn, o })
+		b.n.e.Storage().Truncate(1, nil)
+	})
+	s.RunFor(time.Second)
+	if !ok || snap.Data != "state" {
+		t.Fatalf("snapshot = %+v ok=%v", snap, ok)
+	}
+	var recs []env.Record
+	s.At(s.Now(), func() {
+		if fi := b.n.e.Storage().FirstIndex(); fi != 1 {
+			t.Errorf("FirstIndex = %d, want 1", fi)
+		}
+		b.n.e.Storage().ReadRecords(func(r []env.Record, err error) { recs = r })
+	})
+	s.RunFor(time.Second)
+	if len(recs) != 1 || recs[0].Kind != "b" {
+		t.Fatalf("after truncate: %v", recs)
+	}
+}
+
+func TestDiskSerializesOperations(t *testing.T) {
+	s, _, b := twoNodes(t, Config{Seed: 10, Disk: DiskConfig{
+		SyncLatency: 10 * time.Millisecond, WriteBandwidth: 1e6, ReadBandwidth: 1e6,
+	}})
+	var first, second time.Time
+	s.At(s.Now(), func() {
+		st := b.n.e.Storage()
+		st.Append(env.Record{Size: 10000}, func(error) { first = s.Now() })
+		st.Append(env.Record{Size: 10000}, func(error) { second = s.Now() })
+	})
+	s.RunFor(time.Second)
+	if first.IsZero() || second.IsZero() {
+		t.Fatal("appends incomplete")
+	}
+	// Both were group-committed by one flush.
+	if !first.Equal(second) {
+		t.Fatalf("group commit expected: %v vs %v", first, second)
+	}
+}
+
+func TestResource(t *testing.T) {
+	s := New(Config{Seed: 11})
+	r := NewResource(s, 1)
+	var order []int
+	r.Acquire(10*time.Millisecond, func() { order = append(order, 1) })
+	r.Acquire(10*time.Millisecond, func() { order = append(order, 2) })
+	if r.QueueLen() != 2 {
+		t.Fatalf("queue len = %d", r.QueueLen())
+	}
+	s.RunFor(15 * time.Millisecond)
+	if len(order) != 1 || order[0] != 1 {
+		t.Fatalf("after 15ms: %v", order)
+	}
+	s.RunFor(10 * time.Millisecond)
+	if len(order) != 2 || order[1] != 2 {
+		t.Fatalf("after 25ms: %v", order)
+	}
+}
+
+func TestResourceParallelWorkers(t *testing.T) {
+	s := New(Config{Seed: 12})
+	r := NewResource(s, 2)
+	doneAt := make([]time.Time, 3)
+	for i := 0; i < 3; i++ {
+		i := i
+		r.Acquire(10*time.Millisecond, func() { doneAt[i] = s.Now() })
+	}
+	s.RunFor(50 * time.Millisecond)
+	// Two run in parallel, the third queues behind one of them.
+	if doneAt[0] != doneAt[1] {
+		t.Fatalf("parallel jobs finished apart: %v %v", doneAt[0], doneAt[1])
+	}
+	if !doneAt[2].After(doneAt[0]) {
+		t.Fatalf("third job did not queue: %v", doneAt[2])
+	}
+}
+
+func TestResourceReset(t *testing.T) {
+	s := New(Config{Seed: 13})
+	r := NewResource(s, 1)
+	fired := false
+	r.Acquire(10*time.Millisecond, func() { fired = true })
+	r.Reset()
+	s.RunFor(time.Second)
+	if fired {
+		t.Fatal("callback fired after Reset")
+	}
+	if r.QueueLen() != 0 {
+		t.Fatal("queue not cleared")
+	}
+}
+
+func TestRunUntilIdle(t *testing.T) {
+	s := New(Config{Seed: 14})
+	count := 0
+	s.After(time.Millisecond, func() { count++ })
+	s.After(2*time.Millisecond, func() { count++ })
+	if !s.RunUntilIdle(100) {
+		t.Fatal("queue did not drain")
+	}
+	if count != 2 {
+		t.Fatalf("ran %d events", count)
+	}
+}

@@ -1,0 +1,241 @@
+package sim
+
+import (
+	"time"
+
+	"robuststore/internal/env"
+)
+
+// DiskConfig models each node's local disk (§5.1: one 40 GB 7200 rpm
+// disk). Log appends are group-committed: all appends queued while a flush
+// is in progress are made durable by the next single flush, which is how
+// Treplica amortizes stable-storage latency under write-heavy workloads.
+type DiskConfig struct {
+	// SyncLatency is the base cost of one synchronous flush
+	// (seek + rotational delay). Default 4 ms.
+	SyncLatency time.Duration
+
+	// SyncJitter makes flush latency heavy-tailed:
+	// duration = SyncLatency × ((1-j/2) + j·Exp(1)) for j = SyncJitter,
+	// preserving the mean at SyncLatency × (1+j/2). Larger phase-2
+	// quorums then wait on higher order statistics of the flush time,
+	// which is what makes write latency grow with the replication
+	// degree (paper Figure 4, ordering). Default 0.
+	SyncJitter float64
+
+	// WriteBandwidth is the sequential write bandwidth in bytes/second.
+	// Default 45 MB/s.
+	WriteBandwidth float64
+
+	// ReadBandwidth is the effective sequential read bandwidth for
+	// recovery (checkpoint load + log scan), in bytes/second. The paper's
+	// recovery times (Figure 6: ≈ 63 s for a 500 MB state) imply an
+	// effective rate far below raw disk speed — the cost includes
+	// deserialization of the Java heap image — so the default is
+	// deliberately low: 8 MB/s.
+	ReadBandwidth float64
+}
+
+func (dc DiskConfig) withDefaults() DiskConfig {
+	if dc.SyncLatency == 0 {
+		dc.SyncLatency = 4 * time.Millisecond
+	}
+	if dc.WriteBandwidth == 0 {
+		dc.WriteBandwidth = 45e6
+	}
+	if dc.ReadBandwidth == 0 {
+		dc.ReadBandwidth = 8e6
+	}
+	return dc
+}
+
+// diskStorage implements env.Storage with modeled latency. The durable
+// content (records, snapshots) survives Crash/Restart; writes in flight at
+// crash time are lost, matching a real volatile write cache being
+// discarded on an OS-level kill.
+type diskStorage struct {
+	sim  *Sim
+	node *simNode
+	cfg  DiskConfig
+
+	records    []env.Record
+	firstIndex int64
+	snapshots  map[string]env.Snapshot
+
+	// Disk head scheduling: one operation at a time, group commit for
+	// appends.
+	busyUntil time.Time
+	pending   []pendingAppend
+	flushing  bool
+}
+
+type pendingAppend struct {
+	rec  env.Record
+	done func(error)
+	inc  int64
+}
+
+var _ env.Storage = (*diskStorage)(nil)
+
+func newDiskStorage(s *Sim, n *simNode, cfg DiskConfig) *diskStorage {
+	return &diskStorage{sim: s, node: n, cfg: cfg, snapshots: make(map[string]env.Snapshot)}
+}
+
+// onCrash discards volatile write-cache state. Durable records stay.
+func (d *diskStorage) onCrash() {
+	d.pending = nil
+	d.flushing = false
+	// The disk itself keeps spinning; busyUntil is retained so a very
+	// fast restart still queues behind the in-progress physical write.
+}
+
+// reserve allocates disk time of length dur starting no earlier than now
+// and returns the completion time.
+func (d *diskStorage) reserve(dur time.Duration) time.Time {
+	start := d.sim.now
+	if d.busyUntil.After(start) {
+		start = d.busyUntil
+	}
+	d.busyUntil = start.Add(dur)
+	return d.busyUntil
+}
+
+func (d *diskStorage) Append(rec env.Record, done func(error)) {
+	d.pending = append(d.pending, pendingAppend{rec: rec, done: done, inc: d.node.incarnation})
+	if !d.flushing {
+		d.flushing = true
+		// Defer the flush by one event so appends issued in the same
+		// instant share one group commit.
+		d.sim.schedule(d.sim.now, d.flush)
+	}
+}
+
+func (d *diskStorage) flush() {
+	if len(d.pending) == 0 {
+		d.flushing = false
+		return
+	}
+	d.flushing = true
+	batch := d.pending
+	d.pending = nil
+	var bytes int64
+	for _, p := range batch {
+		bytes += p.rec.Size
+	}
+	dur := d.syncDuration() + time.Duration(float64(bytes)/d.cfg.WriteBandwidth*float64(time.Second))
+	doneAt := d.reserve(dur)
+	d.sim.schedule(doneAt, func() {
+		// Durability point: the batch is on disk now.
+		for _, p := range batch {
+			d.records = append(d.records, p.rec)
+			if p.done != nil && d.node.alive && d.node.incarnation == p.inc {
+				p.done(nil)
+			}
+		}
+		d.flush()
+	})
+}
+
+// syncDuration draws one flush latency from the (possibly heavy-tailed)
+// sync distribution.
+func (d *diskStorage) syncDuration() time.Duration {
+	base := d.cfg.SyncLatency
+	j := d.cfg.SyncJitter
+	if j <= 0 {
+		return base
+	}
+	f := (1 - j/2) + j*d.sim.rng.ExpFloat64()
+	return time.Duration(float64(base) * f)
+}
+
+// chunked performs a large transfer in 1 MiB slices so that concurrent
+// small operations (WAL group commits) interleave with it instead of
+// stalling behind one monolithic reservation — the behaviour of a real
+// disk shared between a checkpoint stream and the log. done runs at
+// completion unless the node crashed meanwhile.
+func (d *diskStorage) chunked(bytes int64, bandwidth float64, done func()) {
+	const chunk = 1 << 20
+	inc := d.node.incarnation
+	var step func(remaining int64)
+	step = func(remaining int64) {
+		n := int64(chunk)
+		if remaining < n {
+			n = remaining
+		}
+		dur := time.Duration(float64(n) / bandwidth * float64(time.Second))
+		doneAt := d.reserve(dur)
+		d.sim.schedule(doneAt, func() {
+			if remaining-n > 0 {
+				step(remaining - n)
+				return
+			}
+			if d.node.incarnation == inc {
+				done()
+			}
+		})
+	}
+	doneAt := d.reserve(d.cfg.SyncLatency)
+	d.sim.schedule(doneAt, func() { step(bytes) })
+}
+
+func (d *diskStorage) ReadRecords(done func([]env.Record, error)) {
+	var bytes int64
+	for _, r := range d.records {
+		bytes += r.Size
+	}
+	recs := make([]env.Record, len(d.records))
+	copy(recs, d.records)
+	inc := d.node.incarnation
+	d.chunked(bytes, d.cfg.ReadBandwidth, func() {
+		if d.node.alive && d.node.incarnation == inc {
+			done(recs, nil)
+		}
+	})
+}
+
+func (d *diskStorage) Truncate(firstKept int64, done func(error)) {
+	if firstKept > d.firstIndex {
+		drop := firstKept - d.firstIndex
+		if drop > int64(len(d.records)) {
+			drop = int64(len(d.records))
+		}
+		d.records = append([]env.Record(nil), d.records[drop:]...)
+		d.firstIndex += drop
+	}
+	// Truncation is metadata only: charge one sync.
+	doneAt := d.reserve(d.cfg.SyncLatency)
+	inc := d.node.incarnation
+	d.sim.schedule(doneAt, func() {
+		if done != nil && d.node.alive && d.node.incarnation == inc {
+			done(nil)
+		}
+	})
+}
+
+func (d *diskStorage) FirstIndex() int64 { return d.firstIndex }
+
+func (d *diskStorage) SaveSnapshot(name string, snap env.Snapshot, done func(error)) {
+	inc := d.node.incarnation
+	d.chunked(snap.Size, d.cfg.WriteBandwidth, func() {
+		// Durability point: replace the snapshot atomically. A crash
+		// mid-write leaves the previous snapshot intact.
+		d.snapshots[name] = snap
+		if done != nil && d.node.alive && d.node.incarnation == inc {
+			done(nil)
+		}
+	})
+}
+
+func (d *diskStorage) LoadSnapshot(name string, done func(env.Snapshot, bool)) {
+	snap, ok := d.snapshots[name]
+	var bytes int64
+	if ok {
+		bytes = snap.Size
+	}
+	inc := d.node.incarnation
+	d.chunked(bytes, d.cfg.ReadBandwidth, func() {
+		if d.node.alive && d.node.incarnation == inc {
+			done(snap, ok)
+		}
+	})
+}

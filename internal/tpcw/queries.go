@@ -1,0 +1,230 @@
+package tpcw
+
+import (
+	"sort"
+	"strings"
+)
+
+// This file implements the read-only facade operations behind the TPC-W
+// browsing interactions. Reads are served locally by each replica without
+// total ordering (paper §5.2), so these are plain methods.
+
+// GetBook returns an item by id.
+func (s *Store) GetBook(id ItemID) (Item, bool) {
+	item, ok := s.items[id]
+	if !ok {
+		return Item{}, false
+	}
+	return *item, true
+}
+
+// GetAuthor returns an author by id.
+func (s *Store) GetAuthor(id AuthorID) (Author, bool) {
+	a, ok := s.cat.authors[id]
+	return a, ok
+}
+
+// GetCustomer returns a customer by user name (TPC-W getCustomer).
+func (s *Store) GetCustomer(uname string) (Customer, bool) {
+	id, ok := s.byUName[uname]
+	if !ok {
+		return Customer{}, false
+	}
+	return *s.customers[id], true
+}
+
+// GetCustomerByID returns a customer by id.
+func (s *Store) GetCustomerByID(id CustomerID) (Customer, bool) {
+	c, ok := s.customers[id]
+	if !ok {
+		return Customer{}, false
+	}
+	return *c, true
+}
+
+// GetUserName returns the user name for a customer id (TPC-W GetUserName).
+func (s *Store) GetUserName(id CustomerID) (string, bool) {
+	c, ok := s.customers[id]
+	if !ok {
+		return "", false
+	}
+	return c.UName, true
+}
+
+// GetPassword returns the password for a user name (TPC-W GetPassword).
+func (s *Store) GetPassword(uname string) (string, bool) {
+	c, ok := s.GetCustomer(uname)
+	return c.Passwd, ok
+}
+
+// GetCDiscount returns the customer's discount (TPC-W getCDiscount).
+func (s *Store) GetCDiscount(id CustomerID) (float64, bool) {
+	c, ok := s.customers[id]
+	if !ok {
+		return 0, false
+	}
+	return c.Discount, true
+}
+
+// GetCart returns a shopping cart.
+func (s *Store) GetCart(id CartID) (Cart, bool) {
+	c, ok := s.carts[id]
+	return c, ok
+}
+
+// GetOrder returns an order.
+func (s *Store) GetOrder(id OrderID) (Order, bool) {
+	o, ok := s.orders[id]
+	if !ok {
+		return Order{}, false
+	}
+	return *o, true
+}
+
+// GetMostRecentOrder returns the latest order of the named customer
+// (TPC-W getMostRecentOrder, the order-inquiry/display interactions).
+func (s *Store) GetMostRecentOrder(uname string) (Order, bool) {
+	c, ok := s.GetCustomer(uname)
+	if !ok {
+		return Order{}, false
+	}
+	oid, ok := s.lastOrder[c.ID]
+	if !ok {
+		return Order{}, false
+	}
+	o, ok := s.orders[oid]
+	if !ok {
+		return Order{}, false
+	}
+	return *o, true
+}
+
+// GetRelated returns the related items of a book (TPC-W getRelated).
+func (s *Store) GetRelated(id ItemID) ([5]ItemID, bool) {
+	item, ok := s.items[id]
+	if !ok {
+		return [5]ItemID{}, false
+	}
+	return item.Related, true
+}
+
+// GetStock returns an item's stock level (admin request page).
+func (s *Store) GetStock(id ItemID) (int32, bool) {
+	item, ok := s.items[id]
+	if !ok {
+		return 0, false
+	}
+	return item.Stock, true
+}
+
+// SearchKind selects the TPC-W search type.
+type SearchKind int
+
+// The three TPC-W search types.
+const (
+	SearchByAuthor SearchKind = iota + 1
+	SearchByTitle
+	SearchBySubject
+)
+
+// searchLimit is the TPC-W result page size.
+const searchLimit = 50
+
+// DoSearch implements the search-results interaction for the three TPC-W
+// search types. Matching is by lowercase token for author and title and
+// by exact subject, over the immutable catalog indexes.
+func (s *Store) DoSearch(kind SearchKind, term string) []ItemID {
+	term = strings.ToLower(strings.TrimSpace(term))
+	var ids []ItemID
+	switch kind {
+	case SearchByAuthor:
+		ids = s.cat.authorIndex[term]
+	case SearchByTitle:
+		ids = s.cat.titleIndex[term]
+	case SearchBySubject:
+		ids = s.cat.bySubject[canonicalSubject(term)]
+	}
+	if len(ids) > searchLimit {
+		ids = ids[:searchLimit]
+	}
+	return ids
+}
+
+// GetNewProducts returns the 50 newest items of a subject (TPC-W
+// getNewProducts). The catalog is immutable, so the ranking is
+// precomputed.
+func (s *Store) GetNewProducts(subject string) []ItemID {
+	return s.cat.newBySubject[canonicalSubject(subject)]
+}
+
+// GetBestSellers returns the TPC-W best-sellers page for a subject: the
+// 50 items of that subject with the highest quantity sold across the 3333
+// most recent orders. Rankings are cached and refreshed as orders arrive.
+func (s *Store) GetBestSellers(subject string) []BestSeller {
+	subject = canonicalSubject(subject)
+	if s.bsCache == nil {
+		s.bsCache = make(map[string][]BestSeller)
+	}
+	if cached, ok := s.bsCache[subject]; ok {
+		return cached
+	}
+	ranked := make([]BestSeller, 0, 64)
+	for iid, q := range s.bsQty {
+		if item, ok := s.items[iid]; ok && item.Subject == subject {
+			ranked = append(ranked, BestSeller{Item: iid, Qty: q})
+		}
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].Qty != ranked[j].Qty {
+			return ranked[i].Qty > ranked[j].Qty
+		}
+		return ranked[i].Item < ranked[j].Item
+	})
+	if len(ranked) > searchLimit {
+		ranked = ranked[:searchLimit]
+	}
+	s.bsCache[subject] = ranked
+	return ranked
+}
+
+// VerifyConsistency checks internal invariants; it returns a non-empty
+// list of violations if the state is corrupt. Used by tests and the
+// consistency checks after fault experiments.
+func (s *Store) VerifyConsistency() []string {
+	var bad []string
+	for id, c := range s.customers {
+		if c.ID != id {
+			bad = append(bad, "customer id mismatch")
+		}
+		if got, ok := s.byUName[c.UName]; !ok || got != id {
+			bad = append(bad, "customer uname index broken")
+		}
+		if _, ok := s.addresses[c.Addr]; !ok {
+			bad = append(bad, "customer with dangling address")
+		}
+	}
+	for id, o := range s.orders {
+		if o.ID != id {
+			bad = append(bad, "order id mismatch")
+		}
+		if _, ok := s.customers[o.Customer]; !ok {
+			bad = append(bad, "order with dangling customer")
+		}
+		if len(o.Lines) == 0 {
+			bad = append(bad, "order without lines")
+		}
+		want := o.SubTotal + o.Tax + shippingCost(len(o.Lines))
+		if diff := o.Total - want; diff > 1e-6 || diff < -1e-6 {
+			bad = append(bad, "order total mismatch")
+		}
+	}
+	for _, item := range s.items {
+		if item.Stock < 0 {
+			bad = append(bad, "negative stock")
+		}
+	}
+	if len(bad) > 8 {
+		bad = bad[:8]
+	}
+	return bad
+}

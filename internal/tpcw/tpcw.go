@@ -1,0 +1,259 @@
+// Package tpcw implements the TPC-W on-line bookstore (paper §3) as a
+// deterministic in-memory object model: the nine entity classes of the
+// TPC-W conceptual schema, a facade offering every database operation the
+// fourteen web interactions need, a standard population generator, and the
+// catalog indexes (search, new products, best sellers) the read
+// interactions use.
+//
+// The package follows RobustStore's retrofit rules (paper §4): the store
+// is a black-box deterministic state machine. All writes are expressed as
+// action structs in which every source of non-determinism — timestamps,
+// random discounts, random item picks — has already been resolved by the
+// caller and travels inside the action, so every replica computes the
+// identical state.
+//
+// State sizing: alongside the real in-memory representation, the store
+// tracks a calibrated nominal byte size per entity so checkpoints have the
+// paper's state-size behaviour (300/500/700 MB for 30/50/70 emulated
+// browsers) without allocating that much memory; population counts can be
+// further reduced by a documented factor while keeping nominal accounting
+// at full scale (see DESIGN.md, substitutions).
+package tpcw
+
+import (
+	"time"
+)
+
+// Entity identifiers. Dense positive integers assigned by the store.
+type (
+	CountryID  int32
+	AddressID  int32
+	AuthorID   int32
+	CustomerID int32
+	ItemID     int32
+	OrderID    int32
+	CartID     int32
+)
+
+// Country is a TPC-W COUNTRY row.
+type Country struct {
+	ID       CountryID
+	Name     string
+	Currency string
+	Exchange float64
+}
+
+// Address is a TPC-W ADDRESS row.
+type Address struct {
+	ID      AddressID
+	Street1 string
+	Street2 string
+	City    string
+	State   string
+	Zip     string
+	Country CountryID
+}
+
+// Author is a TPC-W AUTHOR row.
+type Author struct {
+	ID    AuthorID
+	FName string
+	MName string
+	LName string
+	DOB   time.Time
+	Bio   string
+}
+
+// Customer is a TPC-W CUSTOMER row.
+type Customer struct {
+	ID         CustomerID
+	UName      string
+	Passwd     string
+	FName      string
+	LName      string
+	Addr       AddressID
+	Phone      string
+	Email      string
+	Since      time.Time
+	LastLogin  time.Time
+	Login      time.Time
+	Expiration time.Time
+	Discount   float64
+	Balance    float64
+	YTDPmt     float64
+	BirthDate  time.Time
+	Data       string
+}
+
+// Item is a TPC-W ITEM row (a book).
+type Item struct {
+	ID        ItemID
+	Title     string
+	Author    AuthorID
+	PubDate   time.Time
+	Publisher string
+	Subject   string
+	Desc      string
+	Thumbnail string
+	Image     string
+	SRP       float64 // suggested retail price
+	Cost      float64
+	Avail     time.Time
+	Stock     int32
+	ISBN      string
+	PageCount int32
+	Backing   string
+	Related   [5]ItemID
+}
+
+// OrderLine is a TPC-W ORDER_LINE row.
+type OrderLine struct {
+	Item     ItemID
+	Qty      int32
+	Discount float64
+	Comments string
+}
+
+// CCTransaction is a TPC-W CC_XACTS row, embedded in its order.
+type CCTransaction struct {
+	Type    string
+	Num     string
+	Name    string
+	Expire  time.Time
+	AuthID  string
+	Total   float64
+	ShipAt  time.Time
+	Country CountryID
+}
+
+// Order is a TPC-W ORDERS row with its lines and credit-card transaction.
+type Order struct {
+	ID       OrderID
+	Customer CustomerID
+	Date     time.Time
+	SubTotal float64
+	Tax      float64
+	Total    float64
+	ShipType string
+	ShipDate time.Time
+	Status   string
+	BillAddr AddressID
+	ShipAddr AddressID
+	Lines    []OrderLine
+	CC       CCTransaction
+}
+
+// CartLine is one item in a shopping cart.
+type CartLine struct {
+	Item ItemID
+	Qty  int32
+}
+
+// Cart is a TPC-W SHOPPING_CART row with its lines.
+type Cart struct {
+	ID    CartID
+	Time  time.Time
+	Lines []CartLine
+}
+
+// Nominal per-entity sizes in bytes, calibrated so the standard population
+// for 30/50/70 emulated browsers models the paper's 300/500/700 MB states
+// (§5.1) and the ordering profile grows the state at the paper's observed
+// rate (≈ +250 MB over one measurement interval at 30 EBs).
+const (
+	nominalCustomer = 1000
+	nominalAddress  = 350
+	nominalAuthor   = 900
+	nominalItem     = 2200
+	nominalOrder    = 900
+	nominalLine     = 200
+	nominalCC       = 300
+	nominalCart     = 300
+	nominalCartLine = 48
+)
+
+// catalog is the immutable part of the store: entities and indexes that no
+// web interaction mutates. It is shared (by reference) between snapshots,
+// which keeps checkpoint copies cheap while the mutable maps are deep
+// copied.
+type catalog struct {
+	countries []Country
+	authors   map[AuthorID]Author
+
+	bySubject    map[string][]ItemID // all items per subject
+	newBySubject map[string][]ItemID // 50 newest per subject (new products page)
+	titleIndex   map[string][]ItemID // lowercase title token -> items
+	authorIndex  map[string][]ItemID // lowercase author last-name token -> items
+	subjects     []string
+	itemCount    int32
+}
+
+// Store is the bookstore state machine: the critical state RobustStore
+// replicates through Treplica (paper §4, task I). All mutation goes
+// through Apply with action structs; reads are plain methods.
+type Store struct {
+	cat *catalog
+
+	// The big entity maps hold pointers with a copy-on-write
+	// discipline: a pointed-to struct is never mutated in place after
+	// insertion (mutations replace the pointer with a fresh copy).
+	// Snapshots can therefore share the pointed-to values and copy only
+	// the maps, which keeps checkpoint capture cheap.
+	items     map[ItemID]*Item
+	customers map[CustomerID]*Customer
+	byUName   map[string]CustomerID
+	addresses map[AddressID]*Address
+	orders    map[OrderID]*Order
+	carts     map[CartID]Cart
+
+	// lastOrder indexes each customer's most recent order (the TPC-W
+	// getMostRecentOrder query is a SQL max; this is its index).
+	lastOrder map[CustomerID]OrderID
+
+	// recentOrders is the ring of the last bestSellerWindow order IDs
+	// that the TPC-W best-sellers query is defined over.
+	recentOrders []OrderID
+
+	nextAddress  AddressID
+	nextCustomer CustomerID
+	nextOrder    OrderID
+	nextCart     CartID
+
+	// bsQty is the rolling quantity-sold aggregate over the
+	// recentOrders window, maintained incrementally as orders enter and
+	// leave it, so the best-sellers query never rescans the window.
+	bsQty map[ItemID]int64
+
+	// ordersSinceBS invalidates the best-sellers cache (TPC-W allows
+	// 30 s of staleness; we refresh every bestSellerRefresh orders).
+	ordersSinceBS int
+	bsCache       map[string][]BestSeller
+
+	nominalBytes int64
+}
+
+// bestSellerWindow is the TPC-W definition: best sellers are computed over
+// the 3333 most recent orders.
+const bestSellerWindow = 3333
+
+// bestSellerRefresh is how many new orders invalidate the cached ranking.
+const bestSellerRefresh = 100
+
+// BestSeller is one row of the best-sellers page.
+type BestSeller struct {
+	Item ItemID
+	Qty  int64
+}
+
+// NominalBytes returns the modeled serialized state size in bytes — the
+// quantity the paper reports as "state size" and that drives checkpoint
+// and recovery I/O.
+func (s *Store) NominalBytes() int64 { return s.nominalBytes }
+
+// Counts returns entity counts, for tests and reporting.
+func (s *Store) Counts() (items, customers, orders, carts int) {
+	return len(s.items), len(s.customers), len(s.orders), len(s.carts)
+}
+
+// Subjects returns the TPC-W subject list.
+func (s *Store) Subjects() []string { return s.cat.subjects }

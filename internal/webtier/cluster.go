@@ -1,0 +1,254 @@
+package webtier
+
+import (
+	"time"
+
+	"robuststore/internal/core"
+	"robuststore/internal/env"
+	"robuststore/internal/paxos"
+	"robuststore/internal/rbe"
+	"robuststore/internal/sim"
+	"robuststore/internal/tpcw"
+)
+
+// Config parameterizes a simulated RobustStore deployment: k server
+// replicas plus one proxy node on one switch (paper Figure 2).
+type Config struct {
+	// Servers is the replication degree (paper: 4–12).
+	Servers int
+
+	// FastPaxos enables Treplica's fast mode.
+	FastPaxos bool
+
+	// Store builds the populated bookstore for a (re)starting server.
+	Store func() *tpcw.Store
+
+	// Cal is the hardware performance model.
+	Cal Calibration
+
+	// CheckpointInterval and RetainInstances configure Treplica
+	// checkpointing (see core.Config).
+	CheckpointInterval time.Duration
+	RetainInstances    int64
+
+	// Paxos carries engine tuning overrides.
+	Paxos paxos.Config
+
+	// SequentialRecovery disables Treplica's parallel recovery
+	// (ablation; see core.Config).
+	SequentialRecovery bool
+
+	// Sim parameters.
+	Seed uint64
+	Net  sim.NetConfig
+	Disk sim.DiskConfig
+
+	// WatchdogInterval is how often each node's watchdog checks its
+	// application server (paper §5.1: restart "as soon as it detects
+	// the crash"). Default 1 s.
+	WatchdogInterval time.Duration
+
+	// OnRecovered reports a server that finished post-crash
+	// re-synchronization.
+	OnRecovered func(server int, at time.Time)
+}
+
+// Cluster wires servers, proxy, watchdog and faultload over a simulator.
+type Cluster struct {
+	cfg Config
+	sim *sim.Sim
+
+	serverIDs []env.NodeID
+	proxyID   env.NodeID
+	servers   []*Server
+	proxy     *Proxy
+
+	// FailDebug, when non-nil, accumulates write-failure reasons.
+	FailDebug map[string]int
+
+	auto          []bool // watchdog auto-restart enabled per server
+	faults        int
+	interventions int
+	crashedAt     []time.Time
+}
+
+// NewCluster builds the deployment. Call Start before driving load.
+func NewCluster(cfg Config) *Cluster {
+	if cfg.Servers <= 0 {
+		panic("webtier: Config.Servers must be positive")
+	}
+	if cfg.Store == nil {
+		panic("webtier: Config.Store is required")
+	}
+	if cfg.WatchdogInterval == 0 {
+		cfg.WatchdogInterval = time.Second
+	}
+	if cfg.Cal.PageSize == 0 {
+		cfg.Cal = DefaultCalibration()
+	}
+	c := &Cluster{
+		cfg:       cfg,
+		servers:   make([]*Server, cfg.Servers),
+		auto:      make([]bool, cfg.Servers),
+		crashedAt: make([]time.Time, cfg.Servers),
+	}
+	c.sim = sim.New(sim.Config{Seed: cfg.Seed, Net: cfg.Net, Disk: cfg.Disk})
+	for i := 0; i < cfg.Servers; i++ {
+		idx := i
+		c.auto[i] = true
+		id := c.sim.AddNode(func() env.Node {
+			s := &Server{c: c, idx: idx}
+			c.servers[idx] = s
+			return s
+		})
+		c.serverIDs = append(c.serverIDs, id)
+	}
+	c.proxyID = c.sim.AddNode(func() env.Node {
+		p := &Proxy{c: c}
+		c.proxy = p
+		return p
+	})
+	return c
+}
+
+// Sim exposes the simulator for scheduling workload and faultloads.
+func (c *Cluster) Sim() *sim.Sim { return c.sim }
+
+// Start boots all nodes and the watchdogs.
+func (c *Cluster) Start() {
+	c.sim.StartAll()
+	c.sim.After(c.cfg.WatchdogInterval, c.watchdog)
+}
+
+// watchdog re-instantiates crashed application servers automatically
+// (paper §5.1), unless auto-restart was disabled for the delayed-recovery
+// faultload.
+func (c *Cluster) watchdog() {
+	for i, id := range c.serverIDs {
+		if !c.sim.Alive(id) && c.auto[i] {
+			c.sim.Restart(id)
+		}
+	}
+	c.sim.After(c.cfg.WatchdogInterval, c.watchdog)
+}
+
+// Crash kills server i abruptly (OS-level kill, §5.1). In-flight requests
+// there surface as client errors after the connection-reset delay.
+func (c *Cluster) Crash(i int) {
+	if !c.sim.Alive(c.serverIDs[i]) {
+		return
+	}
+	c.faults++
+	c.crashedAt[i] = c.sim.Now()
+	c.sim.Crash(c.serverIDs[i])
+	c.sim.After(time.Millisecond, func() {
+		if c.proxy != nil {
+			c.proxy.onServerReset(i)
+		}
+	})
+}
+
+// SetAutoRestart enables or disables the watchdog for server i.
+func (c *Cluster) SetAutoRestart(i int, auto bool) { c.auto[i] = auto }
+
+// ManualRecover restarts server i by operator intervention (the delayed
+// recovery of §5.6) and counts it against autonomy.
+func (c *Cluster) ManualRecover(i int) {
+	c.interventions++
+	c.auto[i] = true
+	c.sim.Restart(c.serverIDs[i])
+}
+
+// CrashedAt returns when server i last crashed.
+func (c *Cluster) CrashedAt(i int) time.Time { return c.crashedAt[i] }
+
+// Faults returns injected fault count; Interventions the number of human
+// interventions (autonomy measure).
+func (c *Cluster) Faults() int        { return c.faults }
+func (c *Cluster) Interventions() int { return c.interventions }
+
+// ProxyStats returns error-cause diagnostics.
+func (c *Cluster) ProxyStats() ProxyStats {
+	if c.proxy == nil {
+		return ProxyStats{}
+	}
+	return c.proxy.Stats
+}
+
+// Downtime returns total full-outage time observed at the proxy.
+func (c *Cluster) Downtime() time.Duration {
+	if c.proxy == nil {
+		return 0
+	}
+	return c.proxy.Downtime()
+}
+
+// Frontend returns the client-facing interface (the proxy).
+func (c *Cluster) Frontend() rbe.Frontend { return frontend{c: c} }
+
+type frontend struct{ c *Cluster }
+
+func (f frontend) Do(req rbe.Request, done func(rbe.Response)) {
+	f.c.proxy.Do(req, done)
+}
+
+// CheckpointAll forces a durable checkpoint on every live server and calls
+// done when all have completed — used to install the initial population
+// checkpoint before the measurement interval.
+func (c *Cluster) CheckpointAll(done func()) {
+	remaining := 0
+	for i, id := range c.serverIDs {
+		if !c.sim.Alive(id) {
+			continue
+		}
+		remaining++
+		srv := c.servers[i]
+		srv.replica.Checkpoint(func() {
+			remaining--
+			if remaining == 0 && done != nil {
+				done()
+			}
+		})
+	}
+	if remaining == 0 && done != nil {
+		done()
+	}
+}
+
+// accepting reports whether server i accepts TCP connections: the process
+// is running and its HTTP listener is up (application state loaded). A
+// restarting server refuses connections until then, which the proxy
+// treats as an instant dispatch failure, not a client error.
+func (c *Cluster) accepting(i int) bool {
+	if !c.sim.Alive(c.serverIDs[i]) {
+		return false
+	}
+	s := c.servers[i]
+	return s != nil && s.replica != nil && s.replica.Ready()
+}
+
+// Server returns the current incarnation of server i (nil while crashed).
+func (c *Cluster) Server(i int) *Server {
+	if !c.sim.Alive(c.serverIDs[i]) {
+		return nil
+	}
+	return c.servers[i]
+}
+
+// Store returns server i's bookstore state (for consistency checks).
+func (c *Cluster) Store(i int) *tpcw.Store {
+	s := c.Server(i)
+	if s == nil {
+		return nil
+	}
+	return s.store
+}
+
+// Replica returns server i's Treplica replica (nil while crashed).
+func (c *Cluster) Replica(i int) *core.Replica {
+	s := c.Server(i)
+	if s == nil {
+		return nil
+	}
+	return s.replica
+}

@@ -1,0 +1,276 @@
+package webtier
+
+import (
+	"sort"
+	"time"
+
+	"robuststore/internal/env"
+	"robuststore/internal/rbe"
+	"robuststore/internal/sim"
+)
+
+// Proxy models the HAProxy node of the paper's setup (§5.1, Figure 2):
+//
+//   - it actively probes every server with an HTTP-like health check and
+//     removes a server from rotation after 4 unsuccessful probes, re-adding
+//     it when a probe succeeds again;
+//   - it balances requests across the in-rotation servers with a hash of
+//     the unique client identifier;
+//   - a request in flight on a server that crashes is observed by the
+//     client as an error (the closed connection), while requests to a dead
+//     server that were not yet sent are transparently redispatched
+//     (connection refused → next server); idempotent reads interrupted
+//     mid-flight are also redispatched once, writes are not.
+type Proxy struct {
+	c *Cluster
+	e env.Env
+
+	cpu    *sim.Resource
+	nextID int64
+
+	outstanding map[int64]*outReq
+
+	up        []bool
+	failCount []int
+	probeSeq  int64
+	probes    map[int64]int // probe seq -> server index
+
+	// noServiceSince tracks complete outages for the availability
+	// measure.
+	noServiceSince time.Time
+	downtime       time.Duration
+
+	// Diagnostics: why client errors happened.
+	Stats ProxyStats
+}
+
+// ProxyStats counts client-visible error causes, for tests and
+// diagnostics.
+type ProxyStats struct {
+	ErrTimeout    int
+	ErrReset      int
+	ErrNoServer   int
+	ErrServerSide int
+	Redispatched  int
+}
+
+type outReq struct {
+	req      rbe.Request
+	done     func(rbe.Response)
+	server   int // index into cluster servers
+	attempts int
+	timer    env.Timer
+	finished bool
+}
+
+var _ env.Node = (*Proxy)(nil)
+
+// Start implements env.Node.
+func (p *Proxy) Start(e env.Env) {
+	p.e = e
+	p.cpu = sim.NewResource(p.c.sim, 2)
+	n := p.c.cfg.Servers
+	p.outstanding = make(map[int64]*outReq)
+	p.up = make([]bool, n)
+	for i := range p.up {
+		p.up[i] = true
+	}
+	p.failCount = make([]int, n)
+	p.probes = make(map[int64]int)
+	p.e.After(p.c.cfg.Cal.ProbeInterval, p.probeLoop)
+}
+
+// Receive implements env.Node.
+func (p *Proxy) Receive(from env.NodeID, msg env.Message) {
+	switch m := msg.(type) {
+	case respMsg:
+		p.onResponse(m)
+	case probeRespMsg:
+		p.onProbeResp(m)
+	}
+}
+
+// Do accepts one client interaction. It must be called from simulator
+// context (the RBE population runs inside the event loop).
+func (p *Proxy) Do(req rbe.Request, done func(rbe.Response)) {
+	p.cpu.Acquire(p.c.cfg.Cal.ProxyService, func() {
+		p.dispatch(&outReq{req: req, done: done})
+	})
+}
+
+// dispatch routes a request to a live, in-rotation server.
+func (p *Proxy) dispatch(r *outReq) {
+	candidates := p.candidates()
+	if len(candidates) == 0 {
+		p.markNoService()
+		p.Stats.ErrNoServer++
+		p.finish(r, rbe.Response{Err: true})
+		return
+	}
+	p.clearNoService()
+	r.attempts++
+	r.server = candidates[int(hash64(uint64(r.req.Client))%uint64(len(candidates)))]
+	p.nextID++
+	id := p.nextID
+	p.outstanding[id] = r
+	if r.timer == nil {
+		r.timer = p.e.After(p.c.cfg.Cal.ReqTimeout, func() {
+			p.expire(id)
+		})
+	}
+	p.e.Send(p.c.serverIDs[r.server], reqMsg{ID: id, Req: r.req})
+}
+
+// candidates returns in-rotation servers that also accept connections
+// right now (a dead or still-booting process refuses instantly, which
+// HAProxy treats as an immediate dispatch failure, not a client error).
+func (p *Proxy) candidates() []int {
+	out := make([]int, 0, len(p.up))
+	for i, up := range p.up {
+		if up && p.c.accepting(i) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func (p *Proxy) onResponse(m respMsg) {
+	r, ok := p.outstanding[m.ID]
+	if !ok {
+		return // superseded (redispatch) or expired
+	}
+	delete(p.outstanding, m.ID)
+	if m.Resp.Err && !r.req.Kind.IsWrite() && r.attempts < 2 {
+		// A read that failed server-side (e.g. still warming up) gets
+		// one transparent retry.
+		p.Stats.Redispatched++
+		p.dispatch(r)
+		return
+	}
+	if m.Resp.Err {
+		p.Stats.ErrServerSide++
+	}
+	p.finish(r, m.Resp)
+}
+
+func (p *Proxy) finish(r *outReq, resp rbe.Response) {
+	if r.finished {
+		return
+	}
+	r.finished = true
+	if r.timer != nil {
+		r.timer.Stop()
+	}
+	r.done(resp)
+}
+
+func (p *Proxy) expire(id int64) {
+	r, ok := p.outstanding[id]
+	if !ok {
+		return
+	}
+	delete(p.outstanding, id)
+	p.Stats.ErrTimeout++
+	p.finish(r, rbe.Response{Err: true})
+}
+
+// onServerReset handles the TCP-level connection resets observed when a
+// server process is killed: requests in flight there fail — reads are
+// redispatched once (idempotent GETs), writes surface as client errors,
+// which is what the paper's accuracy measure counts.
+func (p *Proxy) onServerReset(server int) {
+	// Iterate in request order so redispatches are deterministic.
+	ids := make([]int64, 0, len(p.outstanding))
+	for id, r := range p.outstanding {
+		if r.server == server {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		r := p.outstanding[id]
+		delete(p.outstanding, id)
+		if !r.req.Kind.IsWrite() && r.attempts < 2 {
+			p.Stats.Redispatched++
+			p.dispatch(r)
+			continue
+		}
+		p.Stats.ErrReset++
+		p.finish(r, rbe.Response{Err: true})
+	}
+}
+
+// probeLoop sends one health probe per server per interval.
+func (p *Proxy) probeLoop() {
+	cal := p.c.cfg.Cal
+	for i := range p.up {
+		if !p.c.accepting(i) {
+			// Connection refused: an instant probe failure.
+			p.probeFailed(i)
+			continue
+		}
+		p.probeSeq++
+		seq := p.probeSeq
+		p.probes[seq] = i
+		p.e.Send(p.c.serverIDs[i], probeMsg{Seq: seq})
+		p.e.After(cal.ProbeTimeout, func() {
+			if srv, pending := p.probes[seq]; pending {
+				delete(p.probes, seq)
+				p.probeFailed(srv)
+			}
+		})
+	}
+	p.e.After(cal.ProbeInterval, p.probeLoop)
+}
+
+func (p *Proxy) onProbeResp(m probeRespMsg) {
+	srv, pending := p.probes[m.Seq]
+	if !pending {
+		return
+	}
+	delete(p.probes, m.Seq)
+	if m.OK {
+		p.failCount[srv] = 0
+		p.up[srv] = true
+		return
+	}
+	p.probeFailed(srv)
+}
+
+func (p *Proxy) probeFailed(srv int) {
+	p.failCount[srv]++
+	if p.failCount[srv] >= p.c.cfg.Cal.ProbeFailures {
+		p.up[srv] = false
+	}
+}
+
+func (p *Proxy) markNoService() {
+	if p.noServiceSince.IsZero() {
+		p.noServiceSince = p.e.Now()
+	}
+}
+
+func (p *Proxy) clearNoService() {
+	if !p.noServiceSince.IsZero() {
+		p.downtime += p.e.Now().Sub(p.noServiceSince)
+		p.noServiceSince = time.Time{}
+	}
+}
+
+// Downtime returns the cumulative time during which no server was
+// available to take requests.
+func (p *Proxy) Downtime() time.Duration {
+	d := p.downtime
+	if !p.noServiceSince.IsZero() {
+		d += p.e.Now().Sub(p.noServiceSince)
+	}
+	return d
+}
+
+// hash64 is a splitmix64 finalizer used for client-to-server hashing.
+func hash64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

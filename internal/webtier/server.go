@@ -1,0 +1,425 @@
+// Package webtier models RobustStore's deployment tier (paper Figure 2):
+// Tomcat-like replica servers that serve the fourteen TPC-W interactions
+// over a Treplica-replicated bookstore, an HAProxy-like reverse proxy with
+// probe-based failover and client-hash balancing, a watchdog that restarts
+// crashed servers automatically, and the faultload controller that injects
+// the paper's three crash scenarios.
+package webtier
+
+import (
+	"strconv"
+	"time"
+
+	"robuststore/internal/core"
+	"robuststore/internal/env"
+	"robuststore/internal/rbe"
+	"robuststore/internal/sim"
+	"robuststore/internal/tpcw"
+)
+
+// Messages between proxy and servers.
+
+type reqMsg struct {
+	ID  int64
+	Req rbe.Request
+}
+
+func (m reqMsg) WireSize() int64 { return 512 }
+
+type respMsg struct {
+	ID   int64
+	Resp rbe.Response
+	Page int64
+}
+
+func (m respMsg) WireSize() int64 { return 96 + m.Page }
+
+type probeMsg struct {
+	Seq int64
+}
+
+func (m probeMsg) WireSize() int64 { return 128 }
+
+type probeRespMsg struct {
+	Seq int64
+	OK  bool
+}
+
+func (m probeRespMsg) WireSize() int64 { return 128 }
+
+// Server is one application-server replica: an env.Node wrapping a
+// Treplica replica over the bookstore store plus a CPU model. A fresh
+// Server is built per incarnation; the simulated disk underneath survives.
+type Server struct {
+	c   *Cluster
+	idx int
+
+	e       env.Env
+	cpu     *sim.Resource
+	replica *core.Replica
+	store   *tpcw.Store
+
+	// promoted tracks old-generation promotion since the last modeled
+	// GC pause.
+	promoted int64
+
+	// caughtUp becomes true once post-recovery log replay has drained
+	// from the CPU; only then does the server pass health probes and
+	// count as operational (the paper measures recovery up to the
+	// moment the replica "is ready to proceed as if it had not
+	// crashed", §2).
+	caughtUp bool
+}
+
+var _ env.Node = (*Server)(nil)
+
+// Start implements env.Node.
+func (s *Server) Start(e env.Env) {
+	s.e = e
+	s.cpu = sim.NewResource(s.c.sim, 1)
+	cal := s.c.cfg.Cal
+	pcfg := s.c.cfg.Paxos
+	// The consensus group is the servers only — the proxy node is not a
+	// Treplica member.
+	pcfg.Members = s.c.serverIDs
+	cfg := core.Config{
+		FastPaxos:          s.c.cfg.FastPaxos,
+		CheckpointInterval: s.c.cfg.CheckpointInterval,
+		RetainInstances:    s.c.cfg.RetainInstances,
+		ActionSize:         tpcw.ActionSize,
+		Paxos:              pcfg,
+		SequentialRecovery: s.c.cfg.SequentialRecovery,
+		Machine: func() core.StateMachine {
+			s.store = s.c.cfg.Store()
+			return &serverMachine{s: s}
+		},
+		OnCheckpoint: func(size int64) {
+			// Serialization pause: the CPU is busy, queueing requests.
+			s.cpu.Acquire(cal.checkpointPause(size), nil)
+		},
+		OnReady: func() {
+			// A fresh (never-crashed) server is operational as soon as
+			// its state is in place; a recovering one waits for
+			// OnRecovered plus replay drain.
+			if s.replica.Recovered() {
+				s.caughtUp = true
+			}
+		},
+		OnRecovered: func() {
+			// The consensus layer is re-synchronized, but the replayed
+			// backlog still occupies the CPU; the replica is
+			// operational once that drains.
+			s.awaitReplayDrain()
+		},
+	}
+	s.replica = core.NewReplica(cfg)
+	s.replica.Start(e)
+}
+
+// awaitReplayDrain polls the CPU queue and declares the server recovered
+// when the replay work is done.
+func (s *Server) awaitReplayDrain() {
+	if s.cpu.QueueLen() == 0 {
+		s.caughtUp = true
+		if s.c.cfg.OnRecovered != nil {
+			s.c.cfg.OnRecovered(s.idx, s.e.Now())
+		}
+		return
+	}
+	s.e.After(250*time.Millisecond, s.awaitReplayDrain)
+}
+
+// operational reports whether this server should pass health probes.
+func (s *Server) operational() bool {
+	if s.replica == nil || !s.replica.Ready() {
+		return false
+	}
+	if !s.replica.Recovered() {
+		return false
+	}
+	return s.caughtUp
+}
+
+// Receive implements env.Node: it multiplexes proxy traffic and consensus
+// traffic.
+func (s *Server) Receive(from env.NodeID, msg env.Message) {
+	switch m := msg.(type) {
+	case reqMsg:
+		s.handleRequest(from, m)
+	case probeMsg:
+		// The probe is an HTTP request: it queues on the same CPU as
+		// real requests, so a server drowning in replay work misses
+		// the probe deadline exactly like a real Tomcat would.
+		s.cpu.Acquire(200*time.Microsecond, func() {
+			s.e.Send(from, probeRespMsg{Seq: m.Seq, OK: s.operational()})
+		})
+	default:
+		s.replica.Receive(from, msg)
+	}
+}
+
+// serverMachine wraps the bookstore store to charge the active-replication
+// CPU cost: every replica executes every write, and the consensus leader
+// additionally pays per-peer messaging cost per ordered action.
+type serverMachine struct {
+	s *Server
+}
+
+func (m *serverMachine) Execute(action any) any {
+	result := m.s.store.Apply(action)
+	cal := m.s.c.cfg.Cal
+	cost := cal.applyCPU(action)
+	if m.s.replica != nil && m.s.replica.IsLeader() {
+		cost += time.Duration(m.s.c.cfg.Servers) * cal.LeaderMsgCPU
+	}
+	// JVM old-generation promotion: enough of it triggers a
+	// stop-the-world collection proportional to the live set.
+	m.s.promoted += cal.actionPromoted(action)
+	if cal.GCPromotedLimit > 0 && m.s.promoted >= cal.GCPromotedLimit {
+		m.s.promoted = 0
+		cost += cal.gcPause(m.s.store.NominalBytes())
+	}
+	m.s.cpu.Acquire(cost, nil)
+	return result
+}
+
+func (m *serverMachine) Snapshot() (any, int64) { return m.s.store.Snapshot() }
+func (m *serverMachine) Restore(data any)       { m.s.store.Restore(data) }
+
+// CPUQueue returns the server CPU queue length (diagnostics).
+func (s *Server) CPUQueue() int { return s.cpu.QueueLen() }
+
+// handleRequest serves one web interaction.
+func (s *Server) handleRequest(proxy env.NodeID, m reqMsg) {
+	if s.replica == nil || !s.replica.Ready() {
+		s.e.Send(proxy, respMsg{ID: m.ID, Resp: rbe.Response{Err: true}})
+		return
+	}
+	cal := s.c.cfg.Cal
+	if !m.Req.Kind.IsWrite() {
+		s.cpu.Acquire(cal.readService(m.Req.Kind), func() {
+			resp := s.performRead(m.Req)
+			s.e.Send(proxy, respMsg{ID: m.ID, Resp: resp, Page: cal.PageSize})
+		})
+		return
+	}
+	s.cpu.Acquire(cal.WriteParse, func() {
+		s.performWrite(proxy, m)
+	})
+}
+
+// reply sends a write result back through a render slot.
+func (s *Server) reply(proxy env.NodeID, id int64, resp rbe.Response) {
+	s.cpu.Acquire(s.c.cfg.Cal.WriteRender, func() {
+		s.e.Send(proxy, respMsg{ID: id, Resp: resp, Page: s.c.cfg.Cal.PageSize})
+	})
+}
+
+// performWrite builds the deterministic action for a write interaction —
+// resolving timestamps and random values here, in the facade, before the
+// action is submitted (paper §4, task II) — and replies when the action
+// has been ordered and applied locally.
+func (s *Server) performWrite(proxy env.NodeID, m reqMsg) {
+	req := m.Req
+	now := s.e.Now()
+	rng := s.e.Rand()
+	fail := func() { s.reply(proxy, m.ID, rbe.Response{Err: true}) }
+	failR := func(result any, err error) {
+		if s.c.FailDebug != nil {
+			reason := req.Kind.String()
+			if err != nil {
+				reason += ":" + err.Error()
+			} else {
+				switch r := result.(type) {
+				case tpcw.CartResult:
+					reason += ":" + r.Err
+				case tpcw.BuyConfirmResult:
+					reason += ":" + r.Err
+				default:
+					reason += ":badtype"
+				}
+			}
+			s.c.FailDebug[reason]++
+		}
+		fail()
+	}
+	_ = failR
+
+	switch req.Kind {
+	case rbe.ShoppingCart:
+		action := tpcw.CartUpdateAction{
+			Cart:       req.Cart,
+			AddItem:    req.Item,
+			AddQty:     req.Qty,
+			RandomItem: req.Item,
+			Now:        now,
+		}
+		s.replica.Submit(action, func(result any, err error) {
+			cr, ok := result.(tpcw.CartResult)
+			if err != nil || !ok || cr.Err != "" {
+				failR(result, err)
+				return
+			}
+			s.reply(proxy, m.ID, rbe.Response{Cart: cr.Cart.ID})
+		})
+
+	case rbe.CustomerRegistration:
+		action := tpcw.CreateCustomerAction{
+			FName:     "F" + strconv.Itoa(rng.Intn(10000)),
+			LName:     "L" + strconv.Itoa(rng.Intn(10000)),
+			Street1:   strconv.Itoa(rng.Intn(999)) + " Web St",
+			City:      "City" + strconv.Itoa(rng.Intn(500)),
+			State:     "ST",
+			Zip:       strconv.Itoa(10000 + rng.Intn(89999)),
+			Country:   tpcw.CountryID(rng.Intn(92) + 1),
+			Phone:     strconv.Itoa(1000000000 + int(rng.Int63n(899999999))),
+			Email:     "x@example.com",
+			BirthDate: now.AddDate(-18-rng.Intn(60), 0, 0),
+			Data:      "data",
+			Discount:  float64(rng.Intn(51)), // random discount, drawn pre-submit
+			Now:       now,
+		}
+		s.replica.Submit(action, func(result any, err error) {
+			cr, ok := result.(tpcw.CreateCustomerResult)
+			if err != nil || !ok {
+				fail()
+				return
+			}
+			s.reply(proxy, m.ID, rbe.Response{
+				Customer: cr.Customer.ID,
+				UName:    cr.Customer.UName,
+			})
+		})
+
+	case rbe.BuyRequest:
+		refresh := func(cart tpcw.CartID) {
+			s.replica.Submit(tpcw.RefreshSessionAction{Customer: req.Customer, Now: now},
+				func(_ any, err error) {
+					if err != nil {
+						fail()
+						return
+					}
+					s.reply(proxy, m.ID, rbe.Response{Cart: cart})
+				})
+		}
+		if req.Cart == 0 {
+			// TPC-W: add a (caller-chosen) random item if the session
+			// has no cart yet.
+			s.replica.Submit(tpcw.CartUpdateAction{RandomItem: req.Item, Now: now},
+				func(result any, err error) {
+					cr, ok := result.(tpcw.CartResult)
+					if err != nil || !ok || cr.Err != "" {
+						fail()
+						return
+					}
+					refresh(cr.Cart.ID)
+				})
+			return
+		}
+		refresh(req.Cart)
+
+	case rbe.BuyConfirm:
+		confirm := func(cart tpcw.CartID) {
+			action := tpcw.BuyConfirmAction{
+				Cart:     cart,
+				Customer: req.Customer,
+				CCType:   "VISA",
+				CCNum:    "4111111111111111",
+				CCName:   "Card Holder",
+				CCExpire: now.AddDate(2, 0, 0),
+				ShipType: "AIR",
+				ShipDate: now.AddDate(0, 0, 1+rng.Intn(7)), // random pre-submit
+				Now:      now,
+			}
+			s.replica.Submit(action, func(result any, err error) {
+				br, ok := result.(tpcw.BuyConfirmResult)
+				if err != nil || !ok || br.Err != "" {
+					failR(result, err)
+					return
+				}
+				s.reply(proxy, m.ID, rbe.Response{Order: br.Order})
+			})
+		}
+		if req.Cart == 0 {
+			s.replica.Submit(tpcw.CartUpdateAction{RandomItem: req.Item, Now: now},
+				func(result any, err error) {
+					cr, ok := result.(tpcw.CartResult)
+					if err != nil || !ok || cr.Err != "" {
+						fail()
+						return
+					}
+					confirm(cr.Cart.ID)
+				})
+			return
+		}
+		confirm(req.Cart)
+
+	case rbe.AdminConfirm:
+		item, ok := s.store.GetBook(req.Item)
+		if !ok {
+			fail()
+			return
+		}
+		action := tpcw.AdminUpdateAction{
+			Item:      req.Item,
+			Cost:      item.SRP * (0.5 + rng.Float64()*0.5), // random pre-submit
+			Image:     "img/full/new" + strconv.Itoa(rng.Intn(1000)),
+			Thumbnail: "img/thumb/new" + strconv.Itoa(rng.Intn(1000)),
+			Now:       now,
+		}
+		s.replica.Submit(action, func(_ any, err error) {
+			if err != nil {
+				fail()
+				return
+			}
+			s.reply(proxy, m.ID, rbe.Response{})
+		})
+
+	default:
+		fail()
+	}
+}
+
+// performRead serves the read-only interactions directly from the local
+// replica (no total ordering; paper §5.2).
+func (s *Server) performRead(req rbe.Request) rbe.Response {
+	st := s.store
+	switch req.Kind {
+	case rbe.Home:
+		st.GetBook(req.Item)
+		if rel, ok := st.GetRelated(req.Item); ok {
+			for _, r := range rel {
+				st.GetBook(r)
+			}
+		}
+	case rbe.NewProducts:
+		for _, id := range st.GetNewProducts(req.Subject) {
+			st.GetBook(id)
+		}
+	case rbe.BestSellers:
+		for _, bs := range st.GetBestSellers(req.Subject) {
+			st.GetBook(bs.Item)
+		}
+	case rbe.ProductDetail:
+		if item, ok := st.GetBook(req.Item); ok {
+			st.GetAuthor(item.Author)
+		}
+	case rbe.SearchRequest:
+		// Static form page.
+	case rbe.SearchResults:
+		for _, id := range st.DoSearch(req.SearchKind, req.SearchTerm) {
+			st.GetBook(id)
+		}
+	case rbe.OrderInquiry:
+		// Static form page.
+	case rbe.OrderDisplay:
+		uname := req.UName
+		if uname == "" {
+			uname, _ = st.GetUserName(req.Customer)
+		}
+		st.GetMostRecentOrder(uname)
+	case rbe.AdminRequest:
+		st.GetBook(req.Item)
+	}
+	return rbe.Response{}
+}

@@ -1,0 +1,182 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed streams diverged at %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("%d collisions between different seeds", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	c1 := parent.Split()
+	c2 := parent.Split()
+	seen := make(map[uint64]bool)
+	for i := 0; i < 1000; i++ {
+		seen[c1.Uint64()] = true
+	}
+	for i := 0; i < 1000; i++ {
+		if seen[c2.Uint64()] {
+			t.Fatal("sibling streams overlap")
+		}
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	err := quick.Check(func(seed uint64, nRaw uint16) bool {
+		n := int(nRaw%1000) + 1
+		r := New(seed)
+		for i := 0; i < 50; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				return false
+			}
+		}
+		return true
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(5)
+	var sum float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("uniform mean = %v, want ≈0.5", mean)
+	}
+}
+
+func TestExpFloat64Mean(t *testing.T) {
+	r := New(9)
+	var sum float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += r.ExpFloat64()
+	}
+	if mean := sum / n; math.Abs(mean-1) > 0.02 {
+		t.Fatalf("exponential mean = %v, want ≈1", mean)
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := New(11)
+	var sum, sumSq float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 || math.Abs(variance-1) > 0.05 {
+		t.Fatalf("normal moments: mean=%v var=%v", mean, variance)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	err := quick.Check(func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw % 64)
+		p := New(seed).Perm(n)
+		if len(p) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShufflePreservesMultiset(t *testing.T) {
+	r := New(13)
+	xs := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	cp := append([]int(nil), xs...)
+	Shuffle(r, cp)
+	counts := make(map[int]int)
+	for _, v := range cp {
+		counts[v]++
+	}
+	for _, v := range xs {
+		if counts[v] != 1 {
+			t.Fatalf("shuffle changed contents: %v", cp)
+		}
+	}
+}
+
+func TestPick(t *testing.T) {
+	r := New(17)
+	xs := []string{"a", "b", "c"}
+	seen := make(map[string]bool)
+	for i := 0; i < 100; i++ {
+		seen[Pick(r, xs)] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("Pick never chose some elements: %v", seen)
+	}
+}
+
+func TestInt63nBounds(t *testing.T) {
+	r := New(19)
+	for i := 0; i < 1000; i++ {
+		v := r.Int63n(1000000007)
+		if v < 0 || v >= 1000000007 {
+			t.Fatalf("Int63n out of range: %d", v)
+		}
+	}
+	if v := New(1).Int63(); v < 0 {
+		t.Fatalf("Int63 negative: %d", v)
+	}
+}
