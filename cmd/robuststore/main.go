@@ -1,13 +1,14 @@
 // Command robuststore boots a live RobustStore cluster in-process — the
-// TPC-W bookstore replicated over Treplica — drives a closed-loop browser
-// population against it, optionally kills and recovers a replica, and
-// reports throughput and consistency. It is the live-runtime counterpart
-// of the simulator experiments: same protocol code, real goroutines and
-// wall-clock time.
+// TPC-W bookstore replicated over Treplica, optionally hash-partitioned
+// across several independent Paxos groups (internal/shard) — drives a
+// closed-loop browser population against it, optionally kills and
+// recovers a replica, and reports throughput and consistency. It is the
+// live-runtime counterpart of the simulator experiments: same protocol
+// code, real goroutines and wall-clock time.
 //
 // Usage:
 //
-//	robuststore -replicas 3 -browsers 50 -duration 10s -crash
+//	robuststore -shards 2 -replicas 3 -browsers 50 -duration 10s -crash
 package main
 
 import (
@@ -23,59 +24,63 @@ import (
 	"robuststore/internal/env"
 	"robuststore/internal/livenet"
 	"robuststore/internal/paxos"
+	"robuststore/internal/shard"
 	"robuststore/internal/tpcw"
 	"robuststore/internal/xrand"
 )
 
 func main() {
 	var (
-		replicas = flag.Int("replicas", 3, "number of bookstore replicas")
+		shards   = flag.Int("shards", 1, "independent Paxos groups the store is partitioned into")
+		replicas = flag.Int("replicas", 3, "bookstore replicas per shard group")
 		browsers = flag.Int("browsers", 30, "concurrent emulated shoppers")
 		duration = flag.Duration("duration", 8*time.Second, "run length")
-		crash    = flag.Bool("crash", true, "kill and recover one replica mid-run")
+		crash    = flag.Bool("crash", true, "kill and recover one replica per shard mid-run")
 	)
 	flag.Parse()
-	if err := run(*replicas, *browsers, *duration, *crash); err != nil {
+	if *shards < 1 || *replicas < 1 {
+		fmt.Fprintln(os.Stderr, "robuststore: -shards and -replicas must be at least 1")
+		os.Exit(2)
+	}
+	if err := run(*shards, *replicas, *browsers, *duration, *crash); err != nil {
 		fmt.Fprintln(os.Stderr, "robuststore:", err)
 		os.Exit(1)
 	}
 }
 
-func run(nReplicas, nBrowsers int, duration time.Duration, crash bool) error {
+func run(nShards, nReplicas, nBrowsers int, duration time.Duration, crash bool) error {
 	cluster := livenet.New(livenet.Config{Latency: 150 * time.Microsecond})
 	defer cluster.Close()
 
-	stores := make([]*tpcw.Store, nReplicas)
-	reps := make([]*core.Replica, nReplicas)
-	for i := 0; i < nReplicas; i++ {
-		idx := i
-		cluster.AddNode(func() env.Node {
-			r := core.NewReplica(core.Config{
-				Machine: func() core.StateMachine {
-					s := tpcw.Populate(tpcw.PopConfig{Items: 1000, EBs: 1, Reduction: 4, Seed: 1})
-					stores[idx] = s
-					return s
-				},
-				ActionSize:         tpcw.ActionSize,
-				CheckpointInterval: 2 * time.Second,
-				Paxos: paxos.Config{
-					HeartbeatInterval: 20 * time.Millisecond,
-					LeaderTimeout:     150 * time.Millisecond,
-					SweepInterval:     10 * time.Millisecond,
-					BatchDelay:        time.Millisecond,
-				},
+	store := shard.New(cluster, shard.Config{
+		Shards:   nShards,
+		Replicas: nReplicas,
+		Machine: func(g int) core.StateMachine {
+			// Each shard is an independent partition with its own
+			// population (per-shard seed keeps them distinguishable).
+			return tpcw.Populate(tpcw.PopConfig{
+				Items: 1000, EBs: 1, Reduction: 4, Seed: uint64(g)*31 + 1,
 			})
-			reps[idx] = r
-			return r
-		})
-	}
+		},
+		Core: core.Config{
+			ActionSize:         tpcw.ActionSize,
+			CheckpointInterval: 2 * time.Second,
+			Paxos: paxos.Config{
+				HeartbeatInterval: 20 * time.Millisecond,
+				LeaderTimeout:     150 * time.Millisecond,
+				SweepInterval:     10 * time.Millisecond,
+				BatchDelay:        time.Millisecond,
+			},
+		},
+	})
 	cluster.StartAll()
-	if err := awaitService(reps[0]); err != nil {
+	if err := awaitService(store); err != nil {
 		return err
 	}
-	info := stores[0].Info()
-	fmt.Printf("bookstore up: %d replicas, %d items, %d customers\n",
-		nReplicas, info.Items, info.Customers)
+	first := store.Group(0).Replica(0).Machine().(*tpcw.Store)
+	info := first.Info()
+	fmt.Printf("bookstore up: %d shards x %d replicas, %d items, %d customers per shard\n",
+		nShards, nReplicas, info.Items, info.Customers)
 
 	ctx, cancel := context.WithTimeout(context.Background(), duration+20*time.Second)
 	defer cancel()
@@ -88,78 +93,84 @@ func run(nReplicas, nBrowsers int, duration time.Duration, crash bool) error {
 		go func(id int) {
 			defer wg.Done()
 			rng := xrand.New(uint64(id)*7919 + 13)
-			shopper(ctx, stop, rng, reps, stores, id%nReplicas, &ops, &errs, &orders)
+			shopper(ctx, stop, rng, store, int64(id), &ops, &errs, &orders)
 		}(b)
 	}
 
 	if crash {
-		victim := nReplicas - 1
+		// Kill the last member of every group, then recover it — the
+		// per-shard incarnation of the paper's one-crash faultload.
+		var victims []env.NodeID
+		for g := 0; g < nShards; g++ {
+			members := store.Group(g).Members()
+			victims = append(victims, members[len(members)-1])
+		}
 		time.AfterFunc(duration/3, func() {
-			fmt.Printf("... killing replica %d\n", victim)
-			cluster.Crash(env.NodeID(victim))
+			fmt.Printf("... killing nodes %v\n", victims)
+			for _, id := range victims {
+				cluster.Crash(id)
+			}
 		})
 		time.AfterFunc(duration*2/3, func() {
-			fmt.Printf("... restarting replica %d\n", victim)
-			cluster.Restart(env.NodeID(victim))
+			fmt.Printf("... restarting nodes %v\n", victims)
+			for _, id := range victims {
+				cluster.Restart(id)
+			}
 		})
 	}
 
 	wg.Wait()
 	fmt.Printf("done: %d interactions, %d orders placed, %d errors (%.3f%% accuracy)\n",
 		ops.Load(), orders.Load(), errs.Load(),
-		100*float64(ops.Load()-errs.Load())/float64(maxInt64(ops.Load(), 1)))
+		100*float64(ops.Load()-errs.Load())/float64(max(ops.Load(), 1)))
 
-	// Let the recovered replica finish re-synchronizing, then verify
-	// convergence and invariants.
+	// Let recovered replicas finish re-synchronizing, then verify
+	// convergence and invariants per shard.
 	time.Sleep(2 * time.Second)
-	var refApplied int64 = -1
-	for i := 0; i < nReplicas; i++ {
-		if reps[i] == nil || !reps[i].Ready() {
-			continue
+	for _, gs := range store.Status() {
+		grp := store.Group(gs.Shard)
+		for m := 0; m < nReplicas; m++ {
+			r := grp.Replica(m)
+			if r == nil || !r.Ready() {
+				continue
+			}
+			bs := r.Machine().(*tpcw.Store)
+			if bad := bs.VerifyConsistency(); len(bad) > 0 {
+				return fmt.Errorf("shard %d replica %d inconsistent: %v", gs.Shard, m, bad)
+			}
 		}
-		if bad := stores[i].VerifyConsistency(); len(bad) > 0 {
-			return fmt.Errorf("replica %d inconsistent: %v", i, bad)
-		}
-		la := int64(reps[i].LastApplied())
-		if refApplied < la {
-			refApplied = la
-		}
-		_, _, ordersN, _ := stores[i].Counts()
-		fmt.Printf("replica %d: applied=%d orders=%d state=%.1f MB\n",
-			i, la, ordersN, float64(stores[i].NominalBytes())/1e6)
+		fmt.Printf("shard %d: ready=%d/%d leader=member%d applied=%d backlog=%d\n",
+			gs.Shard, gs.Ready, gs.Members, gs.Leader, gs.Applied, gs.Backlog)
 	}
 	fmt.Println("all live replicas consistent")
 	return nil
 }
 
-// shopper is one closed-loop session: browse, fill a cart, buy.
+// shopper is one closed-loop session: browse, fill a cart, buy. All of a
+// session's writes are routed by its session key, pinning its cart and
+// orders to one shard.
 func shopper(ctx context.Context, stop time.Time, rng *xrand.Rand,
-	reps []*core.Replica, stores []*tpcw.Store, home int,
-	ops, errs, orders *atomic.Int64) {
+	store *shard.Store, session int64, ops, errs, orders *atomic.Int64) {
 
+	key := tpcw.SessionKey(session)
 	var cart tpcw.CartID
 	for time.Now().Before(stop) {
 		if ctx.Err() != nil {
 			return
 		}
-		r := reps[home]
-		st := stores[home]
-		if r == nil || !r.Ready() {
-			// Our home replica is down: fail over to another.
-			home = (home + 1) % len(reps)
-			time.Sleep(50 * time.Millisecond)
-			continue
-		}
 		now := time.Now().UTC()
 		item := tpcw.ItemID(rng.Intn(200) + 1)
 		var err error
 		switch rng.Intn(5) {
-		case 0, 1: // browse
-			st.GetBook(item)
-			st.GetBestSellers(st.Subjects()[rng.Intn(4)])
+		case 0, 1: // browse, spread across the owning shard's replicas
+			if r := store.PickRead(key, session); r != nil && r.Ready() {
+				bs := r.Machine().(*tpcw.Store)
+				bs.GetBook(item)
+				bs.GetBestSellers(bs.Subjects()[rng.Intn(4)])
+			}
 		case 2, 3: // add to cart
 			var res any
-			res, err = r.Execute(ctx, tpcw.CartUpdateAction{
+			res, err = store.Execute(ctx, key, tpcw.CartUpdateAction{
 				Cart: cart, AddItem: item, AddQty: 1, RandomItem: item, Now: now,
 			})
 			if err == nil {
@@ -170,7 +181,7 @@ func shopper(ctx context.Context, stop time.Time, rng *xrand.Rand,
 				continue
 			}
 			var res any
-			res, err = r.Execute(ctx, tpcw.BuyConfirmAction{
+			res, err = store.Execute(ctx, key, tpcw.BuyConfirmAction{
 				Cart: cart, Customer: tpcw.CustomerID(rng.Intn(300) + 1),
 				ShipDate: now.AddDate(0, 0, 1+rng.Intn(7)), Now: now,
 			})
@@ -185,26 +196,24 @@ func shopper(ctx context.Context, stop time.Time, rng *xrand.Rand,
 		ops.Add(1)
 		if err != nil {
 			errs.Add(1)
-			home = (home + 1) % len(reps)
 		}
 		time.Sleep(time.Duration(rng.Intn(20)) * time.Millisecond)
 	}
 }
 
-func awaitService(r *core.Replica) error {
-	deadline := time.Now().Add(5 * time.Second)
+func awaitService(store *shard.Store) error {
+	deadline := time.Now().Add(10 * time.Second)
 	for time.Now().Before(deadline) {
-		if r.Ready() && r.HasLeader() {
+		ready := 0
+		for _, gs := range store.Status() {
+			if gs.Ready > 0 && gs.Leader >= 0 {
+				ready++
+			}
+		}
+		if ready == store.Shards() {
 			return nil
 		}
 		time.Sleep(10 * time.Millisecond)
 	}
 	return fmt.Errorf("service did not come up")
-}
-
-func maxInt64(a, b int64) int64 {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -7,6 +7,13 @@
 // dependability-benchmark harness — workloads, faultloads and measures —
 // that regenerates every table and figure of the paper's evaluation.
 //
+// Beyond the paper, the store scales out horizontally: internal/shard
+// hash-partitions the state across N independent Paxos groups behind a
+// deterministic key router, the web tier routes client sessions to their
+// owning group, and both the live command (cmd/robuststore -shards) and
+// the benchmark harness (BenchmarkShardScaling) expose the
+// throughput-vs-shard-count dimension.
+//
 // See README.md for the layout, DESIGN.md for the system inventory and
 // per-experiment index, and EXPERIMENTS.md for paper-vs-measured results.
 // The root package holds only the benchmark harness (bench_test.go);

@@ -1,0 +1,3 @@
+module robuststore
+
+go 1.24

@@ -185,6 +185,8 @@ type Replica struct {
 	pubReady       atomic.Bool
 	pubRecovered   atomic.Bool
 	pubHasLeader   atomic.Bool
+	pubIsLeader    atomic.Bool
+	pubBacklog     atomic.Int64
 	pubLastApplied atomic.Int64
 	pubApplied     atomic.Int64
 	pubEnv         atomic.Value // env.Env, set once at Start
@@ -362,10 +364,15 @@ func (r *Replica) Execute(ctx context.Context, action any) (any, error) {
 	}
 }
 
-// publishLoop refreshes the published leadership flag so application
-// goroutines can await service readiness without touching loop state.
+// publishLoop refreshes the published leadership and backlog snapshots so
+// application goroutines can await service readiness and aggregate
+// per-group metrics (internal/shard) without touching loop state.
 func (r *Replica) publishLoop() {
-	r.pubHasLeader.Store(r.en != nil && r.en.CurrentBallot().Seq >= 0)
+	if r.en != nil {
+		r.pubHasLeader.Store(r.en.CurrentBallot().Seq >= 0)
+		r.pubIsLeader.Store(r.en.IsLeader())
+		r.pubBacklog.Store(r.en.Backlog())
+	}
 	r.e.After(100*time.Millisecond, r.publishLoop)
 }
 
@@ -574,6 +581,16 @@ func (r *Replica) LastApplied() paxos.InstanceID {
 
 // AppliedCount returns actions applied in this incarnation.
 func (r *Replica) AppliedCount() int64 { return r.pubApplied.Load() }
+
+// LeaderHint reports whether this replica led its consensus group at the
+// last publish tick (≤100 ms stale; safe from any goroutine). Use
+// IsLeader for the loop-confined exact answer.
+func (r *Replica) LeaderHint() bool { return r.pubIsLeader.Load() }
+
+// BacklogHint returns the decided-but-unapplied instance count at the
+// last publish tick (≤100 ms stale; safe from any goroutine). Use
+// Backlog for the loop-confined exact answer.
+func (r *Replica) BacklogHint() int64 { return r.pubBacklog.Load() }
 
 // Machine exposes the local state machine for read-only queries. Reads
 // are served locally without total ordering, as in RobustStore where 95 %

@@ -78,7 +78,7 @@ func (en *Engine) vote(inst InstanceID, b Ballot, v Value) {
 	if inst >= en.nextFree {
 		en.nextFree = inst + 1
 	}
-	coordinator := b.Owner(en.n)
+	coordinator := en.owner(b)
 	en.appendRecord(env.Record{Kind: "accept", Data: acceptRec{Inst: inst, B: b, V: v}, Size: 32 + v.Size},
 		func(error) { en.e.Send(coordinator, acceptedMsg{B: b, Inst: inst, V: v}) })
 }

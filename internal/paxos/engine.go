@@ -71,8 +71,11 @@ type Config struct {
 
 	// Members lists the consensus group. Nil means every node of the
 	// runtime; deployments with non-member nodes (the web tier's proxy)
-	// must set it. Members must be the node IDs 0..len-1 (ballot
-	// ownership is computed by modular arithmetic on the ID).
+	// must set it, and runtimes hosting several independent groups
+	// (internal/shard) give each group its own disjoint member set. The
+	// slice must be identical (same IDs, same order) on every member:
+	// ballot ownership is computed round-robin over the member *index*,
+	// so the IDs themselves may be arbitrary.
 	Members []env.NodeID
 }
 
@@ -117,6 +120,7 @@ type Engine struct {
 	cfg     Config
 	e       env.Env
 	me      env.NodeID
+	myIdx   int // index of me within members (ballot ownership)
 	n       int
 	members []env.NodeID
 
@@ -197,10 +201,14 @@ func (en *Engine) Boot(e env.Env, deliverFloor InstanceID, ready func()) {
 	if en.members == nil {
 		en.members = e.Peers()
 	}
+	en.myIdx = -1
 	for i, m := range en.members {
-		if int(m) != i {
-			panic("paxos: Members must be node IDs 0..n-1")
+		if m == en.me {
+			en.myIdx = i
 		}
+	}
+	if en.myIdx < 0 {
+		panic("paxos: this node is not listed in Members")
 	}
 	en.n = len(en.members)
 	en.firstUnchosen = deliverFloor
@@ -312,6 +320,16 @@ func (en *Engine) AliveCount() int { return en.aliveCount() }
 // still has to apply — the queue-resynchronization backlog of §5.6.
 func (en *Engine) Backlog() int64 { return int64(en.maxKnown - en.firstUnchosen + 1) }
 
+// owner resolves ballot b to the member node that owns it: round-robin
+// over the member index, mapped back through the (arbitrary) member IDs.
+func (en *Engine) owner(b Ballot) env.NodeID {
+	idx := b.Owner(en.n)
+	if idx < 0 {
+		return -1
+	}
+	return en.members[idx]
+}
+
 func (en *Engine) aliveCount() int {
 	now := en.e.Now()
 	horizon := 3 * en.cfg.HeartbeatInterval
@@ -381,7 +399,7 @@ func (en *Engine) propose(v Value) {
 	case en.IsLeader():
 		en.leaderPropose(v)
 	default:
-		leader := en.curBallot.Owner(en.n)
+		leader := en.owner(en.curBallot)
 		if leader >= 0 && leader != en.me {
 			en.e.Send(leader, forwardMsg{V: v})
 		}
@@ -493,7 +511,7 @@ func (en *Engine) adoptBallot(b Ballot) {
 	en.curBallot = b
 	en.noteBallot(b)
 	en.lastLeaderSeen = en.e.Now()
-	if b.Owner(en.n) != en.me {
+	if en.owner(b) != en.me {
 		en.leader = nil
 	}
 }
@@ -595,7 +613,7 @@ func (en *Engine) requestCatchUp() {
 		return
 	}
 	en.catchUpAt = en.e.Now()
-	target := en.curBallot.Owner(en.n)
+	target := en.owner(en.curBallot)
 	if target < 0 || target == en.me {
 		// Pick the lowest-id recently seen member (deterministic).
 		for _, id := range en.members {

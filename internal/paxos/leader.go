@@ -82,7 +82,7 @@ func (ls *leaderState) onDecided(inst InstanceID) {
 // fast when Fast Paxos is enabled and at least ⌈3N/4⌉ replicas look alive,
 // classic otherwise — the Treplica mode rule of §2.
 func (en *Engine) startPrepare() {
-	seq := nextOwnedBallot(en.maxBallotSeq, en.me, en.n)
+	seq := nextOwnedBallot(en.maxBallotSeq, env.NodeID(en.myIdx), en.n)
 	fast := en.cfg.FastEnabled && en.aliveCount() >= FastQuorum(en.n)
 	b := Ballot{Seq: seq, Fast: fast}
 	en.noteBallot(b)
@@ -352,7 +352,7 @@ func (en *Engine) startRecovery(inst InstanceID) {
 	if ls.recSeq > after {
 		after = ls.recSeq
 	}
-	ls.recSeq = nextOwnedBallot(after, en.me, en.n)
+	ls.recSeq = nextOwnedBallot(after, env.NodeID(en.myIdx), en.n)
 	b := Ballot{Seq: ls.recSeq} // recovery rounds are classic
 	en.noteBallot(b)
 	ls.recs[inst] = &recState{b: b, replies: make(map[env.NodeID]recInfoMsg), started: en.e.Now()}
@@ -397,7 +397,7 @@ func (en *Engine) choose(inst InstanceID, v Value) {
 func (en *Engine) onNack(from env.NodeID, m nackMsg) {
 	en.noteBallot(m.Promised)
 	if en.leader != nil && en.leader.b.Less(m.Promised) &&
-		m.Promised.Owner(en.n) != en.me {
+		en.owner(m.Promised) != en.me {
 		// Someone outpaced us; stand down and let their round proceed.
 		en.leader = nil
 		en.lastLeaderSeen = en.e.Now() // back off before re-electing

@@ -1,0 +1,67 @@
+// Package shard partitions a replicated store across N independent Paxos
+// groups — the first scaling lever past the paper's single-group design
+// (ROADMAP). Each shard is a complete Treplica replicated state machine
+// (internal/core over internal/paxos) with its own members, WAL and
+// checkpoints; a deterministic key→shard router in front fans requests
+// out to the owning group. Groups share nothing, so aggregate ordered
+// throughput scales with the shard count until the network saturates.
+//
+// The partition key is chosen by the caller (internal/tpcw.PartitionKey
+// extracts one from bookstore actions; the web tier routes by client
+// session). Keys on different shards observe no common order — exactly
+// the per-group total order that hash-partitioned stores trade global
+// ordering for.
+package shard
+
+import "strconv"
+
+// FNV-1a constants (64 bit).
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// Hash returns the 64-bit FNV-1a hash of the partition key.
+func Hash(key string) uint64 {
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// Router deterministically maps partition keys to shards. The zero value
+// routes everything to shard 0; construct real routers with NewRouter.
+type Router struct {
+	n int
+}
+
+// NewRouter returns a router over n shards.
+func NewRouter(n int) Router {
+	if n <= 0 {
+		panic("shard: NewRouter needs a positive shard count")
+	}
+	return Router{n: n}
+}
+
+// Shards returns the shard count.
+func (r Router) Shards() int {
+	if r.n == 0 {
+		return 1
+	}
+	return r.n
+}
+
+// Shard returns the shard owning key. Every key maps to exactly one
+// shard, and the mapping is stable across processes and runs.
+func (r Router) Shard(key string) int {
+	return int(Hash(key) % uint64(r.Shards()))
+}
+
+// ShardInt routes an integer key (client ID, session ID) by hashing its
+// decimal representation, so integer and string callers agree on the
+// placement of equal keys.
+func (r Router) ShardInt(key int64) int {
+	return r.Shard(strconv.FormatInt(key, 10))
+}

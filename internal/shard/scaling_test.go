@@ -1,0 +1,40 @@
+package shard
+
+import "testing"
+
+// TestThroughputScalesWithShards is the scaling acceptance property: under
+// the same offered load, a 4-shard store must commit at least 1.5× the
+// actions/sec of a 1-shard store (in practice it approaches 2-3×: one
+// group saturates its WAL pipeline well below the offered rate).
+func TestThroughputScalesWithShards(t *testing.T) {
+	cfg := func(shards int) ThroughputConfig {
+		return ThroughputConfig{
+			Shards:  shards,
+			Offered: 8000,
+			Warmup:  1e9, // 1 s
+			Measure: 4e9, // 4 s
+			Seed:    1,
+		}
+	}
+	one := MeasureThroughput(cfg(1))
+	four := MeasureThroughput(cfg(4))
+	t.Logf("1 shard: %.0f committed actions/sec (offered %d)", one.PerSec, one.Offered)
+	t.Logf("4 shards: %.0f committed actions/sec (offered %d), per shard %v",
+		four.PerSec, four.Offered, four.PerShard)
+
+	if one.Committed == 0 || four.Committed == 0 {
+		t.Fatalf("no progress: 1-shard %d, 4-shard %d", one.Committed, four.Committed)
+	}
+	ratio := four.PerSec / one.PerSec
+	if ratio < 1.5 {
+		t.Fatalf("4-shard throughput only %.2fx the 1-shard baseline (want >= 1.5x)", ratio)
+	}
+	// The hash spreads the offered load evenly enough that no shard
+	// carries more than twice the mean.
+	mean := float64(four.Committed) / float64(len(four.PerShard))
+	for g, n := range four.PerShard {
+		if float64(n) > 2*mean {
+			t.Errorf("shard %d committed %d actions, over 2x the mean %.0f", g, n, mean)
+		}
+	}
+}

@@ -1,0 +1,304 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"time"
+
+	"robuststore/internal/core"
+	"robuststore/internal/env"
+)
+
+// Runtime is the slice of a node runtime the store needs: registering
+// member nodes and observing liveness. Both *sim.Sim (deterministic
+// experiments) and *livenet.Cluster (real goroutines) satisfy it.
+type Runtime interface {
+	AddNode(factory func() env.Node) env.NodeID
+	Alive(id env.NodeID) bool
+}
+
+// Config parameterizes a sharded store.
+type Config struct {
+	// Shards is the number of independent Paxos groups. Default 1 — the
+	// degenerate configuration, which behaves exactly like an unsharded
+	// core.Replica cluster.
+	Shards int
+
+	// Replicas is the replication degree of each group. Default 3.
+	Replicas int
+
+	// Machine builds a fresh state machine for one incarnation of one
+	// member of the given shard. Each shard is an independent partition:
+	// machines of different shards never see each other's actions.
+	// Required.
+	Machine func(shard int) core.StateMachine
+
+	// Core is the per-replica configuration template. Its Machine field
+	// is ignored (the store installs its own per-shard factory) and
+	// Paxos.Members is owned by the store (each group gets its disjoint
+	// member set).
+	Core core.Config
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards == 0 {
+		c.Shards = 1
+	}
+	if c.Replicas == 0 {
+		c.Replicas = 3
+	}
+	return c
+}
+
+// ErrNoReplica is returned when the owning group has no live, ready
+// member to take a submission.
+var ErrNoReplica = errors.New("shard: no ready replica in owning group")
+
+// Store hosts Shards × Replicas core.Replica instances behind a single
+// key-routed facade. Node IDs are allocated group-major: group g owns the
+// g-th contiguous run of Replicas IDs, so a 1-shard store produces the
+// same node layout as hand-built unsharded deployments.
+type Store struct {
+	cfg    Config
+	rt     Runtime
+	router Router
+	groups []*Group
+}
+
+// Group is one Paxos group (one shard): a fixed member set whose current
+// replica incarnations are tracked as the runtime restarts them.
+type Group struct {
+	store *Store
+	shard int
+	ids   []env.NodeID
+	reps  []atomic.Pointer[core.Replica]
+}
+
+// New registers all member nodes of a sharded store with the runtime.
+// Call the runtime's StartAll afterwards, as with hand-built nodes.
+func New(rt Runtime, cfg Config) *Store {
+	cfg = cfg.withDefaults()
+	if cfg.Machine == nil {
+		panic("shard: Config.Machine is required")
+	}
+	s := &Store{cfg: cfg, rt: rt, router: NewRouter(cfg.Shards)}
+	for g := 0; g < cfg.Shards; g++ {
+		grp := &Group{store: s, shard: g}
+		grp.reps = make([]atomic.Pointer[core.Replica], cfg.Replicas)
+		for m := 0; m < cfg.Replicas; m++ {
+			shard, member := g, m
+			id := rt.AddNode(func() env.Node {
+				return grp.newReplica(shard, member)
+			})
+			grp.ids = append(grp.ids, id)
+		}
+		s.groups = append(s.groups, grp)
+	}
+	return s
+}
+
+// newReplica builds one incarnation of member m of group g.
+func (g *Group) newReplica(shard, member int) *core.Replica {
+	cfg := g.store.cfg.Core
+	cfg.Machine = func() core.StateMachine { return g.store.cfg.Machine(shard) }
+	cfg.Paxos.Members = g.ids
+	r := core.NewReplica(cfg)
+	g.reps[member].Store(r)
+	return r
+}
+
+// Router returns the store's key router.
+func (s *Store) Router() Router { return s.router }
+
+// Shards returns the group count.
+func (s *Store) Shards() int { return s.cfg.Shards }
+
+// ShardOf returns the group owning key.
+func (s *Store) ShardOf(key string) int { return s.router.Shard(key) }
+
+// Group returns shard g.
+func (s *Store) Group(g int) *Group { return s.groups[g] }
+
+// Members returns group g's node IDs (for fault injection in tests).
+func (g *Group) Members() []env.NodeID { return g.ids }
+
+// Replica returns the current incarnation of member m (which may be
+// stale while the runtime has the node crashed).
+func (g *Group) Replica(m int) *core.Replica { return g.reps[m].Load() }
+
+// pick selects a submission target: a live, state-ready member,
+// preferring the consensus leader to save the forwarding hop.
+func (g *Group) pick() *core.Replica {
+	var fallback *core.Replica
+	for m, id := range g.ids {
+		if !g.store.rt.Alive(id) {
+			continue
+		}
+		r := g.reps[m].Load()
+		if r == nil || !r.Ready() {
+			continue
+		}
+		if r.LeaderHint() {
+			return r
+		}
+		if fallback == nil {
+			fallback = r
+		}
+	}
+	return fallback
+}
+
+// PickReplica returns the current submission target of the group owning
+// key, or nil while no member is ready.
+func (s *Store) PickReplica(key string) *core.Replica {
+	return s.groups[s.router.Shard(key)].pick()
+}
+
+// PickRead returns a ready member of the group owning key for local
+// reads, spread across the group's members by the caller-supplied hint
+// (e.g. the session ID) so read traffic does not funnel to the leader —
+// the 95%-local-reads property of §5.2 per shard.
+func (s *Store) PickRead(key string, hint int64) *core.Replica {
+	g := s.groups[s.router.Shard(key)]
+	n := len(g.ids)
+	start := int(uint64(hint) % uint64(n))
+	for off := 0; off < n; off++ {
+		m := (start + off) % n
+		if !s.rt.Alive(g.ids[m]) {
+			continue
+		}
+		if r := g.reps[m].Load(); r != nil && r.Ready() {
+			return r
+		}
+	}
+	return nil
+}
+
+// Submit proposes an action for totally ordered execution on the group
+// owning key; done (optional) receives the local execution result. Like
+// core.Replica.Submit it must run on the target node's executor — in
+// practice, inside the single-threaded simulator. Goroutine-based callers
+// use Execute.
+func (s *Store) Submit(key string, action any, done func(result any, err error)) {
+	r := s.groups[s.router.Shard(key)].pick()
+	if r == nil {
+		if done != nil {
+			done(nil, ErrNoReplica)
+		}
+		return
+	}
+	r.Submit(action, done)
+}
+
+// Execute proposes an action on the group owning key and blocks until it
+// has been applied there, retrying while the group has no ready member
+// (live runtime only; safe from any goroutine).
+func (s *Store) Execute(ctx context.Context, key string, action any) (any, error) {
+	g := s.groups[s.router.Shard(key)]
+	for {
+		if r := g.pick(); r != nil {
+			result, err := r.Execute(ctx, action)
+			if err == nil || !errors.Is(err, core.ErrNotReady) {
+				return result, err
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+}
+
+// Checkpoint forces a durable checkpoint on every live member of every
+// group and calls done when all have completed. Executor context only
+// (see Submit).
+func (s *Store) Checkpoint(done func()) {
+	// Collect targets before starting: core.Replica.Checkpoint may
+	// complete synchronously (nothing to checkpoint), so counting and
+	// starting in one pass could fire done before all members started.
+	var targets []*core.Replica
+	for _, g := range s.groups {
+		for m, id := range g.ids {
+			if !s.rt.Alive(id) {
+				continue
+			}
+			if r := g.reps[m].Load(); r != nil {
+				targets = append(targets, r)
+			}
+		}
+	}
+	if len(targets) == 0 {
+		if done != nil {
+			done()
+		}
+		return
+	}
+	remaining := len(targets)
+	for _, r := range targets {
+		r.Checkpoint(func() {
+			remaining--
+			if remaining == 0 && done != nil {
+				done()
+			}
+		})
+	}
+}
+
+// GroupStatus aggregates one shard's health and progress, built from
+// published (goroutine-safe) replica metrics.
+type GroupStatus struct {
+	Shard       int
+	Members     int
+	Ready       int   // live members serving reads
+	Leader      int   // member index leading the group, -1 if none seen
+	Applied     int64 // actions applied (max over members, this incarnation)
+	LastApplied int64 // highest applied consensus instance
+	Backlog     int64 // worst decided-but-unapplied backlog across members
+}
+
+// Status returns one entry per shard. Safe from any goroutine; leader and
+// backlog are published snapshots (≤100 ms stale).
+func (s *Store) Status() []GroupStatus {
+	out := make([]GroupStatus, len(s.groups))
+	for i, g := range s.groups {
+		st := GroupStatus{Shard: i, Members: len(g.ids), Leader: -1}
+		for m, id := range g.ids {
+			r := g.reps[m].Load()
+			if r == nil {
+				continue
+			}
+			alive := s.rt.Alive(id)
+			if alive && r.Ready() {
+				st.Ready++
+			}
+			if alive && r.LeaderHint() {
+				st.Leader = m
+			}
+			if a := r.AppliedCount(); a > st.Applied {
+				st.Applied = a
+			}
+			if la := int64(r.LastApplied()); la > st.LastApplied {
+				st.LastApplied = la
+			}
+			if alive {
+				if b := r.BacklogHint(); b > st.Backlog {
+					st.Backlog = b
+				}
+			}
+		}
+		out[i] = st
+	}
+	return out
+}
+
+// TotalApplied sums the per-group applied counts — the aggregate ordered
+// throughput counter the scaling experiments measure.
+func (s *Store) TotalApplied() int64 {
+	var total int64
+	for _, st := range s.Status() {
+		total += st.Applied
+	}
+	return total
+}

@@ -1,0 +1,41 @@
+package tpcw
+
+import "strconv"
+
+// PartitionKey extracts the shard-routing key of a bookstore action for
+// hash-partitioned deployments (internal/shard): the identity of the row
+// group the action touches first. Actions whose identity is assigned only
+// at execution time (creating a cart or a customer) have no intrinsic key
+// and return ok=false — the caller routes those by its own session key,
+// which also keeps a session's later cart and customer actions on the
+// shard that created them (per-shard ID counters make raw IDs ambiguous
+// across shards).
+func PartitionKey(action any) (key string, ok bool) {
+	switch a := action.(type) {
+	case CartUpdateAction:
+		if a.Cart != 0 {
+			return "cart/" + strconv.FormatInt(int64(a.Cart), 10), true
+		}
+		return "", false
+	case BuyConfirmAction:
+		if a.Cart != 0 {
+			return "cart/" + strconv.FormatInt(int64(a.Cart), 10), true
+		}
+		return "customer/" + strconv.FormatInt(int64(a.Customer), 10), true
+	case RefreshSessionAction:
+		return "customer/" + strconv.FormatInt(int64(a.Customer), 10), true
+	case AdminUpdateAction:
+		return "item/" + strconv.FormatInt(int64(a.Item), 10), true
+	case CreateCartAction, CreateCustomerAction:
+		return "", false
+	default:
+		return "", false
+	}
+}
+
+// SessionKey is the partition key of a client session: the routing level
+// the web tier and the live command use, guaranteeing that every action
+// of one session — cart creation included — lands on one shard.
+func SessionKey(client int64) string {
+	return "session/" + strconv.FormatInt(client, 10)
+}

@@ -7,15 +7,25 @@ import (
 	"robuststore/internal/env"
 	"robuststore/internal/paxos"
 	"robuststore/internal/rbe"
+	"robuststore/internal/shard"
 	"robuststore/internal/sim"
 	"robuststore/internal/tpcw"
 )
 
 // Config parameterizes a simulated RobustStore deployment: k server
-// replicas plus one proxy node on one switch (paper Figure 2).
+// replicas plus one proxy node on one switch (paper Figure 2), optionally
+// scaled out across several independent Paxos groups (shards).
 type Config struct {
-	// Servers is the replication degree (paper: 4–12).
+	// Servers is the replication degree of each group (paper: 4–12).
 	Servers int
+
+	// Shards partitions the deployment across this many independent
+	// Paxos groups of Servers replicas each. The proxy routes each
+	// client session to its owning group (internal/shard key hash), so
+	// every group serves a disjoint slice of the client population over
+	// its own store partition. Default 1 — the paper's single-group
+	// deployment, bit-for-bit unchanged.
+	Shards int
 
 	// FastPaxos enables Treplica's fast mode.
 	FastPaxos bool
@@ -54,11 +64,15 @@ type Config struct {
 }
 
 // Cluster wires servers, proxy, watchdog and faultload over a simulator.
+// Server indices are flat and group-major: server i belongs to group
+// i/Servers as its member i%Servers.
 type Cluster struct {
-	cfg Config
-	sim *sim.Sim
+	cfg    Config
+	sim    *sim.Sim
+	router shard.Router
 
-	serverIDs []env.NodeID
+	serverIDs []env.NodeID   // flat, group-major
+	groupIDs  [][]env.NodeID // per-group member IDs (Paxos membership)
 	proxyID   env.NodeID
 	servers   []*Server
 	proxy     *Proxy
@@ -80,28 +94,35 @@ func NewCluster(cfg Config) *Cluster {
 	if cfg.Store == nil {
 		panic("webtier: Config.Store is required")
 	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 1
+	}
 	if cfg.WatchdogInterval == 0 {
 		cfg.WatchdogInterval = time.Second
 	}
 	if cfg.Cal.PageSize == 0 {
 		cfg.Cal = DefaultCalibration()
 	}
+	total := cfg.Shards * cfg.Servers
 	c := &Cluster{
 		cfg:       cfg,
-		servers:   make([]*Server, cfg.Servers),
-		auto:      make([]bool, cfg.Servers),
-		crashedAt: make([]time.Time, cfg.Servers),
+		router:    shard.NewRouter(cfg.Shards),
+		servers:   make([]*Server, total),
+		groupIDs:  make([][]env.NodeID, cfg.Shards),
+		auto:      make([]bool, total),
+		crashedAt: make([]time.Time, total),
 	}
 	c.sim = sim.New(sim.Config{Seed: cfg.Seed, Net: cfg.Net, Disk: cfg.Disk})
-	for i := 0; i < cfg.Servers; i++ {
-		idx := i
+	for i := 0; i < total; i++ {
+		idx, group := i, i/cfg.Servers
 		c.auto[i] = true
 		id := c.sim.AddNode(func() env.Node {
-			s := &Server{c: c, idx: idx}
+			s := &Server{c: c, idx: idx, group: group}
 			c.servers[idx] = s
 			return s
 		})
 		c.serverIDs = append(c.serverIDs, id)
+		c.groupIDs[group] = append(c.groupIDs[group], id)
 	}
 	c.proxyID = c.sim.AddNode(func() env.Node {
 		p := &Proxy{c: c}
@@ -113,6 +134,19 @@ func NewCluster(cfg Config) *Cluster {
 
 // Sim exposes the simulator for scheduling workload and faultloads.
 func (c *Cluster) Sim() *sim.Sim { return c.sim }
+
+// Shards returns the Paxos group count.
+func (c *Cluster) Shards() int { return c.cfg.Shards }
+
+// TotalServers returns the flat server count (Shards × Servers).
+func (c *Cluster) TotalServers() int { return len(c.serverIDs) }
+
+// GroupOf returns the group serving a client's session. The mapping is
+// tpcw.SessionKey's, so the web tier, the live command and any
+// shard.Store keyed by session agree on placement.
+func (c *Cluster) GroupOf(client int64) int {
+	return c.router.Shard(tpcw.SessionKey(client))
+}
 
 // Start boots all nodes and the watchdogs.
 func (c *Cluster) Start() {
@@ -194,24 +228,30 @@ func (f frontend) Do(req rbe.Request, done func(rbe.Response)) {
 
 // CheckpointAll forces a durable checkpoint on every live server and calls
 // done when all have completed — used to install the initial population
-// checkpoint before the measurement interval.
+// checkpoint before the measurement interval. Targets are collected before
+// any checkpoint starts because a replica with nothing to checkpoint
+// completes synchronously, which would otherwise fire done early.
 func (c *Cluster) CheckpointAll(done func()) {
-	remaining := 0
+	var targets []*core.Replica
 	for i, id := range c.serverIDs {
-		if !c.sim.Alive(id) {
-			continue
+		if c.sim.Alive(id) {
+			targets = append(targets, c.servers[i].replica)
 		}
-		remaining++
-		srv := c.servers[i]
-		srv.replica.Checkpoint(func() {
+	}
+	if len(targets) == 0 {
+		if done != nil {
+			done()
+		}
+		return
+	}
+	remaining := len(targets)
+	for _, r := range targets {
+		r.Checkpoint(func() {
 			remaining--
 			if remaining == 0 && done != nil {
 				done()
 			}
 		})
-	}
-	if remaining == 0 && done != nil {
-		done()
 	}
 }
 

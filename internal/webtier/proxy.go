@@ -35,10 +35,13 @@ type Proxy struct {
 	probeSeq  int64
 	probes    map[int64]int // probe seq -> server index
 
-	// noServiceSince tracks complete outages for the availability
-	// measure.
-	noServiceSince time.Time
-	downtime       time.Duration
+	// noServiceSince/downtime track complete outages per shard group
+	// for the availability measure: with one group this is the paper's
+	// full-outage time; with several, each group's client slice is
+	// accounted separately so a healthy group cannot mask another's
+	// outage.
+	noServiceSince []time.Time
+	downtime       []time.Duration
 
 	// Diagnostics: why client errors happened.
 	Stats ProxyStats
@@ -69,7 +72,7 @@ var _ env.Node = (*Proxy)(nil)
 func (p *Proxy) Start(e env.Env) {
 	p.e = e
 	p.cpu = sim.NewResource(p.c.sim, 2)
-	n := p.c.cfg.Servers
+	n := p.c.TotalServers()
 	p.outstanding = make(map[int64]*outReq)
 	p.up = make([]bool, n)
 	for i := range p.up {
@@ -77,6 +80,8 @@ func (p *Proxy) Start(e env.Env) {
 	}
 	p.failCount = make([]int, n)
 	p.probes = make(map[int64]int)
+	p.noServiceSince = make([]time.Time, p.c.Shards())
+	p.downtime = make([]time.Duration, p.c.Shards())
 	p.e.After(p.c.cfg.Cal.ProbeInterval, p.probeLoop)
 }
 
@@ -98,16 +103,20 @@ func (p *Proxy) Do(req rbe.Request, done func(rbe.Response)) {
 	})
 }
 
-// dispatch routes a request to a live, in-rotation server.
+// dispatch routes a request to a live, in-rotation server of the group
+// owning the client's session (with one shard, every server).
 func (p *Proxy) dispatch(r *outReq) {
-	candidates := p.candidates()
+	group := p.c.GroupOf(r.req.Client)
+	candidates := p.candidates(group)
 	if len(candidates) == 0 {
-		p.markNoService()
+		// The owning group is fully down: for this client slice the
+		// service is out, which the availability measure counts.
+		p.markNoService(group)
 		p.Stats.ErrNoServer++
 		p.finish(r, rbe.Response{Err: true})
 		return
 	}
-	p.clearNoService()
+	p.clearNoService(group)
 	r.attempts++
 	r.server = candidates[int(hash64(uint64(r.req.Client))%uint64(len(candidates)))]
 	p.nextID++
@@ -121,13 +130,15 @@ func (p *Proxy) dispatch(r *outReq) {
 	p.e.Send(p.c.serverIDs[r.server], reqMsg{ID: id, Req: r.req})
 }
 
-// candidates returns in-rotation servers that also accept connections
-// right now (a dead or still-booting process refuses instantly, which
-// HAProxy treats as an immediate dispatch failure, not a client error).
-func (p *Proxy) candidates() []int {
-	out := make([]int, 0, len(p.up))
-	for i, up := range p.up {
-		if up && p.c.accepting(i) {
+// candidates returns the group's in-rotation servers that also accept
+// connections right now (a dead or still-booting process refuses
+// instantly, which HAProxy treats as an immediate dispatch failure, not a
+// client error).
+func (p *Proxy) candidates(group int) []int {
+	first := group * p.c.cfg.Servers
+	out := make([]int, 0, p.c.cfg.Servers)
+	for i := first; i < first+p.c.cfg.Servers; i++ {
+		if p.up[i] && p.c.accepting(i) {
 			out = append(out, i)
 		}
 	}
@@ -244,27 +255,34 @@ func (p *Proxy) probeFailed(srv int) {
 	}
 }
 
-func (p *Proxy) markNoService() {
-	if p.noServiceSince.IsZero() {
-		p.noServiceSince = p.e.Now()
+func (p *Proxy) markNoService(group int) {
+	if p.noServiceSince[group].IsZero() {
+		p.noServiceSince[group] = p.e.Now()
 	}
 }
 
-func (p *Proxy) clearNoService() {
-	if !p.noServiceSince.IsZero() {
-		p.downtime += p.e.Now().Sub(p.noServiceSince)
-		p.noServiceSince = time.Time{}
+func (p *Proxy) clearNoService(group int) {
+	if !p.noServiceSince[group].IsZero() {
+		p.downtime[group] += p.e.Now().Sub(p.noServiceSince[group])
+		p.noServiceSince[group] = time.Time{}
 	}
 }
 
-// Downtime returns the cumulative time during which no server was
+// Downtime returns the worst per-group cumulative outage time — with one
+// shard, exactly the paper's full-outage time during which no server was
 // available to take requests.
 func (p *Proxy) Downtime() time.Duration {
-	d := p.downtime
-	if !p.noServiceSince.IsZero() {
-		d += p.e.Now().Sub(p.noServiceSince)
+	var worst time.Duration
+	for g := range p.downtime {
+		d := p.downtime[g]
+		if !p.noServiceSince[g].IsZero() {
+			d += p.e.Now().Sub(p.noServiceSince[g])
+		}
+		if d > worst {
+			worst = d
+		}
 	}
-	return d
+	return worst
 }
 
 // hash64 is a splitmix64 finalizer used for client-to-server hashing.

@@ -51,8 +51,9 @@ func (m probeRespMsg) WireSize() int64 { return 128 }
 // Treplica replica over the bookstore store plus a CPU model. A fresh
 // Server is built per incarnation; the simulated disk underneath survives.
 type Server struct {
-	c   *Cluster
-	idx int
+	c     *Cluster
+	idx   int // flat server index (group-major)
+	group int // Paxos group (shard) this server belongs to
 
 	e       env.Env
 	cpu     *sim.Resource
@@ -79,9 +80,9 @@ func (s *Server) Start(e env.Env) {
 	s.cpu = sim.NewResource(s.c.sim, 1)
 	cal := s.c.cfg.Cal
 	pcfg := s.c.cfg.Paxos
-	// The consensus group is the servers only — the proxy node is not a
-	// Treplica member.
-	pcfg.Members = s.c.serverIDs
+	// The consensus group is this shard's servers only — neither the
+	// proxy node nor other groups' servers are Treplica members.
+	pcfg.Members = s.c.groupIDs[s.group]
 	cfg := core.Config{
 		FastPaxos:          s.c.cfg.FastPaxos,
 		CheckpointInterval: s.c.cfg.CheckpointInterval,
