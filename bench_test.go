@@ -202,6 +202,26 @@ func BenchmarkShardScaling(b *testing.B) {
 	b.ReportMetric(results[2].PerSec/results[0].PerSec, "speedup_4v1")
 }
 
+// BenchmarkShardedRecovery tracks recovery behaviour as the deployment
+// fans out across Paxos groups: the member-every-group faultload (one
+// replica of every group crashed simultaneously) at 1, 2 and 4 shards,
+// reporting mean recovery time, worst-group availability and aggregate
+// throughput. Recovery time should stay roughly flat with shard count
+// (each group recovers independently), which is the dependability story
+// behind the shard layer.
+func BenchmarkShardedRecovery(b *testing.B) {
+	counts := []int{1, 2, 4}
+	var pts []exp.ShardedRecoveryPoint
+	for i := 0; i < b.N; i++ {
+		pts = exp.ShardedRecoveryCurve(benchSeed, counts)
+	}
+	exp.PrintShardedRecovery(os.Stdout, pts)
+	for _, p := range pts {
+		b.ReportMetric(p.MeanRecoverySec, fmt.Sprintf("rec_%dshard_s", p.Shards))
+		b.ReportMetric(p.WorstGroupAvail, fmt.Sprintf("avail_%dshard", p.Shards))
+	}
+}
+
 // BenchmarkAblationFastVsClassicPaxos compares Treplica's Fast Paxos mode
 // against classic-only Paxos under the write-heavy ordering profile — the
 // protocol choice §2 motivates.

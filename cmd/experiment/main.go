@@ -9,6 +9,13 @@
 //	experiment -run speedup
 //	experiment -run one-crash -servers 5 -profile ordering
 //	experiment -run recovery-times
+//	experiment -run sharded -shards 2 -short
+//	experiment -run sharded-recovery
+//
+// The sharded modes run the faultload-DSL scenarios (one member of every
+// group, rolling crashes, whole-group outage) against a Shards×Servers
+// deployment and print per-group + aggregate dependability reports;
+// -short shrinks them to a CI-sized smoke run.
 //
 // Every run is deterministic for a given -seed.
 package main
@@ -17,6 +24,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"robuststore/internal/exp"
 	"robuststore/internal/rbe"
@@ -24,14 +32,16 @@ import (
 
 func main() {
 	var (
-		which   = flag.String("run", "all", "experiment: speedup | scaleup | one-crash | two-crashes | delayed | recovery-times | ablations | all")
+		which   = flag.String("run", "all", "experiment: speedup | scaleup | one-crash | two-crashes | delayed | recovery-times | ablations | sharded | sharded-recovery | all")
 		seed    = flag.Uint64("seed", 1, "root seed (runs are deterministic per seed)")
 		servers = flag.Int("servers", 5, "replication degree for single-run modes")
 		profile = flag.String("profile", "shopping", "workload profile for single-run modes: browsing | shopping | ordering")
+		shards  = flag.Int("shards", 2, "Paxos group count for the sharded modes")
+		short   = flag.Bool("short", false, "shrink the sharded suite (smoke run for CI)")
 	)
 	flag.Parse()
 
-	if err := run(*which, *seed, *servers, *profile); err != nil {
+	if err := run(*which, *seed, *servers, *profile, *shards, *short); err != nil {
 		fmt.Fprintln(os.Stderr, "experiment:", err)
 		os.Exit(1)
 	}
@@ -50,9 +60,32 @@ func parseProfile(s string) (rbe.Profile, error) {
 	}
 }
 
-func run(which string, seed uint64, servers int, profileName string) error {
+func run(which string, seed uint64, servers int, profileName string, shards int, short bool) error {
 	out := os.Stdout
 	switch which {
+	case "sharded":
+		cfg := exp.ShardedSuiteConfig{Shards: shards, Seed: seed}
+		if short {
+			cfg.Browsers = 300
+			cfg.Measure = 150 * time.Second
+		}
+		for _, r := range exp.ShardedSuite(cfg) {
+			exp.PrintHistogram(out, r)
+			exp.PrintShardedDependability(out, r)
+			fmt.Fprintln(out)
+		}
+	case "sharded-recovery":
+		// Sweep doubling shard counts up to -shards (e.g. -shards 8 →
+		// 1, 2, 4, 8).
+		var counts []int
+		for n := 1; n < shards; n *= 2 {
+			counts = append(counts, n)
+		}
+		counts = append(counts, shards)
+		if short && len(counts) > 2 {
+			counts = counts[:2]
+		}
+		exp.PrintShardedRecovery(out, exp.ShardedRecoveryCurve(seed, counts))
 	case "speedup":
 		exp.PrintSpeedup(out, exp.Speedup(seed))
 	case "scaleup":
@@ -90,9 +123,9 @@ func run(which string, seed uint64, servers int, profileName string) error {
 	case "ablations":
 		exp.PrintAblation(out, exp.AblationFastPaxos(seed))
 	case "all":
-		for _, w := range []string{"speedup", "scaleup", "one-crash", "two-crashes", "delayed", "recovery-times", "ablations"} {
+		for _, w := range []string{"speedup", "scaleup", "one-crash", "two-crashes", "delayed", "recovery-times", "sharded", "sharded-recovery", "ablations"} {
 			fmt.Fprintln(out)
-			if err := run(w, seed, servers, profileName); err != nil {
+			if err := run(w, seed, servers, profileName, shards, short); err != nil {
 				return err
 			}
 		}

@@ -14,6 +14,14 @@
 // the benchmark harness (BenchmarkShardScaling) expose the
 // throughput-vs-shard-count dimension.
 //
+// The dependability benchmark covers the sharded deployment too: a
+// composable faultload DSL (exp.Faultload — victim selectors × schedule)
+// subsumes the paper's §5.4–5.6 faultloads and adds sharded scenarios
+// (one member of every group, rolling crashes, whole-group outage until
+// manual recovery), with per-group + aggregate availability,
+// performability and recovery-window reports (RunResult.PerGroup,
+// cmd/experiment -run sharded, BenchmarkShardedRecovery).
+//
 // See README.md for the layout, DESIGN.md for the system inventory and
 // per-experiment index, and EXPERIMENTS.md for paper-vs-measured results.
 // The root package holds only the benchmark harness (bench_test.go);

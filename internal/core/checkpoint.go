@@ -1,0 +1,77 @@
+package core
+
+import (
+	"sync"
+	"time"
+)
+
+// checkpointSweepInterval is how often CheckpointFanout re-checks its
+// targets for crashed or replaced incarnations.
+const checkpointSweepInterval = time.Second
+
+// CheckpointFanout forces a checkpoint on every target replica and calls
+// done once all have completed, crash-aware: a replica that dies
+// mid-checkpoint loses its storage completion with the rest of its
+// volatile state, so a periodic sweep (scheduled through after) counts
+// targets for which gone reports true — dead, or replaced by a newer
+// incarnation — as finished rather than letting done hang forever.
+//
+// Completion is mutex-protected so it is safe when storage callbacks and
+// the sweep arrive from different goroutines (the live runtime); under a
+// single-threaded simulator the lock is uncontended. A nil after disables
+// the sweep (completion then relies on every target surviving).
+func CheckpointFanout(targets []*Replica, gone func(k int) bool,
+	after func(time.Duration, func()), done func()) {
+
+	if len(targets) == 0 {
+		if done != nil {
+			done()
+		}
+		return
+	}
+	var mu sync.Mutex
+	completed := make([]bool, len(targets))
+	remaining := len(targets)
+	finish := func(k int) {
+		mu.Lock()
+		if completed[k] {
+			mu.Unlock()
+			return
+		}
+		completed[k] = true
+		remaining--
+		last := remaining == 0
+		mu.Unlock()
+		if last && done != nil {
+			done()
+		}
+	}
+	for k, t := range targets {
+		k := k
+		t.Checkpoint(func() { finish(k) })
+	}
+	if after == nil {
+		return
+	}
+	var sweep func()
+	sweep = func() {
+		mu.Lock()
+		rem := remaining
+		mu.Unlock()
+		if rem == 0 {
+			return
+		}
+		for k := range targets {
+			if gone(k) {
+				finish(k)
+			}
+		}
+		mu.Lock()
+		rem = remaining
+		mu.Unlock()
+		if rem > 0 {
+			after(checkpointSweepInterval, sweep)
+		}
+	}
+	after(checkpointSweepInterval, sweep)
+}

@@ -117,6 +117,12 @@ func (c Config) withDefaults() Config {
 // a local sequence number correlate results back to the submitter.
 type command struct {
 	Origin env.NodeID
+	// Epoch identifies the origin's incarnation (its start time): pending
+	// sequence numbers restart at zero with every incarnation, so a
+	// command replayed from a previous one must not resolve a submission
+	// of the current one — without this, a post-crash replay can hand a
+	// caller the result of a different, older action.
+	Epoch  int64
 	Seq    int64
 	Action any
 }
@@ -166,6 +172,7 @@ type Replica struct {
 	lastApplied paxos.InstanceID
 	buffer      []bufferedValue
 
+	epoch   int64 // this incarnation's command epoch (start time)
 	nextSeq int64
 	pending map[int64]func(result any, err error)
 
@@ -218,6 +225,7 @@ func (r *Replica) Start(e env.Env) {
 	r.pubEnv.Store(e)
 	r.me = e.ID()
 	r.joinedAt = e.Now()
+	r.epoch = r.joinedAt.UnixNano()
 	r.sm = r.cfg.Machine()
 
 	e.Storage().LoadSnapshot("meta", func(snap env.Snapshot, ok bool) {
@@ -335,7 +343,7 @@ func (r *Replica) Submit(action any, done func(result any, err error)) {
 	if done != nil {
 		r.pending[r.nextSeq] = done
 	}
-	r.en.Submit(command{Origin: r.me, Seq: r.nextSeq, Action: action})
+	r.en.Submit(command{Origin: r.me, Epoch: r.epoch, Seq: r.nextSeq, Action: action})
 }
 
 // Execute proposes an action and blocks until it has been applied locally,
@@ -399,7 +407,7 @@ func (r *Replica) apply(inst paxos.InstanceID, v paxos.Value) {
 		}
 		result := r.sm.Execute(c.Action)
 		r.applied++
-		if c.Origin == r.me {
+		if c.Origin == r.me && c.Epoch == r.epoch {
 			if done, ok := r.pending[c.Seq]; ok {
 				delete(r.pending, c.Seq)
 				done(result, nil)

@@ -93,6 +93,56 @@ func TestSubmitResultAfterRecoveryUsesFreshEpoch(t *testing.T) {
 	c.requireConverged(t, 30)
 }
 
+// TestReplayDoesNotResolveNewSubmissions: pending sequence numbers
+// restart at zero with every incarnation, so a command replayed from the
+// previous life of this node (same origin, same low seq) must not resolve
+// a submission made by the current one — without the command epoch, a
+// post-crash replay hands the caller the result of a different, older
+// action (observed as a CartResult arriving for a BuyConfirm in the live
+// bookstore).
+func TestReplayDoesNotResolveNewSubmissions(t *testing.T) {
+	// A single-member group replays its own WAL on restart — the exact
+	// shape of the degenerate Servers=1 deployments the sharded
+	// faultloads sweep, and the widest replay window.
+	c := newCoreCluster(t, 1, 17, nil)
+	// Seed the log with node 0's own commands: seqs 1..20 on key "a".
+	for i := 0; i < 20; i++ {
+		c.submit(2*time.Second+time.Duration(i)*10*time.Millisecond, 0,
+			incAction{Key: "a", Delta: 1})
+	}
+	c.s.After(4*time.Second, func() { c.s.Crash(0) })
+	c.s.After(6*time.Second, func() { c.s.Restart(0) })
+
+	// Submit from the fresh incarnation as soon as it accepts work — its
+	// seq 1 races the replay of old seq 1 (result would be "a"'s counter,
+	// 1, instead of "b"'s, 5).
+	var result any
+	fired := 0
+	var trySubmit func()
+	trySubmit = func() {
+		if r := c.replicas[0]; c.s.Alive(0) && r.Ready() {
+			r.Submit(incAction{Key: "b", Delta: 5}, func(res any, err error) {
+				if err == nil {
+					result = res
+					fired++
+				}
+			})
+			return
+		}
+		c.s.After(5*time.Millisecond, trySubmit)
+	}
+	c.s.After(6*time.Second+time.Millisecond, trySubmit)
+
+	c.s.RunFor(30 * time.Second)
+	if fired != 1 {
+		t.Fatalf("post-restart submission completed %d times, want 1", fired)
+	}
+	if got, ok := result.(int64); !ok || got != 5 {
+		t.Fatalf("post-restart submission got result %v, want 5 (its own action's result)", result)
+	}
+	c.requireConverged(t, 21)
+}
+
 // TestQueueMembersOption: a cluster with a non-member bystander node must
 // compute quorums over the members only.
 func TestQueueMembersOption(t *testing.T) {

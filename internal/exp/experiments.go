@@ -177,6 +177,114 @@ func RecoveryTimes(seed uint64) []RecoveryTimePoint {
 	return out
 }
 
+// --- Sharded recovery scenarios ----------------------------------------
+
+// ShardedFaultloads returns the standard scenario set for a deployment of
+// the given shard count, all expressed in the faultload DSL: one member
+// of every group crashing simultaneously, the same as a rolling wave, and
+// a whole group lost until manual recovery (quorum loss for its client
+// slice). Times follow the paper's x-axis and scale with a shortened
+// measurement interval like the §5.4–5.6 faultloads.
+func ShardedFaultloads(shards int) []Faultload {
+	return []Faultload{
+		MemberEveryGroup(270),
+		RollingMemberEveryGroup(shards, 240, 30),
+		GroupOutage(0, 240, 390),
+	}
+}
+
+// ShardedSuiteConfig parameterizes the sharded dependability suite.
+type ShardedSuiteConfig struct {
+	Shards   int           // default 2
+	Servers  int           // replication degree per group; default 3
+	StateMB  int           // default 300
+	Browsers int           // default faultBrowsers
+	Measure  time.Duration // default the paper's 540 s
+	Seed     uint64
+}
+
+func (c ShardedSuiteConfig) withDefaults() ShardedSuiteConfig {
+	if c.Shards == 0 {
+		c.Shards = 2
+	}
+	if c.Servers == 0 {
+		c.Servers = 3
+	}
+	if c.StateMB == 0 {
+		c.StateMB = 300
+	}
+	return c
+}
+
+// ShardedSuite runs every sharded scenario against one deployment and
+// returns the per-scenario results, each carrying the per-group +
+// aggregate dependability report in RunResult.PerGroup.
+func ShardedSuite(cfg ShardedSuiteConfig) []RunResult {
+	cfg = cfg.withDefaults()
+	scenarios := ShardedFaultloads(cfg.Shards)
+	out := make([]RunResult, 0, len(scenarios))
+	for i := range scenarios {
+		fl := scenarios[i]
+		out = append(out, Run(RunConfig{
+			Profile:   rbe.Shopping,
+			Servers:   cfg.Servers,
+			Shards:    cfg.Shards,
+			StateMB:   cfg.StateMB,
+			Faultload: &fl,
+			Browsers:  cfg.Browsers,
+			Measure:   cfg.Measure,
+			Seed:      cfg.Seed,
+		}))
+	}
+	return out
+}
+
+// ShardedRecoveryPoint is one point of the recovery-vs-shard-count curve:
+// the member-every-group faultload at one shard count.
+type ShardedRecoveryPoint struct {
+	Shards          int
+	MeanRecoverySec float64 // mean over all crashed members
+	WorstGroupAvail float64 // min per-group availability
+	AWIPS           float64 // aggregate throughput over the measurement
+}
+
+// ShardedRecoveryCurve measures how recovery behaves as the deployment
+// fans out: for each shard count it crashes one member of every group
+// (shortened run) and reports mean recovery time, worst-group
+// availability and aggregate throughput.
+func ShardedRecoveryCurve(seed uint64, shardCounts []int) []ShardedRecoveryPoint {
+	out := make([]ShardedRecoveryPoint, 0, len(shardCounts))
+	for _, n := range shardCounts {
+		fl := MemberEveryGroup(270)
+		r := Run(RunConfig{
+			Profile:   rbe.Shopping,
+			Servers:   3,
+			Shards:    n,
+			StateMB:   300,
+			Faultload: &fl,
+			Browsers:  600,
+			Measure:   180 * time.Second,
+			CrashAt:   90,
+			Seed:      seed,
+		})
+		pt := ShardedRecoveryPoint{Shards: n, AWIPS: r.AWIPS, WorstGroupAvail: 1}
+		var durSum float64
+		var recs int
+		for _, g := range r.PerGroup {
+			if g.Availability < pt.WorstGroupAvail {
+				pt.WorstGroupAvail = g.Availability
+			}
+			durSum += g.MeanRecoverySec * float64(g.Recoveries)
+			recs += g.Recoveries
+		}
+		if recs > 0 {
+			pt.MeanRecoverySec = durSum / float64(recs)
+		}
+		out = append(out, pt)
+	}
+	return out
+}
+
 // AblationResult compares a design choice on/off under one workload.
 type AblationResult struct {
 	Name         string

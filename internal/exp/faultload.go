@@ -1,0 +1,271 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+)
+
+// This file defines the composable faultload DSL: a Faultload is a
+// schedule of fault events, each pairing a victim selector with an
+// operation and a time on the paper's x-axis. The paper's closed §5.4–5.6
+// faultloads (FaultKind) are expressed as Faultloads over the degenerate
+// single-group deployment, and the same vocabulary scales them out to the
+// sharded web tier: one member of one group, one member of every group
+// (simultaneous or rolling), or a whole group down until manual recovery.
+
+// FaultOp is what a fault event does to its victims.
+type FaultOp int
+
+// The fault operations.
+const (
+	// OpCrash kills the victims abruptly (OS-level kill, §5.1); the
+	// watchdog restarts them autonomously.
+	OpCrash FaultOp = iota
+
+	// OpCrashNoRestart kills the victims with their watchdog disabled:
+	// they stay down until an OpRecover event (the manual recovery of
+	// §5.6).
+	OpCrashNoRestart
+
+	// OpRecover restarts the victims by operator intervention, counting
+	// against the autonomy measure.
+	OpRecover
+)
+
+// String implements fmt.Stringer.
+func (o FaultOp) String() string {
+	switch o {
+	case OpCrash:
+		return "crash"
+	case OpCrashNoRestart:
+		return "crash-no-restart"
+	case OpRecover:
+		return "recover"
+	default:
+		return "unknown"
+	}
+}
+
+// Scope selects which servers of the deployment a fault event hits.
+type Scope int
+
+// The victim scopes.
+const (
+	// ScopeGroupMember hits one member of one group: the victim rotation
+	// slot Slot of group Group.
+	ScopeGroupMember Scope = iota
+
+	// ScopeEveryGroupMember hits one member of every group at once (the
+	// rotation slot Slot of each).
+	ScopeEveryGroupMember
+
+	// ScopeWholeGroup hits every member of group Group — quorum loss for
+	// that client slice until the members come back.
+	ScopeWholeGroup
+)
+
+// Selector picks victim servers from the deployment layout. Victims
+// within a group follow the run's deterministic rotation ("chosen at
+// random", §5.5): slot 0 is the group's first victim, slot 1 its second,
+// and so on.
+type Selector struct {
+	Scope Scope
+	Group int // group index, for ScopeGroupMember and ScopeWholeGroup
+	Slot  int // victim rotation slot, for the member scopes
+}
+
+// Member selects the rotation slot's victim within one group.
+func Member(group, slot int) Selector {
+	return Selector{Scope: ScopeGroupMember, Group: group, Slot: slot}
+}
+
+// EveryGroup selects the rotation slot's victim in every group.
+func EveryGroup(slot int) Selector {
+	return Selector{Scope: ScopeEveryGroupMember, Slot: slot}
+}
+
+// WholeGroup selects every member of one group.
+func WholeGroup(group int) Selector {
+	return Selector{Scope: ScopeWholeGroup, Group: group}
+}
+
+// key renders the selector into the run memoization key.
+func (sel Selector) key() string {
+	switch sel.Scope {
+	case ScopeGroupMember:
+		return fmt.Sprintf("m%d.%d", sel.Group, sel.Slot)
+	case ScopeEveryGroupMember:
+		return fmt.Sprintf("e%d", sel.Slot)
+	case ScopeWholeGroup:
+		return fmt.Sprintf("g%d", sel.Group)
+	default:
+		return "?"
+	}
+}
+
+// FaultEvent schedules one fault operation.
+type FaultEvent struct {
+	// AtSec is the event time in seconds on the paper's x-axis (measured
+	// from run start, ramp-up included); it scales with a shortened
+	// measurement interval exactly like the enum faultloads did.
+	AtSec float64
+
+	Op     FaultOp
+	Select Selector
+}
+
+// Faultload is a composable crash/recovery schedule: the generalization
+// of the paper's FaultKind enum to victim selectors × event times.
+type Faultload struct {
+	Name   string
+	Events []FaultEvent
+}
+
+// key renders the faultload into the run memoization key.
+func (f Faultload) key() string {
+	if len(f.Events) == 0 {
+		return "none"
+	}
+	parts := make([]string, 0, len(f.Events)+1)
+	parts = append(parts, f.Name)
+	for _, ev := range f.Events {
+		parts = append(parts, fmt.Sprintf("%.0f:%d:%s", ev.AtSec, ev.Op, ev.Select.key()))
+	}
+	return strings.Join(parts, ",")
+}
+
+// shifted returns the faultload with every crash event moved so the first
+// crash lands at firstCrashSec, preserving relative spacing — the CrashAt
+// override of shortened recovery-time runs. Recovery events keep their
+// absolute times, matching the enum faultloads (the §5.6 intervention
+// stays at t=390 s).
+func (f Faultload) shifted(firstCrashSec float64) Faultload {
+	first := -1.0
+	for _, ev := range f.Events {
+		if ev.Op != OpRecover && (first < 0 || ev.AtSec < first) {
+			first = ev.AtSec
+		}
+	}
+	if first < 0 || first == firstCrashSec {
+		return f
+	}
+	delta := firstCrashSec - first
+	out := Faultload{Name: f.Name, Events: make([]FaultEvent, len(f.Events))}
+	copy(out.Events, f.Events)
+	for i := range out.Events {
+		if out.Events[i].Op != OpRecover {
+			out.Events[i].AtSec += delta
+		}
+	}
+	return out
+}
+
+// --- The paper's faultloads, re-expressed ------------------------------
+
+// PaperFaultload returns kind expressed in the DSL. At Shards=1 the
+// resulting schedule is identical to what the closed enum dispatch used
+// to produce (the equivalence is tested).
+func PaperFaultload(kind FaultKind) Faultload {
+	switch kind {
+	case OneCrash:
+		return Faultload{Name: "one-crash", Events: []FaultEvent{
+			{AtSec: 270, Op: OpCrash, Select: Member(0, 0)},
+		}}
+	case TwoCrashes:
+		return Faultload{Name: "two-crashes", Events: []FaultEvent{
+			{AtSec: 240, Op: OpCrash, Select: Member(0, 0)},
+			{AtSec: 270, Op: OpCrash, Select: Member(0, 1)},
+		}}
+	case DelayedRecovery:
+		return Faultload{Name: "delayed-recovery", Events: []FaultEvent{
+			{AtSec: 240, Op: OpCrash, Select: Member(0, 0)},
+			{AtSec: 240, Op: OpCrashNoRestart, Select: Member(0, 1)},
+			{AtSec: 390, Op: OpRecover, Select: Member(0, 1)},
+		}}
+	default:
+		return Faultload{Name: "none"}
+	}
+}
+
+// --- Sharded scenarios -------------------------------------------------
+
+// MemberEveryGroup crashes one member of every group simultaneously at
+// atSec: the sharded analogue of OneCrash, where each group loses one
+// replica but keeps its quorum.
+func MemberEveryGroup(atSec float64) Faultload {
+	return Faultload{Name: "member-every-group", Events: []FaultEvent{
+		{AtSec: atSec, Op: OpCrash, Select: EveryGroup(0)},
+	}}
+}
+
+// RollingMemberEveryGroup crashes one member of each group, stepSec
+// apart, group by group: a rolling failure wave across the deployment.
+func RollingMemberEveryGroup(shards int, startSec, stepSec float64) Faultload {
+	f := Faultload{Name: "rolling-member-every-group"}
+	for g := 0; g < shards; g++ {
+		f.Events = append(f.Events, FaultEvent{
+			AtSec:  startSec + float64(g)*stepSec,
+			Op:     OpCrash,
+			Select: Member(g, 0),
+		})
+	}
+	return f
+}
+
+// GroupOutage takes a whole group down at atSec — quorum loss, so its
+// client slice sees a complete outage — with manual recovery of every
+// member at recoverSec.
+func GroupOutage(group int, atSec, recoverSec float64) Faultload {
+	return Faultload{Name: "group-outage", Events: []FaultEvent{
+		{AtSec: atSec, Op: OpCrashNoRestart, Select: WholeGroup(group)},
+		{AtSec: recoverSec, Op: OpRecover, Select: WholeGroup(group)},
+	}}
+}
+
+// --- Resolution --------------------------------------------------------
+
+// resolvedEvent is a fault event with its victims bound to flat server
+// indices of a concrete deployment.
+type resolvedEvent struct {
+	atSec   float64
+	op      FaultOp
+	victims []int
+}
+
+// resolve binds the faultload's selectors to flat (group-major) server
+// indices for a Shards×Servers deployment. A selector naming a group the
+// deployment does not have is a construction error — wrapping it around
+// would silently crash a second member of some other group and misreport
+// the scenario — so it panics.
+func (f Faultload) resolve(cfg RunConfig) []resolvedEvent {
+	groupOf := func(sel Selector) int {
+		if sel.Group < 0 || sel.Group >= cfg.Shards {
+			panic(fmt.Sprintf("exp: faultload %q selects group %d of a %d-shard deployment",
+				f.Name, sel.Group, cfg.Shards))
+		}
+		return sel.Group
+	}
+	out := make([]resolvedEvent, 0, len(f.Events))
+	for _, ev := range f.Events {
+		re := resolvedEvent{atSec: ev.AtSec, op: ev.Op}
+		sel := ev.Select
+		switch sel.Scope {
+		case ScopeGroupMember:
+			g := groupOf(sel)
+			v := pickVictimsInGroup(cfg, g)
+			re.victims = []int{g*cfg.Servers + v[sel.Slot%len(v)]}
+		case ScopeEveryGroupMember:
+			for g := 0; g < cfg.Shards; g++ {
+				v := pickVictimsInGroup(cfg, g)
+				re.victims = append(re.victims, g*cfg.Servers+v[sel.Slot%len(v)])
+			}
+		case ScopeWholeGroup:
+			g := groupOf(sel)
+			for m := 0; m < cfg.Servers; m++ {
+				re.victims = append(re.victims, g*cfg.Servers+m)
+			}
+		}
+		out = append(out, re)
+	}
+	return out
+}

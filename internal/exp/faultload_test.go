@@ -1,0 +1,169 @@
+package exp
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"robuststore/internal/rbe"
+)
+
+// equivCfg is a shortened run shared by the equivalence tests.
+func equivCfg(kind FaultKind) RunConfig {
+	return RunConfig{
+		Profile: rbe.Shopping, Servers: 3, StateMB: 300,
+		Fault: kind, Browsers: 200, Measure: 90 * time.Second,
+		CrashAt: 60, Seed: 5,
+	}
+}
+
+// TestPaperFaultloadEquivalence: each paper faultload, re-expressed as an
+// explicit DSL Faultload, must produce a RunResult identical to the enum
+// shorthand at Shards=1 — the engine is one code path, and the DSL form
+// resolves to exactly the schedule the closed dispatch used to build.
+func TestPaperFaultloadEquivalence(t *testing.T) {
+	for _, kind := range []FaultKind{OneCrash, TwoCrashes, DelayedRecovery} {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			enum := runOnce(equivCfg(kind).withDefaults())
+
+			fl := PaperFaultload(kind)
+			dslCfg := equivCfg(NoFault)
+			dslCfg.Faultload = &fl
+			dsl := runOnce(dslCfg.withDefaults())
+
+			if len(enum.CrashSec) == 0 || len(enum.RecoverySec) == 0 {
+				t.Fatalf("enum run has no fault activity: crashes %v recoveries %v",
+					enum.CrashSec, enum.RecoverySec)
+			}
+			enum.Cfg, dsl.Cfg = RunConfig{}, RunConfig{}
+			if !reflect.DeepEqual(enum, dsl) {
+				t.Fatalf("DSL run diverged from enum run:\nenum: %+v\ndsl:  %+v", enum, dsl)
+			}
+		})
+	}
+}
+
+func TestPickVictimsDegenerateGroup(t *testing.T) {
+	// Servers=1 used to divide by zero; the lone member is every victim.
+	for seed := uint64(0); seed < 5; seed++ {
+		v := pickVictims(RunConfig{Seed: seed, Servers: 1, Profile: rbe.Shopping})
+		if v[0] != 0 || v[1] != 0 {
+			t.Fatalf("Servers=1 victims = %v, want [0 0]", v)
+		}
+	}
+	// Servers=2 still yields distinct victims.
+	for seed := uint64(0); seed < 10; seed++ {
+		v := pickVictims(RunConfig{Seed: seed, Servers: 2, Profile: rbe.Ordering})
+		if v[0] == v[1] || v[0] >= 2 || v[1] >= 2 {
+			t.Fatalf("Servers=2 victims = %v", v)
+		}
+	}
+}
+
+func TestPickVictimsPerGroupMatchesLegacyAtGroupZero(t *testing.T) {
+	for seed := uint64(0); seed < 20; seed++ {
+		cfg := RunConfig{Seed: seed, Servers: 5, Profile: rbe.Shopping}
+		legacy := []int{
+			int(cfg.Seed+uint64(cfg.Profile)*3) % cfg.Servers,
+		}
+		legacy = append(legacy, (legacy[0]+1+int(cfg.Seed)%(cfg.Servers-1))%cfg.Servers)
+		if got := pickVictimsInGroup(cfg, 0); !reflect.DeepEqual(got, legacy) {
+			t.Fatalf("seed %d: group-0 rotation %v != legacy %v", seed, got, legacy)
+		}
+	}
+}
+
+// TestSingleServerFaultRun: the degenerate one-server group survives a
+// fault run end to end — the crash registers as a full outage and the
+// watchdog restores service.
+func TestSingleServerFaultRun(t *testing.T) {
+	r := Run(RunConfig{
+		Profile: rbe.Shopping, Servers: 1, StateMB: 300,
+		Fault: OneCrash, Browsers: 100, Measure: 120 * time.Second,
+		CrashAt: 60, Seed: 2,
+	})
+	if len(r.CrashSec) != 1 {
+		t.Fatalf("crashes: %v", r.CrashSec)
+	}
+	if len(r.RecoverySec) != 1 {
+		t.Fatalf("the lone server never recovered: %v", r.RecoverySec)
+	}
+	if r.Availability >= 1 {
+		t.Errorf("availability = %v, a single-server crash must register as an outage", r.Availability)
+	}
+	if r.Autonomy != 0 {
+		t.Errorf("autonomy = %v, want 0 (watchdog recovery)", r.Autonomy)
+	}
+}
+
+func TestFaultloadShifted(t *testing.T) {
+	fl := PaperFaultload(DelayedRecovery).shifted(90)
+	var crashAt []float64
+	var recoverAt []float64
+	for _, ev := range fl.Events {
+		if ev.Op == OpRecover {
+			recoverAt = append(recoverAt, ev.AtSec)
+		} else {
+			crashAt = append(crashAt, ev.AtSec)
+		}
+	}
+	if len(crashAt) != 2 || crashAt[0] != 90 || crashAt[1] != 90 {
+		t.Errorf("shifted crashes = %v, want both at 90", crashAt)
+	}
+	if len(recoverAt) != 1 || recoverAt[0] != 390 {
+		t.Errorf("recovery moved to %v; the §5.6 intervention stays at 390", recoverAt)
+	}
+
+	two := PaperFaultload(TwoCrashes).shifted(90)
+	if two.Events[0].AtSec != 90 || two.Events[1].AtSec != 120 {
+		t.Errorf("TwoCrashes shifted = %v/%v, want 90/120 (spacing preserved)",
+			two.Events[0].AtSec, two.Events[1].AtSec)
+	}
+}
+
+func TestFaultloadResolve(t *testing.T) {
+	cfg := RunConfig{Servers: 3, Shards: 2, Seed: 1, Profile: rbe.Shopping}
+
+	ev := MemberEveryGroup(270).resolve(cfg)
+	if len(ev) != 1 || len(ev[0].victims) != 2 {
+		t.Fatalf("member-every-group resolved to %+v", ev)
+	}
+	seen := map[int]bool{}
+	for _, v := range ev[0].victims {
+		g := v / cfg.Servers
+		if seen[g] {
+			t.Fatalf("two victims in group %d: %v", g, ev[0].victims)
+		}
+		seen[g] = true
+	}
+
+	whole := GroupOutage(1, 240, 390).resolve(cfg)
+	if len(whole) != 2 {
+		t.Fatalf("group-outage resolved to %d events", len(whole))
+	}
+	if got := whole[0].victims; !reflect.DeepEqual(got, []int{3, 4, 5}) {
+		t.Errorf("whole-group victims = %v, want group 1's members [3 4 5]", got)
+	}
+	if whole[1].op != OpRecover || !reflect.DeepEqual(whole[1].victims, []int{3, 4, 5}) {
+		t.Errorf("recovery event = %+v", whole[1])
+	}
+
+	roll := RollingMemberEveryGroup(2, 240, 30).resolve(cfg)
+	if len(roll) != 2 || roll[0].atSec != 240 || roll[1].atSec != 270 {
+		t.Fatalf("rolling events = %+v", roll)
+	}
+	if roll[0].victims[0]/cfg.Servers != 0 || roll[1].victims[0]/cfg.Servers != 1 {
+		t.Errorf("rolling wave must advance group by group: %+v", roll)
+	}
+}
+
+func TestResolveRejectsOutOfRangeGroup(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("resolving a group the deployment lacks must panic, not wrap")
+		}
+	}()
+	fl := GroupOutage(3, 240, 390)
+	fl.resolve(RunConfig{Servers: 3, Shards: 2, Profile: rbe.Shopping})
+}

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strings"
 
+	"robuststore/internal/metrics"
 	"robuststore/internal/rbe"
 	"robuststore/internal/stats"
 )
@@ -136,8 +137,12 @@ func PrintDependability(w io.Writer, title string, m map[string]RunResult) {
 // series of one run as a text sparkline with crash/recovery markers,
 // binned to fit a terminal.
 func PrintHistogram(w io.Writer, r RunResult) {
-	fmt.Fprintf(w, "WIPS histogram — %s, %d replicas, %v (c=crash, r=recovered)\n",
-		r.Cfg.Profile, r.Cfg.Servers, r.Cfg.Fault)
+	fault := r.Cfg.Fault.String()
+	if r.Cfg.Faultload != nil {
+		fault = r.Cfg.Faultload.Name
+	}
+	fmt.Fprintf(w, "WIPS histogram — %s, %d replicas, %s (c=crash, r=recovered)\n",
+		r.Cfg.Profile, r.Cfg.Servers, fault)
 	const cols = 120
 	n := len(r.Series)
 	if n == 0 {
@@ -217,6 +222,41 @@ func PrintRecoveryTimes(w io.Writer, pts []RecoveryTimePoint) {
 	for _, k := range keys {
 		fmt.Fprintf(w, "%-9d %-10s %8.0f %8.0f %8.0f\n",
 			k.servers, k.profile, rows[k][300], rows[k][500], rows[k][700])
+	}
+}
+
+// PrintShardedDependability renders the per-group + aggregate
+// dependability report of one sharded run: each group's client-slice
+// throughput, accuracy, availability and recovery windows, with the
+// deployment-wide row folded from them.
+func PrintShardedDependability(w io.Writer, r RunResult) {
+	name := r.Cfg.Fault.String()
+	if r.Cfg.Faultload != nil {
+		name = r.Cfg.Faultload.Name
+	}
+	total := rampUp + r.Cfg.Measure + rampDown
+	fmt.Fprintf(w, "Sharded dependability — %s (%d group(s) × %d servers, %s)\n",
+		name, r.Cfg.Shards, r.Cfg.Servers, r.Cfg.Profile)
+	fmt.Fprintf(w, "%-10s %9s %8s %9s %8s %7s %5s %9s %7s\n",
+		"group", "AWIPS", "acc(%)", "avail", "down(s)", "crashes", "rec", "mrec(s)", "PV(%)")
+	for _, g := range r.PerGroup {
+		fmt.Fprintf(w, "%-10d %9.1f %8.3f %9.5f %8.1f %7d %5d %9.1f %7.1f\n",
+			g.Group, g.AWIPS, g.Accuracy, g.Availability, g.Downtime.Seconds(),
+			g.Crashes, g.Recoveries, g.MeanRecoverySec, g.Perf.PV)
+	}
+	agg := metrics.AggregateGroups(r.PerGroup, total)
+	fmt.Fprintf(w, "%-10s %9.1f %8.3f %9.5f %8.1f %7d %5d %9.1f %7.1f\n",
+		"aggregate", agg.AWIPS, r.Accuracy, r.Availability, agg.Downtime.Seconds(),
+		agg.Crashes, agg.Recoveries, agg.MeanRecoverySec, r.Perf.PV)
+}
+
+// PrintShardedRecovery renders the recovery-vs-shard-count curve.
+func PrintShardedRecovery(w io.Writer, pts []ShardedRecoveryPoint) {
+	fmt.Fprintln(w, "Sharded recovery — one member of every group crashed")
+	fmt.Fprintf(w, "%-8s %12s %16s %10s\n", "shards", "mean rec(s)", "worst grp avail", "AWIPS")
+	for _, p := range pts {
+		fmt.Fprintf(w, "%-8d %12.1f %16.5f %10.1f\n",
+			p.Shards, p.MeanRecoverySec, p.WorstGroupAvail, p.AWIPS)
 	}
 }
 

@@ -43,9 +43,15 @@ func (k FaultKind) String() string {
 // RunConfig describes one experiment run.
 type RunConfig struct {
 	Profile rbe.Profile
-	Servers int
+	Servers int // replication degree of each group
+	Shards  int // independent Paxos groups; default 1 (the paper's deployment)
 	StateMB int // initial state size: 300, 500 or 700
 	Fault   FaultKind
+
+	// Faultload, when non-nil, overrides Fault with an explicit composable
+	// schedule (see faultload.go). The enum faultloads are shorthand: Fault
+	// is resolved through PaperFaultload, so both paths run the same engine.
+	Faultload *Faultload
 
 	Browsers int           // RBE population; default faultBrowsers
 	Measure  time.Duration // measurement interval; default 540 s
@@ -67,6 +73,9 @@ func (c RunConfig) withDefaults() RunConfig {
 	if c.Servers == 0 {
 		c.Servers = 5
 	}
+	if c.Shards == 0 {
+		c.Shards = 1
+	}
 	if c.StateMB == 0 {
 		c.StateMB = 500
 	}
@@ -79,11 +88,23 @@ func (c RunConfig) withDefaults() RunConfig {
 	return c
 }
 
+// faultload resolves the run's effective fault schedule.
+func (c RunConfig) faultload() Faultload {
+	fl := PaperFaultload(c.Fault)
+	if c.Faultload != nil {
+		fl = *c.Faultload
+	}
+	if c.CrashAt > 0 {
+		fl = fl.shifted(c.CrashAt)
+	}
+	return fl
+}
+
 // key returns the memoization key.
 func (c RunConfig) key() string {
-	return fmt.Sprintf("%v/%d/%d/%v/%d/%v/%d/%v/%v/%v/%.0f",
-		c.Profile, c.Servers, c.StateMB, c.Fault, c.Browsers, c.Measure,
-		c.Seed, c.NoFast, c.NoBatch, c.SeqRec, c.CrashAt)
+	return fmt.Sprintf("%v/%d/%d/%d/%v/%d/%v/%d/%v/%v/%v/%.0f/%s",
+		c.Profile, c.Servers, c.Shards, c.StateMB, c.Fault, c.Browsers, c.Measure,
+		c.Seed, c.NoFast, c.NoBatch, c.SeqRec, c.CrashAt, c.faultload().key())
 }
 
 // RunResult aggregates everything the paper reports about one run.
@@ -113,6 +134,16 @@ type RunResult struct {
 	Faults       int
 	Errors       int
 	Total        int
+
+	// CrashedServers lists the flat server index behind each entry of
+	// CrashSec, so sharded scenarios can attribute windows to groups.
+	CrashedServers []int
+
+	// PerGroup carries each Paxos group's slice of the dependability
+	// report: its client slice's throughput, accuracy, outage time and
+	// recovery windows. One entry per shard (one for the paper's
+	// single-group deployment, where it mirrors the aggregate fields).
+	PerGroup []metrics.GroupReport
 
 	InitialStateMB float64
 	FinalStateMB   float64
@@ -185,6 +216,7 @@ func runOnce(cfg RunConfig) RunResult {
 	}
 	cluster := webtier.NewCluster(webtier.Config{
 		Servers:            cfg.Servers,
+		Shards:             cfg.Shards,
 		FastPaxos:          !cfg.NoFast,
 		Store:              proto.Clone,
 		Cal:                webtier.DefaultCalibration(),
@@ -215,7 +247,7 @@ func runOnce(cfg RunConfig) RunResult {
 	// T0: the run's time origin (start of ramp-up; the paper's x axis).
 	t0 := s.Now()
 	total := rampUp + cfg.Measure + rampDown
-	recorder := metrics.NewRecorder(t0, time.Second)
+	recorder := metrics.NewShardedRecorder(t0, time.Second, cfg.Shards, cluster.GroupOf)
 	pop := rbe.New(rbe.Config{
 		Browsers:   cfg.Browsers,
 		Profile:    cfg.Profile,
@@ -227,46 +259,43 @@ func runOnce(cfg RunConfig) RunResult {
 	}, simSched{s: s}, cluster.Frontend())
 	pop.Start()
 
-	// Faultload: crash times follow §5.4–5.6, scaled into the
-	// measurement interval if it was shortened.
-	victims := pickVictims(cfg)
+	// Faultload: the run's schedule (enum faultloads resolve through the
+	// DSL, see faultload.go), scaled into the measurement interval if it
+	// was shortened.
 	scale := float64(cfg.Measure) / float64(measure)
 	at := func(sec float64) time.Time {
 		return t0.Add(rampUp + time.Duration(scale*(sec-30)*float64(time.Second)))
 	}
-	firstCrash := 270.0
-	if cfg.Fault == TwoCrashes || cfg.Fault == DelayedRecovery {
-		firstCrash = 240.0
-	}
-	if cfg.CrashAt > 0 {
-		firstCrash = cfg.CrashAt
-	}
-	var crashTimes []time.Time
-	switch cfg.Fault {
-	case OneCrash:
-		t := at(firstCrash)
-		crashTimes = []time.Time{t}
-		s.At(t, func() { cluster.Crash(victims[0]) })
-	case TwoCrashes:
-		tA, tB := at(firstCrash), at(firstCrash+30)
-		crashTimes = []time.Time{tA, tB}
-		s.At(tA, func() { cluster.Crash(victims[0]) })
-		s.At(tB, func() { cluster.Crash(victims[1]) })
-	case DelayedRecovery:
-		tA := at(firstCrash)
-		crashTimes = []time.Time{tA, tA}
-		cluster.SetAutoRestart(victims[1], false)
-		s.At(tA, func() {
-			cluster.Crash(victims[0])
-			cluster.Crash(victims[1])
-		})
-		s.At(at(390), func() { cluster.ManualRecover(victims[1]) })
+	var crashes []crashEvent
+	for _, ev := range cfg.faultload().resolve(cfg) {
+		ev := ev
+		t := at(ev.atSec)
+		switch ev.op {
+		case OpCrash, OpCrashNoRestart:
+			for _, v := range ev.victims {
+				crashes = append(crashes, crashEvent{server: v, at: t})
+			}
+			s.At(t, func() {
+				for _, v := range ev.victims {
+					if ev.op == OpCrashNoRestart {
+						cluster.SetAutoRestart(v, false)
+					}
+					cluster.Crash(v)
+				}
+			})
+		case OpRecover:
+			s.At(t, func() {
+				for _, v := range ev.victims {
+					cluster.ManualRecover(v)
+				}
+			})
+		}
 	}
 
 	// Run to completion plus a drain tail for late recoveries.
 	s.RunUntil(t0.Add(total + 90*time.Second))
 
-	return collect(cfg, cluster, recorder, t0, total, victims, crashTimes,
+	return collect(cfg, cluster, recorder, t0, total, crashes,
 		func() []recoveryEvent {
 			out := make([]recoveryEvent, 0, len(recoveries))
 			for _, r := range recoveries {
@@ -281,19 +310,39 @@ type recoveryEvent struct {
 	at     time.Time
 }
 
+// crashEvent is one scheduled crash of one server.
+type crashEvent struct {
+	server int
+	at     time.Time
+}
+
 // pickVictims chooses crash targets deterministically ("chosen at random",
 // §5.5) — distinct servers, avoiding none in particular.
 func pickVictims(cfg RunConfig) []int {
-	a := int(cfg.Seed+uint64(cfg.Profile)*3) % cfg.Servers
+	return pickVictimsInGroup(cfg, 0)
+}
+
+// pickVictimsInGroup is the per-group victim rotation: member indices
+// within group g, distinct where the group size allows it. Group 0's
+// rotation is exactly the historical pickVictims, so single-group runs
+// crash the same servers they always did.
+func pickVictimsInGroup(cfg RunConfig, g int) []int {
+	if cfg.Servers == 1 {
+		// Degenerate group: its only member is every victim (the sharded
+		// faultloads sweep group size down to 1).
+		return []int{0, 0}
+	}
+	a := int(cfg.Seed+uint64(cfg.Profile)*3+uint64(g)*7) % cfg.Servers
 	b := (a + 1 + int(cfg.Seed)%(cfg.Servers-1)) % cfg.Servers
 	return []int{a, b}
 }
 
 // collect derives the paper's measures from a finished run.
-func collect(cfg RunConfig, cluster *webtier.Cluster, rec *metrics.Recorder,
-	t0 time.Time, total time.Duration, victims []int, crashTimes []time.Time,
+func collect(cfg RunConfig, cluster *webtier.Cluster, srec *metrics.ShardedRecorder,
+	t0 time.Time, total time.Duration, crashes []crashEvent,
 	recoveries []recoveryEvent) RunResult {
 
+	rec := srec.Aggregate()
 	sec := func(t time.Time) float64 { return t.Sub(t0).Seconds() }
 	mStart := int(rampUp.Seconds())
 	mEnd := int((rampUp + cfg.Measure).Seconds())
@@ -313,17 +362,19 @@ func collect(cfg RunConfig, cluster *webtier.Cluster, rec *metrics.Recorder,
 	res.Autonomy = metrics.ComputeAutonomy(cluster.Interventions(), cluster.Faults())
 	res.Faults = cluster.Faults()
 
-	for _, ct := range crashTimes {
-		res.CrashSec = append(res.CrashSec, sec(ct))
-	}
 	// Match recoveries to crashes per victim (first recovery after the
-	// crash).
-	for i, ct := range crashTimes {
-		victim := victims[i%len(victims)]
+	// crash). matchedRec aligns with crashes; -1 marks a victim that never
+	// came back.
+	matchedRec := make([]float64, len(crashes))
+	for i, ce := range crashes {
+		res.CrashSec = append(res.CrashSec, sec(ce.at))
+		res.CrashedServers = append(res.CrashedServers, ce.server)
+		matchedRec[i] = -1
 		for _, rv := range recoveries {
-			if rv.server == victim && rv.at.After(ct) {
+			if rv.server == ce.server && rv.at.After(ce.at) {
+				matchedRec[i] = sec(rv.at)
 				res.RecoverySec = append(res.RecoverySec, sec(rv.at))
-				res.RecoveryDur = append(res.RecoveryDur, rv.at.Sub(ct).Seconds())
+				res.RecoveryDur = append(res.RecoveryDur, rv.at.Sub(ce.at).Seconds())
 				break
 			}
 		}
@@ -331,7 +382,8 @@ func collect(cfg RunConfig, cluster *webtier.Cluster, rec *metrics.Recorder,
 
 	// Performability windows (§5.1): failure-free vs recovery periods
 	// within the measurement interval.
-	if cfg.Fault != NoFault && len(res.CrashSec) > 0 {
+	fl := cfg.faultload()
+	if len(res.CrashSec) > 0 {
 		crash0 := int(res.CrashSec[0])
 		recEnd := mEnd
 		if len(res.RecoverySec) > 0 {
@@ -344,13 +396,14 @@ func collect(cfg RunConfig, cluster *webtier.Cluster, rec *metrics.Recorder,
 		if recEnd+1 < mEnd {
 			ff = append(ff, metrics.Window{From: recEnd + 1, To: mEnd})
 		}
-		if cfg.Fault == DelayedRecovery && len(res.RecoverySec) >= 2 {
-			// Two windows: autonomous recovery R1 and manual recovery
-			// R2 (Table 5).
+		manualAt := firstRecoverSec(fl)
+		if manualAt >= 0 && delayedRecoveryShape(fl) && len(res.RecoverySec) >= 2 {
+			// Two windows: autonomous recovery R1 and the operator's
+			// delayed recovery R2 (Table 5).
 			r1End := int(res.RecoverySec[0])
-			r2Start := int(390 * float64(cfg.Measure) / float64(measure))
+			r2Start := int(manualAt * float64(cfg.Measure) / float64(measure))
 			if cfg.Measure == measure {
-				r2Start = 390
+				r2Start = int(manualAt)
 			}
 			r2End := int(res.RecoverySec[1])
 			if r2End > mEnd {
@@ -364,20 +417,103 @@ func collect(cfg RunConfig, cluster *webtier.Cluster, rec *metrics.Recorder,
 		}
 	}
 
-	// State sizes.
+	// Per-group dependability: each Paxos group's client slice, outage
+	// time and recovery windows (the sharded generalization of the
+	// availability/performability report; one mirror entry at Shards=1).
+	gdt := cluster.GroupDowntimes()
+	res.PerGroup = make([]metrics.GroupReport, cfg.Shards)
+	for g := 0; g < cfg.Shards; g++ {
+		grec := srec.Group(g)
+		gr := metrics.GroupReport{
+			Group:        g,
+			AWIPS:        grec.AWIPS(mStart, mEnd),
+			Accuracy:     grec.Accuracy(),
+			Downtime:     gdt[g],
+			Availability: metrics.Availability(gdt[g], total),
+		}
+		gCrash0, gRecEnd := -1, -1
+		var durSum float64
+		for i, ce := range crashes {
+			if ce.server/cfg.Servers != g {
+				continue
+			}
+			gr.Crashes++
+			cs := int(sec(ce.at))
+			if gCrash0 < 0 || cs < gCrash0 {
+				gCrash0 = cs
+			}
+			if matchedRec[i] >= 0 {
+				gr.Recoveries++
+				durSum += matchedRec[i] - sec(ce.at)
+				if re := int(matchedRec[i]); re > gRecEnd {
+					gRecEnd = re
+				}
+			}
+		}
+		if gr.Recoveries > 0 {
+			gr.MeanRecoverySec = durSum / float64(gr.Recoveries)
+		}
+		if gr.Crashes > 0 {
+			if gRecEnd < 0 || gRecEnd > mEnd {
+				gRecEnd = mEnd
+			}
+			gff := []metrics.Window{{From: mStart, To: gCrash0}}
+			if gRecEnd+1 < mEnd {
+				gff = append(gff, metrics.Window{From: gRecEnd + 1, To: mEnd})
+			}
+			gr.Perf = grec.ComputePerformability(gff, metrics.Window{From: gCrash0, To: gRecEnd})
+		}
+		res.PerGroup[g] = gr
+	}
+
+	// State sizes. Every server starts from the full population and grows
+	// by its own group's writes, so the final size is the largest live
+	// replica state across groups (with one group, exactly the paper's
+	// single-store measure).
 	res.InitialStateMB = float64(populationFor(cfg.StateMB).NominalBytes()) / 1e6
-	for i := 0; i < cfg.Servers; i++ {
-		if st := cluster.Store(i); st != nil {
-			res.FinalStateMB = float64(st.NominalBytes()) / 1e6
-			break
+	for g := 0; g < cfg.Shards; g++ {
+		for i := g * cfg.Servers; i < (g+1)*cfg.Servers; i++ {
+			if st := cluster.Store(i); st != nil {
+				if mb := float64(st.NominalBytes()) / 1e6; mb > res.FinalStateMB {
+					res.FinalStateMB = mb
+				}
+				break
+			}
 		}
 	}
-	for i := 0; i < cfg.Servers; i++ {
+	for i := 0; i < cluster.TotalServers(); i++ {
 		if r := cluster.Replica(i); r != nil && r.Engine() != nil {
 			res.FastActive = res.FastActive || r.Engine().FastActive()
 		}
 	}
 	return res
+}
+
+// firstRecoverSec returns the earliest manual-recovery time of the
+// faultload on the paper's x-axis, or -1 when it schedules none.
+func firstRecoverSec(f Faultload) float64 {
+	out := -1.0
+	for _, ev := range f.Events {
+		if ev.Op == OpRecover && (out < 0 || ev.AtSec < out) {
+			out = ev.AtSec
+		}
+	}
+	return out
+}
+
+// delayedRecoveryShape reports whether the faultload has the §5.6 shape —
+// an autonomous recovery (OpCrash) alongside a delayed manual one — for
+// which Table 5's two-window performability (R1 autonomous, R2 manual)
+// applies. All-manual schedules like a whole-group outage get the single
+// crash-to-last-recovery window instead.
+func delayedRecoveryShape(f Faultload) bool {
+	auto := false
+	for _, ev := range f.Events {
+		if ev.Op == OpCrash {
+			auto = true
+		}
+	}
+	return auto
 }
 
 func maxFloat(xs []float64) float64 {

@@ -1,0 +1,127 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"robuststore/internal/rbe"
+)
+
+// groupOutageRun is the whole-group-down scenario on a 2×3 deployment,
+// shared (memoized) by the tests in this file. Scaled times: crash at
+// t=100 s, manual recovery at t=150 s, run ends at t=240 s (+90 s drain).
+func groupOutageRun() RunResult {
+	fl := GroupOutage(0, 240, 390)
+	return Run(RunConfig{
+		Profile: rbe.Shopping, Servers: 3, Shards: 2, StateMB: 300,
+		Faultload: &fl, Browsers: 300, Measure: 180 * time.Second, Seed: 2,
+	})
+}
+
+// TestGroupOutageScenario: a whole group goes down (quorum loss for its
+// client slice) until manual recovery. Every crashed member must come
+// back, and the group's downtime clock must stop once it has — not run to
+// the end of the experiment.
+func TestGroupOutageScenario(t *testing.T) {
+	r := groupOutageRun()
+	if r.Faults != 3 {
+		t.Fatalf("faults = %d, want 3 (every member of group 0)", r.Faults)
+	}
+	if len(r.RecoverySec) != 3 {
+		t.Fatalf("recoveries = %v, want all 3 crashed members back", r.RecoverySec)
+	}
+	for _, srv := range r.CrashedServers {
+		if srv/3 != 0 {
+			t.Errorf("crashed server %d is outside group 0", srv)
+		}
+	}
+	if len(r.PerGroup) != 2 {
+		t.Fatalf("PerGroup has %d entries, want 2", len(r.PerGroup))
+	}
+	g0, g1 := r.PerGroup[0], r.PerGroup[1]
+	if g0.Crashes != 3 || g0.Recoveries != 3 {
+		t.Errorf("group 0: crashes=%d recoveries=%d, want 3/3", g0.Crashes, g0.Recoveries)
+	}
+	if g1.Crashes != 0 || g1.Downtime != 0 || g1.Availability != 1 {
+		t.Errorf("group 1 must be untouched: %+v", g1)
+	}
+	// The outage spans manual recovery (t=100..150) plus state reload;
+	// if the downtime clock failed to stop it would accrue to the run's
+	// end (~230 s after the crash).
+	down := g0.Downtime.Seconds()
+	if down < 40 {
+		t.Errorf("group 0 downtime = %.1f s, outage not registered", down)
+	}
+	if down > 150 {
+		t.Errorf("group 0 downtime = %.1f s, kept accruing after recovery", down)
+	}
+	if g0.Availability >= 1 || r.Availability >= 1 {
+		t.Errorf("availability must reflect the outage: group %v run %v",
+			g0.Availability, r.Availability)
+	}
+	// Manual recovery of all three members: autonomy 3/3.
+	if r.Autonomy != 1 {
+		t.Errorf("autonomy = %v, want 1 (all recoveries manual)", r.Autonomy)
+	}
+	// The surviving group kept serving: its slice's accuracy stays high
+	// while the crashed group's slice ate the outage errors.
+	if g1.Accuracy < 99.9 {
+		t.Errorf("group 1 accuracy = %v, must be unaffected", g1.Accuracy)
+	}
+	if g0.Accuracy >= g1.Accuracy {
+		t.Errorf("group 0 accuracy %v should be below group 1's %v", g0.Accuracy, g1.Accuracy)
+	}
+}
+
+// TestMemberEveryGroupScenario: one member of every group crashes at
+// once; every group keeps its quorum, so there is no outage, and every
+// crashed member recovers autonomously.
+func TestMemberEveryGroupScenario(t *testing.T) {
+	fl := MemberEveryGroup(270)
+	r := Run(RunConfig{
+		Profile: rbe.Shopping, Servers: 3, Shards: 2, StateMB: 300,
+		Faultload: &fl, Browsers: 300, Measure: 180 * time.Second,
+		CrashAt: 90, Seed: 2,
+	})
+	if r.Faults != 2 {
+		t.Fatalf("faults = %d, want one per group", r.Faults)
+	}
+	if len(r.RecoverySec) != 2 {
+		t.Fatalf("recoveries = %v, want both crashed members back", r.RecoverySec)
+	}
+	if r.CrashedServers[0]/3 == r.CrashedServers[1]/3 {
+		t.Errorf("victims %v landed in the same group", r.CrashedServers)
+	}
+	for _, g := range r.PerGroup {
+		if g.Downtime != 0 || g.Availability != 1 {
+			t.Errorf("group %d saw an outage despite keeping quorum: %+v", g.Group, g)
+		}
+		if g.Crashes != 1 || g.Recoveries != 1 {
+			t.Errorf("group %d crashes/recoveries = %d/%d, want 1/1",
+				g.Group, g.Crashes, g.Recoveries)
+		}
+		if g.MeanRecoverySec <= 0 {
+			t.Errorf("group %d recovery time not measured", g.Group)
+		}
+	}
+	if r.Autonomy != 0 {
+		t.Errorf("autonomy = %v, want 0 (watchdog recoveries)", r.Autonomy)
+	}
+}
+
+func TestShardedFormatters(t *testing.T) {
+	r := groupOutageRun()
+	var buf bytes.Buffer
+	PrintShardedDependability(&buf, r)
+	PrintShardedRecovery(&buf, []ShardedRecoveryPoint{
+		{Shards: 2, MeanRecoverySec: 33, WorstGroupAvail: 0.95, AWIPS: 400},
+	})
+	out := buf.String()
+	for _, want := range []string{"group-outage", "aggregate", "Sharded recovery", "avail"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatter output missing %q:\n%s", want, out)
+		}
+	}
+}

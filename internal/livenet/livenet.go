@@ -99,6 +99,10 @@ func (c *Cluster) Alive(id env.NodeID) bool {
 // It is how application goroutines hand work to protocol code.
 func (c *Cluster) Post(id env.NodeID, fn func()) { c.nodes[id].post(fn) }
 
+// After schedules a cluster-level callback on the wall clock, independent
+// of any node incarnation (used by shard.Store's checkpoint sweep).
+func (c *Cluster) After(d time.Duration, fn func()) { time.AfterFunc(d, fn) }
+
 // Close crashes every node and waits for their loops to exit.
 func (c *Cluster) Close() {
 	c.mu.Lock()

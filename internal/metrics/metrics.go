@@ -59,6 +59,13 @@ func (r *Recorder) Record(at time.Time, latency time.Duration, isErr bool) {
 	r.latencySum[idx] += latency.Seconds()
 }
 
+// RecordClient registers a completion for the given client. The plain
+// Recorder ignores the client; ShardedRecorder uses it to also bucket the
+// sample under the client's owning Paxos group.
+func (r *Recorder) RecordClient(_ int64, at time.Time, latency time.Duration, isErr bool) {
+	r.Record(at, latency, isErr)
+}
+
 // Total returns the total number of recorded interactions (including
 // errors).
 func (r *Recorder) Total() int { return r.total }
@@ -160,6 +167,98 @@ func (r *Recorder) ComputePerformability(failureFree []Window, recovery Window) 
 		p.PV = 100 * (p.RecoveryAWIPS - p.FailureFreeAWIPS) / p.FailureFreeAWIPS
 	}
 	return p
+}
+
+// ShardedRecorder fans interaction samples out to an aggregate Recorder
+// plus one Recorder per Paxos group, routing by the deployment's
+// client→group mapping. With one group it degenerates to a plain Recorder
+// whose group 0 mirrors the aggregate.
+type ShardedRecorder struct {
+	agg     *Recorder
+	groups  []*Recorder
+	groupOf func(client int64) int
+}
+
+// NewShardedRecorder builds a recorder for a deployment of the given
+// group count. groupOf maps a client ID to its owning group; nil routes
+// everything to group 0.
+func NewShardedRecorder(start time.Time, bucket time.Duration, groups int,
+	groupOf func(client int64) int) *ShardedRecorder {
+	if groups < 1 {
+		groups = 1
+	}
+	r := &ShardedRecorder{
+		agg:     NewRecorder(start, bucket),
+		groupOf: groupOf,
+	}
+	for g := 0; g < groups; g++ {
+		r.groups = append(r.groups, NewRecorder(start, bucket))
+	}
+	return r
+}
+
+// RecordClient registers a completion under both the aggregate and the
+// client's group.
+func (r *ShardedRecorder) RecordClient(client int64, at time.Time, latency time.Duration, isErr bool) {
+	r.agg.Record(at, latency, isErr)
+	g := 0
+	if r.groupOf != nil {
+		g = r.groupOf(client) % len(r.groups)
+	}
+	r.groups[g].Record(at, latency, isErr)
+}
+
+// Aggregate returns the all-groups recorder.
+func (r *ShardedRecorder) Aggregate() *Recorder { return r.agg }
+
+// Group returns group g's recorder.
+func (r *ShardedRecorder) Group(g int) *Recorder { return r.groups[g] }
+
+// Groups returns the group count.
+func (r *ShardedRecorder) Groups() int { return len(r.groups) }
+
+// GroupReport is one Paxos group's slice of a sharded dependability
+// report: the throughput and accuracy its client slice observed, its
+// cumulative outage time, and the recovery windows of its crashed
+// members. The aggregate counterpart is the run-level report; at one
+// group the two coincide.
+type GroupReport struct {
+	Group           int
+	AWIPS           float64
+	Accuracy        float64 // percent
+	Downtime        time.Duration
+	Availability    float64
+	Crashes         int
+	Recoveries      int
+	MeanRecoverySec float64
+	Perf            Performability
+}
+
+// AggregateGroups folds per-group reports into one deployment-wide row:
+// availability is governed by the worst group (a whole-group outage is a
+// full outage for that client slice), crash and recovery counts sum, and
+// the mean recovery time averages over all recovered members. Accuracy is
+// not derivable from the rows (they carry percentages, not counts) — the
+// caller fills it from the run-level recorder.
+func AggregateGroups(groups []GroupReport, total time.Duration) GroupReport {
+	out := GroupReport{Group: -1, Availability: 1}
+	var durSum float64
+	var awipsSum float64
+	for _, g := range groups {
+		if g.Downtime > out.Downtime {
+			out.Downtime = g.Downtime
+		}
+		out.Crashes += g.Crashes
+		out.Recoveries += g.Recoveries
+		durSum += g.MeanRecoverySec * float64(g.Recoveries)
+		awipsSum += g.AWIPS
+	}
+	out.AWIPS = awipsSum
+	out.Availability = Availability(out.Downtime, total)
+	if out.Recoveries > 0 {
+		out.MeanRecoverySec = durSum / float64(out.Recoveries)
+	}
+	return out
 }
 
 // Dependability aggregates the four measures of §5.1 for one experiment

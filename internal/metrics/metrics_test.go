@@ -144,3 +144,67 @@ func TestWindowLen(t *testing.T) {
 		t.Error("window length")
 	}
 }
+
+func TestShardedRecorderRoutesByGroup(t *testing.T) {
+	r := NewShardedRecorder(t0(), time.Second, 2, func(client int64) int {
+		return int(client % 2)
+	})
+	r.RecordClient(1, t0().Add(500*time.Millisecond), time.Millisecond, false)
+	r.RecordClient(2, t0().Add(500*time.Millisecond), time.Millisecond, false)
+	r.RecordClient(3, t0().Add(500*time.Millisecond), time.Millisecond, true)
+
+	if r.Aggregate().Total() != 3 || r.Aggregate().TotalErrors() != 1 {
+		t.Errorf("aggregate total=%d errors=%d", r.Aggregate().Total(), r.Aggregate().TotalErrors())
+	}
+	if r.Group(0).Total() != 1 || r.Group(0).TotalErrors() != 0 {
+		t.Errorf("group 0 total=%d", r.Group(0).Total())
+	}
+	if r.Group(1).Total() != 2 || r.Group(1).TotalErrors() != 1 {
+		t.Errorf("group 1 total=%d errors=%d", r.Group(1).Total(), r.Group(1).TotalErrors())
+	}
+	if r.Groups() != 2 {
+		t.Errorf("groups = %d", r.Groups())
+	}
+}
+
+func TestShardedRecorderNilGroupOf(t *testing.T) {
+	r := NewShardedRecorder(t0(), time.Second, 0, nil)
+	r.RecordClient(99, t0(), time.Millisecond, false)
+	if r.Groups() != 1 || r.Group(0).Total() != 1 {
+		t.Errorf("nil groupOf must degenerate to one group: groups=%d total=%d",
+			r.Groups(), r.Group(0).Total())
+	}
+}
+
+// TestPlainRecorderSatisfiesClientInterface: the plain Recorder keeps
+// working where a client-tagged recorder is expected.
+func TestPlainRecorderRecordClient(t *testing.T) {
+	r := NewRecorder(t0(), time.Second)
+	r.RecordClient(7, t0().Add(time.Second), 2*time.Millisecond, false)
+	if r.Total() != 1 {
+		t.Errorf("total = %d", r.Total())
+	}
+}
+
+func TestAggregateGroups(t *testing.T) {
+	groups := []GroupReport{
+		{Group: 0, AWIPS: 100, Downtime: 30 * time.Second, Crashes: 3, Recoveries: 3, MeanRecoverySec: 20},
+		{Group: 1, AWIPS: 110, Downtime: 0, Crashes: 1, Recoveries: 1, MeanRecoverySec: 40},
+	}
+	agg := AggregateGroups(groups, 5*time.Minute)
+	if agg.Downtime != 30*time.Second {
+		t.Errorf("aggregate downtime = %v, want the worst group's", agg.Downtime)
+	}
+	if agg.Availability != 0.9 {
+		t.Errorf("aggregate availability = %v, want 0.9", agg.Availability)
+	}
+	if agg.Crashes != 4 || agg.Recoveries != 4 {
+		t.Errorf("crashes/recoveries = %d/%d", agg.Crashes, agg.Recoveries)
+	}
+	if agg.MeanRecoverySec != 25 {
+		t.Errorf("mean recovery = %v, want 25 ((3·20+1·40)/4)", agg.MeanRecoverySec)
+	}
+	if agg.AWIPS != 210 {
+		t.Errorf("aggregate AWIPS = %v, want the sum", agg.AWIPS)
+	}
+}

@@ -11,9 +11,9 @@
 package rbe
 
 import (
+	"reflect"
 	"time"
 
-	"robuststore/internal/metrics"
 	"robuststore/internal/tpcw"
 	"robuststore/internal/xrand"
 )
@@ -190,6 +190,13 @@ type Scheduler interface {
 	After(d time.Duration, fn func())
 }
 
+// Recorder receives one sample per completed interaction, tagged with the
+// issuing client so a sharded harness can bucket samples per Paxos group.
+// Both *metrics.Recorder and *metrics.ShardedRecorder satisfy it.
+type Recorder interface {
+	RecordClient(client int64, at time.Time, latency time.Duration, isErr bool)
+}
+
 // Config parameterizes an RBE population.
 type Config struct {
 	// Browsers is the number of emulated browsers (closed-loop
@@ -211,7 +218,7 @@ type Config struct {
 
 	// Recorder receives one sample per completed interaction; may be
 	// nil.
-	Recorder *metrics.Recorder
+	Recorder Recorder
 
 	// Stop: interactions completing after this instant are not issued
 	// anymore (ramp-down ends the run).
@@ -234,6 +241,13 @@ type Population struct {
 func New(cfg Config, sched Scheduler, front Frontend) *Population {
 	if cfg.ThinkTime == 0 {
 		cfg.ThinkTime = time.Second
+	}
+	// A typed-nil pointer stored in the Recorder interface would pass the
+	// nil check at record time and panic on first use; normalize it here.
+	if cfg.Recorder != nil {
+		if v := reflect.ValueOf(cfg.Recorder); v.Kind() == reflect.Pointer && v.IsNil() {
+			cfg.Recorder = nil
+		}
 	}
 	return &Population{
 		cfg:   cfg,
@@ -294,7 +308,7 @@ func (b *browser) step() {
 			p.errors++
 		}
 		if p.cfg.Recorder != nil {
-			p.cfg.Recorder.Record(p.sched.Now(), latency, resp.Err)
+			p.cfg.Recorder.RecordClient(req.Client, p.sched.Now(), latency, resp.Err)
 		}
 		b.observe(req, resp)
 		think := time.Duration(b.rng.ExpFloat64() * float64(p.cfg.ThinkTime))

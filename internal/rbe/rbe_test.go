@@ -257,3 +257,11 @@ func TestRequestParametersInRange(t *testing.T) {
 		}
 	}
 }
+
+func TestNewNormalizesTypedNilRecorder(t *testing.T) {
+	var rec *metrics.Recorder // typed nil stored in the interface field
+	p := New(Config{Browsers: 1, Recorder: rec}, &fakeSched{}, &scriptedFrontend{})
+	if p.cfg.Recorder != nil {
+		t.Fatal("typed-nil recorder must be normalized to nil")
+	}
+}

@@ -18,6 +18,13 @@ type Runtime interface {
 	Alive(id env.NodeID) bool
 }
 
+// delayer is the optional scheduling capability of a Runtime, used to
+// sweep for members that crash mid-checkpoint. Both *sim.Sim and
+// *livenet.Cluster provide it.
+type delayer interface {
+	After(d time.Duration, fn func())
+}
+
 // Config parameterizes a sharded store.
 type Config struct {
 	// Shards is the number of independent Paxos groups. Default 1 — the
@@ -214,36 +221,45 @@ func (s *Store) Execute(ctx context.Context, key string, action any) (any, error
 // Checkpoint forces a durable checkpoint on every live member of every
 // group and calls done when all have completed. Executor context only
 // (see Submit).
+//
+// Completion is crash-aware: a member that crashes mid-checkpoint loses
+// its storage completion with the rest of its volatile state, so a
+// periodic sweep counts dead or replaced incarnations as finished rather
+// than letting done hang forever.
 func (s *Store) Checkpoint(done func()) {
 	// Collect targets before starting: core.Replica.Checkpoint may
 	// complete synchronously (nothing to checkpoint), so counting and
 	// starting in one pass could fire done before all members started.
-	var targets []*core.Replica
-	for _, g := range s.groups {
+	type target struct {
+		g, m int
+		id   env.NodeID
+		r    *core.Replica
+	}
+	var targets []target
+	for gi, g := range s.groups {
 		for m, id := range g.ids {
 			if !s.rt.Alive(id) {
 				continue
 			}
 			if r := g.reps[m].Load(); r != nil {
-				targets = append(targets, r)
+				targets = append(targets, target{g: gi, m: m, id: id, r: r})
 			}
 		}
 	}
-	if len(targets) == 0 {
-		if done != nil {
-			done()
-		}
-		return
+	var after func(time.Duration, func())
+	if d, ok := s.rt.(delayer); ok {
+		after = d.After
 	}
-	remaining := len(targets)
-	for _, r := range targets {
-		r.Checkpoint(func() {
-			remaining--
-			if remaining == 0 && done != nil {
-				done()
-			}
-		})
+	reps := make([]*core.Replica, len(targets))
+	for k, t := range targets {
+		reps[k] = t.r
 	}
+	core.CheckpointFanout(reps,
+		func(k int) bool {
+			t := targets[k]
+			return !s.rt.Alive(t.id) || s.groups[t.g].reps[t.m].Load() != t.r
+		},
+		after, done)
 }
 
 // GroupStatus aggregates one shard's health and progress, built from

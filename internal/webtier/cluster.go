@@ -217,6 +217,15 @@ func (c *Cluster) Downtime() time.Duration {
 	return c.proxy.Downtime()
 }
 
+// GroupDowntimes returns each group's cumulative outage time observed at
+// the proxy (the per-slice availability inputs).
+func (c *Cluster) GroupDowntimes() []time.Duration {
+	if c.proxy == nil {
+		return make([]time.Duration, c.cfg.Shards)
+	}
+	return c.proxy.GroupDowntimes()
+}
+
 // Frontend returns the client-facing interface (the proxy).
 func (c *Cluster) Frontend() rbe.Frontend { return frontend{c: c} }
 
@@ -231,28 +240,32 @@ func (f frontend) Do(req rbe.Request, done func(rbe.Response)) {
 // checkpoint before the measurement interval. Targets are collected before
 // any checkpoint starts because a replica with nothing to checkpoint
 // completes synchronously, which would otherwise fire done early.
+//
+// Completion is crash-aware: a server that dies mid-checkpoint loses its
+// storage completion with the rest of its volatile state, so a sweep
+// counts dead or replaced incarnations as finished rather than letting
+// done hang forever.
 func (c *Cluster) CheckpointAll(done func()) {
-	var targets []*core.Replica
+	type target struct {
+		idx int
+		r   *core.Replica
+	}
+	var targets []target
 	for i, id := range c.serverIDs {
 		if c.sim.Alive(id) {
-			targets = append(targets, c.servers[i].replica)
+			targets = append(targets, target{idx: i, r: c.servers[i].replica})
 		}
 	}
-	if len(targets) == 0 {
-		if done != nil {
-			done()
-		}
-		return
+	reps := make([]*core.Replica, len(targets))
+	for k, t := range targets {
+		reps[k] = t.r
 	}
-	remaining := len(targets)
-	for _, r := range targets {
-		r.Checkpoint(func() {
-			remaining--
-			if remaining == 0 && done != nil {
-				done()
-			}
-		})
-	}
+	core.CheckpointFanout(reps,
+		func(k int) bool {
+			t := targets[k]
+			return !c.sim.Alive(c.serverIDs[t.idx]) || c.servers[t.idx].replica != t.r
+		},
+		c.sim.After, done)
 }
 
 // accepting reports whether server i accepts TCP connections: the process

@@ -108,6 +108,18 @@ func (p *Proxy) Do(req rbe.Request, done func(rbe.Response)) {
 func (p *Proxy) dispatch(r *outReq) {
 	group := p.c.GroupOf(r.req.Client)
 	candidates := p.candidates(group)
+	if r.attempts > 0 && len(candidates) > 1 {
+		// A transparent retry must not re-land on the server that just
+		// failed it: the client hash is deterministic, so over an
+		// unchanged candidate set it would re-pick r.server every time.
+		kept := candidates[:0]
+		for _, c := range candidates {
+			if c != r.server {
+				kept = append(kept, c)
+			}
+		}
+		candidates = kept
+	}
 	if len(candidates) == 0 {
 		// The owning group is fully down: for this client slice the
 		// service is out, which the availability measure counts.
@@ -243,6 +255,11 @@ func (p *Proxy) onProbeResp(m probeRespMsg) {
 	if m.OK {
 		p.failCount[srv] = 0
 		p.up[srv] = true
+		// A succeeding probe proves the group can serve again: stop its
+		// outage clock even if no client of that slice has dispatched
+		// since, so an idle group's downtime does not keep accruing
+		// after it recovered.
+		p.clearNoService(srv / p.c.cfg.Servers)
 		return
 	}
 	p.probeFailed(srv)
@@ -268,16 +285,26 @@ func (p *Proxy) clearNoService(group int) {
 	}
 }
 
-// Downtime returns the worst per-group cumulative outage time — with one
-// shard, exactly the paper's full-outage time during which no server was
-// available to take requests.
-func (p *Proxy) Downtime() time.Duration {
-	var worst time.Duration
+// GroupDowntimes returns each group's cumulative outage time, any open
+// outage included.
+func (p *Proxy) GroupDowntimes() []time.Duration {
+	out := make([]time.Duration, len(p.downtime))
 	for g := range p.downtime {
 		d := p.downtime[g]
 		if !p.noServiceSince[g].IsZero() {
 			d += p.e.Now().Sub(p.noServiceSince[g])
 		}
+		out[g] = d
+	}
+	return out
+}
+
+// Downtime returns the worst per-group cumulative outage time — with one
+// shard, exactly the paper's full-outage time during which no server was
+// available to take requests.
+func (p *Proxy) Downtime() time.Duration {
+	var worst time.Duration
+	for _, d := range p.GroupDowntimes() {
 		if d > worst {
 			worst = d
 		}
