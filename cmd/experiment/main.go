@@ -32,7 +32,7 @@ import (
 
 func main() {
 	var (
-		which   = flag.String("run", "all", "experiment: speedup | scaleup | one-crash | two-crashes | delayed | recovery-times | ablations | sharded | sharded-recovery | all")
+		which   = flag.String("run", "all", "experiment: speedup | scaleup | one-crash | two-crashes | delayed | recovery-times | ablations | sharded | sharded-recovery | rebalance | all")
 		seed    = flag.Uint64("seed", 1, "root seed (runs are deterministic per seed)")
 		servers = flag.Int("servers", 5, "replication degree for single-run modes")
 		profile = flag.String("profile", "shopping", "workload profile for single-run modes: browsing | shopping | ordering")
@@ -74,6 +74,18 @@ func run(which string, seed uint64, servers int, profileName string, shards int,
 			exp.PrintShardedDependability(out, r)
 			fmt.Fprintln(out)
 		}
+	case "rebalance":
+		// Resharding under fault: add a group live at t=240 s, kill a
+		// source-group member mid-copy, report the migration window and
+		// per-group dependability (new group included).
+		cfg := exp.ShardedSuiteConfig{Shards: shards, Seed: seed}
+		if short {
+			cfg.Browsers = 300
+			cfg.Measure = 150 * time.Second
+		}
+		r := exp.RebalanceScenario(cfg)
+		exp.PrintHistogram(out, r)
+		exp.PrintRebalance(out, r)
 	case "sharded-recovery":
 		// Sweep doubling shard counts up to -shards (e.g. -shards 8 →
 		// 1, 2, 4, 8).
@@ -123,7 +135,7 @@ func run(which string, seed uint64, servers int, profileName string, shards int,
 	case "ablations":
 		exp.PrintAblation(out, exp.AblationFastPaxos(seed))
 	case "all":
-		for _, w := range []string{"speedup", "scaleup", "one-crash", "two-crashes", "delayed", "recovery-times", "sharded", "sharded-recovery", "ablations"} {
+		for _, w := range []string{"speedup", "scaleup", "one-crash", "two-crashes", "delayed", "recovery-times", "sharded", "sharded-recovery", "rebalance", "ablations"} {
 			fmt.Fprintln(out)
 			if err := run(w, seed, servers, profileName, shards, short); err != nil {
 				return err

@@ -9,6 +9,12 @@
 // Usage:
 //
 //	robuststore -shards 2 -replicas 3 -browsers 50 -duration 10s -crash
+//	robuststore -shards 2 -replicas 3 -duration 12s -rebalance
+//
+// With -rebalance the store grows by one Paxos group mid-run: the
+// epoch-versioned routing table advances one epoch, the moving hash
+// slices' rows stream to the new group through the ordered log, and the
+// cutover publishes atomically while the shoppers keep running.
 package main
 
 import (
@@ -36,19 +42,20 @@ func main() {
 		browsers = flag.Int("browsers", 30, "concurrent emulated shoppers")
 		duration = flag.Duration("duration", 8*time.Second, "run length")
 		crash    = flag.Bool("crash", true, "kill and recover one replica per shard mid-run")
+		rebal    = flag.Bool("rebalance", false, "add one group mid-run and live-migrate its hash-space share to it")
 	)
 	flag.Parse()
 	if *shards < 1 || *replicas < 1 {
 		fmt.Fprintln(os.Stderr, "robuststore: -shards and -replicas must be at least 1")
 		os.Exit(2)
 	}
-	if err := run(*shards, *replicas, *browsers, *duration, *crash); err != nil {
+	if err := run(*shards, *replicas, *browsers, *duration, *crash, *rebal); err != nil {
 		fmt.Fprintln(os.Stderr, "robuststore:", err)
 		os.Exit(1)
 	}
 }
 
-func run(nShards, nReplicas, nBrowsers int, duration time.Duration, crash bool) error {
+func run(nShards, nReplicas, nBrowsers int, duration time.Duration, crash, rebal bool) error {
 	cluster := livenet.New(livenet.Config{Latency: 150 * time.Microsecond})
 	defer cluster.Close()
 
@@ -116,6 +123,27 @@ func run(nShards, nReplicas, nBrowsers int, duration time.Duration, crash bool) 
 			for _, id := range victims {
 				cluster.Restart(id)
 			}
+		})
+	}
+
+	if rebal {
+		// Live resharding: one more group joins mid-run, its hash-space
+		// share migrates through the ordered log, and the routing epoch
+		// advances — all while the shoppers keep executing.
+		time.AfterFunc(duration/3, func() {
+			fmt.Printf("... rebalancing: adding group %d\n", store.Shards())
+			store.Rebalance(shard.RebalanceOptions{
+				OnPhase: func(phase string) { fmt.Printf("... migration phase: %s\n", phase) },
+				Done: func(err error) {
+					st := store.Migration()
+					if err != nil {
+						fmt.Printf("... rebalance failed: %v\n", err)
+						return
+					}
+					fmt.Printf("... rebalance done: epoch %d, %d/%d slices moved, window %s\n",
+						st.Epoch, st.MovedSlices, st.TotalSlices, st.Window())
+				},
+			})
 		})
 	}
 

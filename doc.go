@@ -14,6 +14,20 @@
 // the benchmark harness (BenchmarkShardScaling) expose the
 // throughput-vs-shard-count dimension.
 //
+// Routing is explicit, epoch-versioned state, not arithmetic: a
+// shard.RoutingTable maps hash-space slices to groups (epoch 0
+// reproduces the historical hash%N mapping bit for bit, golden-tested),
+// and live migration advances the epoch without downtime. Rebalance —
+// on both the generic store (shard.Store.Rebalance) and the web tier
+// (webtier.Cluster.Rebalance, cmd/robuststore -rebalance, cmd/experiment
+// -run rebalance) — boots a new group, drains and fences the source
+// logs with ordered barriers, streams the moving slices' rows through
+// the ordered log as keyed snapshots (core.PartitionedMachine,
+// tpcw's ExportOwned/ImportOwned/DropOwned), and publishes the next
+// epoch with one atomic cutover; writes to moving keys are delayed by
+// the migration window, never failed, and the proxy transparently
+// re-routes requests that race the cutover (WrongEpoch redirects).
+//
 // The dependability benchmark covers the sharded deployment too: a
 // composable faultload DSL (exp.Faultload — victim selectors × schedule)
 // subsumes the paper's §5.4–5.6 faultloads and adds sharded scenarios

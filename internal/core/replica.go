@@ -137,6 +137,12 @@ type appSnap struct {
 	Delivered   paxos.DeliveredState
 	Data        any
 	Size        int64
+
+	// Imported is the partition-import dedup set at the checkpoint (see
+	// executeAction): restored with the state so a replica recovering
+	// from this checkpoint skips exactly the transfers the state already
+	// contains.
+	Imported map[importKey]bool
 }
 
 // Core-level transfer messages (remote checkpoint fallback).
@@ -175,6 +181,11 @@ type Replica struct {
 	epoch   int64 // this incarnation's command epoch (start time)
 	nextSeq int64
 	pending map[int64]func(result any, err error)
+
+	// imported guards partition imports at-most-once per transfer; it is
+	// driven by the ordered log only, so every replica holds the same
+	// set at the same log position (see partition.go).
+	imported map[importKey]bool
 
 	lastCheckpoint paxos.InstanceID
 	hasCheckpoint  bool
@@ -245,6 +256,11 @@ func (r *Replica) Start(e env.Env) {
 				if !ok {
 					return 64
 				}
+				// A keyed-snapshot import is charged by its payload, like
+				// the checkpoint transfer it is.
+				if pi, ok := c.Action.(PartitionImport); ok {
+					return 64 + pi.Size
+				}
 				return 48 + r.cfg.ActionSize(c.Action)
 			}
 			pcfg.Deliver = r.onDeliver
@@ -291,6 +307,12 @@ func (r *Replica) finishRestore(app appSnap) {
 	r.lastApplied = app.LastApplied
 	r.lastCheckpoint = app.LastApplied
 	r.hasCheckpoint = r.recovering
+	if len(app.Imported) > 0 {
+		r.imported = make(map[importKey]bool, len(app.Imported))
+		for k := range app.Imported {
+			r.imported[k] = true
+		}
+	}
 	if app.Delivered != nil {
 		r.en.SetDelivered(app.Delivered)
 	}
@@ -372,6 +394,34 @@ func (r *Replica) Execute(ctx context.Context, action any) (any, error) {
 	}
 }
 
+// SubmitFrom proposes an action from any goroutine by posting the
+// submission onto this replica's executor; done (optional) runs on that
+// executor once the action has been applied locally. It is the
+// fire-and-forget sibling of Execute, used by the migration driver, whose
+// event-driven retry loop must not block a node executor. Returns false
+// if the replica has not started yet.
+func (r *Replica) SubmitFrom(action any, done func(result any, err error)) bool {
+	e, ok := r.pubEnv.Load().(env.Env)
+	if !ok {
+		return false
+	}
+	e.Post(func() { r.Submit(action, done) })
+	return true
+}
+
+// Inspect posts fn onto this replica's executor with its state machine —
+// the loop-safe way for application goroutines to read machine state
+// (Machine itself is loop-confined). Returns false if the replica has
+// not started yet.
+func (r *Replica) Inspect(fn func(sm StateMachine)) bool {
+	e, ok := r.pubEnv.Load().(env.Env)
+	if !ok {
+		return false
+	}
+	e.Post(func() { fn(r.sm) })
+	return true
+}
+
 // publishLoop refreshes the published leadership and backlog snapshots so
 // application goroutines can await service readiness and aggregate
 // per-group metrics (internal/shard) without touching loop state.
@@ -405,7 +455,7 @@ func (r *Replica) apply(inst paxos.InstanceID, v paxos.Value) {
 			r.e.Logf("core: dropping malformed command %T", cmd)
 			continue
 		}
-		result := r.sm.Execute(c.Action)
+		result := r.executeAction(c.Action)
 		r.applied++
 		if c.Origin == r.me && c.Epoch == r.epoch {
 			if done, ok := r.pending[c.Seq]; ok {
@@ -495,6 +545,7 @@ func (r *Replica) Checkpoint(done func()) {
 		Delivered:   r.en.DeliveredSeqs(),
 		Data:        data,
 		Size:        size,
+		Imported:    r.copyImported(),
 	}
 	if r.cfg.OnCheckpoint != nil {
 		r.cfg.OnCheckpoint(size)
@@ -555,6 +606,13 @@ func (r *Replica) onSnapReply(m snapReplyMsg) {
 		return
 	}
 	r.sm.Restore(m.Snap.Data)
+	r.imported = nil
+	if len(m.Snap.Imported) > 0 {
+		r.imported = make(map[importKey]bool, len(m.Snap.Imported))
+		for k := range m.Snap.Imported {
+			r.imported[k] = true
+		}
+	}
 	r.lastApplied = m.Snap.LastApplied
 	r.lastCheckpoint = m.Snap.LastApplied
 	r.en.SetDelivered(m.Snap.Delivered)

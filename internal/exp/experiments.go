@@ -285,6 +285,29 @@ func ShardedRecoveryCurve(seed uint64, shardCounts []int) []ShardedRecoveryPoint
 	return out
 }
 
+// RebalanceScenario is the resharding-under-fault experiment: a
+// Shards-group deployment takes the standard workload, one group is added
+// live at t=240 s on the paper's x-axis (epoch-versioned routing cutover
+// with keyed state transfer), and a member of a source group is killed
+// exactly when the migration enters its copy phase. The result reports
+// the migration window and the per-group dependability rows — the new
+// group included — alongside the paper's measures, answering: does
+// resharding stay downtime-free even when a replica dies mid-handoff?
+func RebalanceScenario(cfg ShardedSuiteConfig) RunResult {
+	cfg = cfg.withDefaults()
+	return Run(RunConfig{
+		Profile:           rbe.Shopping,
+		Servers:           cfg.Servers,
+		Shards:            cfg.Shards,
+		StateMB:           cfg.StateMB,
+		Browsers:          cfg.Browsers,
+		Measure:           cfg.Measure,
+		Seed:              cfg.Seed,
+		RebalanceAtSec:    240,
+		CrashMidMigration: true,
+	})
+}
+
 // AblationResult compares a design choice on/off under one workload.
 type AblationResult struct {
 	Name         string

@@ -236,7 +236,7 @@ func PrintShardedDependability(w io.Writer, r RunResult) {
 	}
 	total := rampUp + r.Cfg.Measure + rampDown
 	fmt.Fprintf(w, "Sharded dependability — %s (%d group(s) × %d servers, %s)\n",
-		name, r.Cfg.Shards, r.Cfg.Servers, r.Cfg.Profile)
+		name, len(r.PerGroup), r.Cfg.Servers, r.Cfg.Profile)
 	fmt.Fprintf(w, "%-10s %9s %8s %9s %8s %7s %5s %9s %7s\n",
 		"group", "AWIPS", "acc(%)", "avail", "down(s)", "crashes", "rec", "mrec(s)", "PV(%)")
 	for _, g := range r.PerGroup {
@@ -248,6 +248,31 @@ func PrintShardedDependability(w io.Writer, r RunResult) {
 	fmt.Fprintf(w, "%-10s %9.1f %8.3f %9.5f %8.1f %7d %5d %9.1f %7.1f\n",
 		"aggregate", agg.AWIPS, r.Accuracy, r.Availability, agg.Downtime.Seconds(),
 		agg.Crashes, agg.Recoveries, agg.MeanRecoverySec, r.Perf.PV)
+}
+
+// PrintRebalance renders the resharding-under-fault report: the
+// migration window and moved hash-space share, then the per-group
+// dependability rows (the joined group included).
+func PrintRebalance(w io.Writer, r RunResult) {
+	fmt.Fprintf(w, "Live rebalance — %d→%d groups × %d servers, %s\n",
+		r.Cfg.Shards, r.FinalShards, r.Cfg.Servers, r.Cfg.Profile)
+	m := r.Migration
+	if !m.Happened {
+		fmt.Fprintln(w, "  no migration ran")
+		return
+	}
+	fmt.Fprintf(w, "  routing epoch cutover: group %d joined, %d/%d slices moved (%.1f%%)\n",
+		m.NewGroup, m.MovedSlices, m.TotalSlices,
+		100*float64(m.MovedSlices)/float64(m.TotalSlices))
+	fmt.Fprintf(w, "  migration window: %.2f s (t=%.1f s → t=%.1f s); moving-key writes delayed, none failed\n",
+		m.WindowSec, m.StartSec, m.CutoverSec)
+	if len(r.CrashSec) > 0 {
+		fmt.Fprintf(w, "  mid-migration crash: server %d at t=%.1f s (recoveries: %d)\n",
+			r.CrashedServers[0], r.CrashSec[0], len(r.RecoverySec))
+	}
+	fmt.Fprintf(w, "  epoch redirects: %d, requeued writes: %d\n",
+		r.Proxy.EpochRedirects, r.Proxy.Requeued)
+	PrintShardedDependability(w, r)
 }
 
 // PrintShardedRecovery renders the recovery-vs-shard-count curve.

@@ -1,0 +1,94 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// rebalanceRun is the resharding-under-fault scenario at CI size, shared
+// (memoized) by the tests in this file.
+func rebalanceRun() RunResult {
+	return RebalanceScenario(ShardedSuiteConfig{
+		Shards: 2, Browsers: 300, Measure: 150 * time.Second, Seed: 2,
+	})
+}
+
+// TestRebalanceScenario: a 2-group deployment grows to 3 live, with a
+// source-group member killed mid-copy. The migration window must be
+// finite, the crash must land inside it, no group may see an outage
+// (resharding without downtime), and the joined group must carry real
+// traffic with its own dependability row.
+func TestRebalanceScenario(t *testing.T) {
+	r := rebalanceRun()
+	if r.FinalShards != 3 || len(r.PerGroup) != 3 {
+		t.Fatalf("deployment did not grow: FinalShards=%d PerGroup=%d",
+			r.FinalShards, len(r.PerGroup))
+	}
+	m := r.Migration
+	if !m.Happened || m.NewGroup != 2 {
+		t.Fatalf("migration not reported: %+v", m)
+	}
+	if m.WindowSec <= 0 || m.WindowSec > 60 {
+		t.Fatalf("migration window %.2f s not finite/sane", m.WindowSec)
+	}
+	if m.MovedSlices == 0 || m.MovedSlices != m.TotalSlices/3 {
+		t.Errorf("moved %d/%d slices, want a third", m.MovedSlices, m.TotalSlices)
+	}
+	// The victim died inside the migration window, and recovered.
+	if r.Faults != 1 || len(r.CrashSec) != 1 {
+		t.Fatalf("faults=%d crashes=%v, want the one mid-migration kill", r.Faults, r.CrashSec)
+	}
+	if r.CrashSec[0] < m.StartSec || r.CrashSec[0] > m.CutoverSec {
+		t.Errorf("crash at t=%.1f s landed outside the migration window %.1f..%.1f",
+			r.CrashSec[0], m.StartSec, m.CutoverSec)
+	}
+	if len(r.RecoverySec) != 1 {
+		t.Fatalf("crashed member did not recover: %v", r.RecoverySec)
+	}
+	if r.Autonomy != 0 {
+		t.Errorf("autonomy = %v, want 0 (watchdog recovery)", r.Autonomy)
+	}
+	// Resharding without downtime: every group — the one that lost a
+	// member mid-handoff included — stayed available throughout.
+	for _, g := range r.PerGroup {
+		if g.Downtime != 0 || g.Availability != 1 {
+			t.Errorf("group %d saw an outage during the rebalance: %+v", g.Group, g)
+		}
+	}
+	// The joined group serves its migrated client slice.
+	g2 := r.PerGroup[2]
+	if g2.AWIPS <= 0 {
+		t.Errorf("joined group carries no traffic: %+v", g2)
+	}
+	if g2.Accuracy < 99 {
+		t.Errorf("joined group accuracy %.2f%%, want ≥99 (migration must not shed actions)", g2.Accuracy)
+	}
+	if r.Accuracy < 99.5 {
+		t.Errorf("aggregate accuracy %.2f%% across the rebalance", r.Accuracy)
+	}
+	// The hold-don't-fail write path was exercised.
+	if r.Proxy.Requeued == 0 {
+		t.Error("no write was requeued during the freeze — the window had no traffic?")
+	}
+}
+
+// TestRebalanceFormatter: the report renders the window and the
+// per-group rows.
+func TestRebalanceFormatter(t *testing.T) {
+	var buf bytes.Buffer
+	PrintRebalance(&buf, rebalanceRun())
+	out := buf.String()
+	for _, want := range []string{
+		"Live rebalance — 2→3 groups",
+		"migration window",
+		"slices moved",
+		"mid-migration crash",
+		"aggregate",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rebalance report missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -64,6 +64,18 @@ type RunConfig struct {
 	// run start) for shortened recovery-time runs; 0 keeps the paper's
 	// times.
 	CrashAt float64
+
+	// RebalanceAtSec, when > 0, live-reshards the deployment at this
+	// time on the paper's x-axis: one Paxos group of Servers replicas is
+	// added and its share of the session slices migrates to it (the
+	// epoch-versioned routing cutover). The run then reports Shards+1
+	// per-group rows plus the migration window (RunResult.Migration).
+	RebalanceAtSec float64
+
+	// CrashMidMigration, with RebalanceAtSec set, kills group 0's first
+	// rotation victim exactly when the migration enters its copy phase —
+	// the handoff-under-fault scenario.
+	CrashMidMigration bool
 }
 
 func (c RunConfig) withDefaults() RunConfig {
@@ -102,9 +114,10 @@ func (c RunConfig) faultload() Faultload {
 
 // key returns the memoization key.
 func (c RunConfig) key() string {
-	return fmt.Sprintf("%v/%d/%d/%d/%v/%d/%v/%d/%v/%v/%v/%.0f/%s",
+	return fmt.Sprintf("%v/%d/%d/%d/%v/%d/%v/%d/%v/%v/%v/%.0f/%.0f/%v/%s",
 		c.Profile, c.Servers, c.Shards, c.StateMB, c.Fault, c.Browsers, c.Measure,
-		c.Seed, c.NoFast, c.NoBatch, c.SeqRec, c.CrashAt, c.faultload().key())
+		c.Seed, c.NoFast, c.NoBatch, c.SeqRec, c.CrashAt,
+		c.RebalanceAtSec, c.CrashMidMigration, c.faultload().key())
 }
 
 // RunResult aggregates everything the paper reports about one run.
@@ -124,6 +137,15 @@ type RunResult struct {
 	CrashSec    []float64 // crash times, seconds from run start
 	RecoverySec []float64 // recovery-complete times, seconds from run start
 	RecoveryDur []float64 // per crashed replica, seconds (Figure 6)
+
+	// Migration reports the live rebalance, when the run scheduled one
+	// (RebalanceAtSec): the client-visible window and the moved share of
+	// the hash space, alongside the dependability measures.
+	Migration metrics.MigrationReport
+
+	// FinalShards is the group count at run end (Shards+1 after a
+	// rebalance); PerGroup has this many entries.
+	FinalShards int
 
 	Perf   metrics.Performability // first recovery window vs failure-free
 	PerfR2 metrics.Performability // second window (delayed recovery only)
@@ -247,7 +269,11 @@ func runOnce(cfg RunConfig) RunResult {
 	// T0: the run's time origin (start of ramp-up; the paper's x axis).
 	t0 := s.Now()
 	total := rampUp + cfg.Measure + rampDown
-	recorder := metrics.NewShardedRecorder(t0, time.Second, cfg.Shards, cluster.GroupOf)
+	recGroups := cfg.Shards
+	if cfg.RebalanceAtSec > 0 {
+		recGroups++ // the group the rebalance adds gets its own bucket
+	}
+	recorder := metrics.NewShardedRecorder(t0, time.Second, recGroups, cluster.GroupOf)
 	pop := rbe.New(rbe.Config{
 		Browsers:   cfg.Browsers,
 		Profile:    cfg.Profile,
@@ -290,6 +316,24 @@ func runOnce(cfg RunConfig) RunResult {
 				}
 			})
 		}
+	}
+
+	// Live rebalance: one group joins at the scheduled time and its
+	// session slices migrate to it. A mid-migration crash (the
+	// handoff-under-fault scenario) fires exactly at the copy-phase
+	// transition, deterministically inside the window.
+	if cfg.RebalanceAtSec > 0 {
+		s.At(at(cfg.RebalanceAtSec), func() {
+			cluster.Rebalance(webtier.RebalanceOptions{
+				OnPhase: func(phase string) {
+					if phase == webtier.PhaseCopy && cfg.CrashMidMigration {
+						victim := pickVictimsInGroup(cfg, 0)[0]
+						crashes = append(crashes, crashEvent{server: victim, at: s.Now()})
+						cluster.Crash(victim)
+					}
+				},
+			})
+		})
 	}
 
 	// Run to completion plus a drain tail for late recoveries.
@@ -417,12 +461,30 @@ func collect(cfg RunConfig, cluster *webtier.Cluster, srec *metrics.ShardedRecor
 		}
 	}
 
+	// The live rebalance's report: migration window on the x-axis plus
+	// the moved hash-space share.
+	res.FinalShards = cluster.Shards()
+	if mst := cluster.Migration(); !mst.StartedAt.IsZero() {
+		res.Migration = metrics.MigrationReport{
+			Happened:    true,
+			NewGroup:    mst.NewGroup,
+			MovedSlices: mst.MovedSlices,
+			TotalSlices: mst.TotalSlices,
+			StartSec:    sec(mst.StartedAt),
+		}
+		if !mst.CutoverAt.IsZero() {
+			res.Migration.CutoverSec = sec(mst.CutoverAt)
+			res.Migration.WindowSec = mst.Window().Seconds()
+		}
+	}
+
 	// Per-group dependability: each Paxos group's client slice, outage
 	// time and recovery windows (the sharded generalization of the
-	// availability/performability report; one mirror entry at Shards=1).
+	// availability/performability report; one mirror entry at Shards=1,
+	// one extra entry for a group a rebalance added).
 	gdt := cluster.GroupDowntimes()
-	res.PerGroup = make([]metrics.GroupReport, cfg.Shards)
-	for g := 0; g < cfg.Shards; g++ {
+	res.PerGroup = make([]metrics.GroupReport, res.FinalShards)
+	for g := 0; g < res.FinalShards; g++ {
 		grec := srec.Group(g)
 		gr := metrics.GroupReport{
 			Group:        g,
@@ -471,7 +533,7 @@ func collect(cfg RunConfig, cluster *webtier.Cluster, srec *metrics.ShardedRecor
 	// replica state across groups (with one group, exactly the paper's
 	// single-store measure).
 	res.InitialStateMB = float64(populationFor(cfg.StateMB).NominalBytes()) / 1e6
-	for g := 0; g < cfg.Shards; g++ {
+	for g := 0; g < res.FinalShards; g++ {
 		for i := g * cfg.Servers; i < (g+1)*cfg.Servers; i++ {
 			if st := cluster.Store(i); st != nil {
 				if mb := float64(st.NominalBytes()) / 1e6; mb > res.FinalStateMB {

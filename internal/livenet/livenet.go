@@ -10,6 +10,7 @@ package livenet
 import (
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"robuststore/internal/env"
@@ -33,14 +34,34 @@ type Config struct {
 	Seed uint64
 }
 
-// Cluster owns a set of live nodes.
+// Cluster owns a set of live nodes. The node and peer lists are
+// published as atomic snapshots (copy-on-append) so node goroutines can
+// read them lock-free while live scale-out (shard.Store.Rebalance)
+// registers new members mid-run.
 type Cluster struct {
 	cfg   Config
-	mu    sync.Mutex
-	nodes []*liveNode
-	peers []env.NodeID
+	mu    sync.Mutex // serializes AddNode writers
+	nodes atomic.Pointer[[]*liveNode]
+	peers atomic.Pointer[[]env.NodeID]
 	rng   *xrand.Rand
 	wg    sync.WaitGroup
+}
+
+// nodeList returns the current node snapshot.
+func (c *Cluster) nodeList() []*liveNode {
+	if p := c.nodes.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// node returns node id, or nil when out of range.
+func (c *Cluster) node(id env.NodeID) *liveNode {
+	nodes := c.nodeList()
+	if int(id) < 0 || int(id) >= len(nodes) {
+		return nil
+	}
+	return nodes[id]
 }
 
 // New creates an empty cluster.
@@ -52,12 +73,14 @@ func New(cfg Config) *Cluster {
 }
 
 // AddNode registers a node built by factory; the factory runs once per
-// incarnation (start and every restart). All nodes must be added before
-// StartAll.
+// incarnation (start and every restart). Nodes added before StartAll are
+// booted by it; a node added later (live scale-out, e.g.
+// shard.Store.Rebalance) starts down and is booted by Restart.
 func (c *Cluster) AddNode(factory func() env.Node) env.NodeID {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	id := env.NodeID(len(c.nodes))
+	old := c.nodeList()
+	id := env.NodeID(len(old))
 	n := &liveNode{
 		c:       c,
 		id:      id,
@@ -65,31 +88,37 @@ func (c *Cluster) AddNode(factory func() env.Node) env.NodeID {
 		rng:     c.rng.Split(),
 		storage: newMemStorage(),
 	}
-	c.nodes = append(c.nodes, n)
-	c.peers = append(c.peers, id)
+	nodes := append(append([]*liveNode(nil), old...), n)
+	var oldPeers []env.NodeID
+	if p := c.peers.Load(); p != nil {
+		oldPeers = *p
+	}
+	peers := append(append([]env.NodeID(nil), oldPeers...), id)
+	c.nodes.Store(&nodes)
+	c.peers.Store(&peers)
 	return id
 }
 
 // StartAll boots every node.
 func (c *Cluster) StartAll() {
-	c.mu.Lock()
-	nodes := append([]*liveNode(nil), c.nodes...)
-	c.mu.Unlock()
-	for _, n := range nodes {
+	for _, n := range c.nodeList() {
 		n.start()
 	}
 }
 
 // Crash kills a node: volatile state and pending work are discarded,
 // stable storage survives.
-func (c *Cluster) Crash(id env.NodeID) { c.nodes[id].crash() }
+func (c *Cluster) Crash(id env.NodeID) { c.node(id).crash() }
 
 // Restart boots a fresh incarnation of a crashed node.
-func (c *Cluster) Restart(id env.NodeID) { c.nodes[id].start() }
+func (c *Cluster) Restart(id env.NodeID) { c.node(id).start() }
 
 // Alive reports whether a node is running.
 func (c *Cluster) Alive(id env.NodeID) bool {
-	n := c.nodes[id]
+	n := c.node(id)
+	if n == nil {
+		return false
+	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	return n.alive
@@ -97,7 +126,7 @@ func (c *Cluster) Alive(id env.NodeID) bool {
 
 // Post schedules fn on a node's event loop (no-op if the node is down).
 // It is how application goroutines hand work to protocol code.
-func (c *Cluster) Post(id env.NodeID, fn func()) { c.nodes[id].post(fn) }
+func (c *Cluster) Post(id env.NodeID, fn func()) { c.node(id).post(fn) }
 
 // After schedules a cluster-level callback on the wall clock, independent
 // of any node incarnation (used by shard.Store's checkpoint sweep).
@@ -105,10 +134,7 @@ func (c *Cluster) After(d time.Duration, fn func()) { time.AfterFunc(d, fn) }
 
 // Close crashes every node and waits for their loops to exit.
 func (c *Cluster) Close() {
-	c.mu.Lock()
-	nodes := append([]*liveNode(nil), c.nodes...)
-	c.mu.Unlock()
-	for _, n := range nodes {
+	for _, n := range c.nodeList() {
 		n.crash()
 	}
 	c.wg.Wait()
@@ -207,9 +233,16 @@ type liveEnv struct {
 
 var _ env.Env = (*liveEnv)(nil)
 
-func (e *liveEnv) ID() env.NodeID      { return e.n.id }
-func (e *liveEnv) Peers() []env.NodeID { return e.n.c.peers }
-func (e *liveEnv) Now() time.Time      { return time.Now() }
+func (e *liveEnv) ID() env.NodeID { return e.n.id }
+
+func (e *liveEnv) Peers() []env.NodeID {
+	if p := e.n.c.peers.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+func (e *liveEnv) Now() time.Time { return time.Now() }
 
 func (e *liveEnv) Post(fn func()) { e.n.postInc(e.inc, fn) }
 
@@ -224,13 +257,13 @@ func (e *liveEnv) After(d time.Duration, fn func()) env.Timer {
 
 func (e *liveEnv) Send(to env.NodeID, msg env.Message) {
 	c := e.n.c
-	if int(to) < 0 || int(to) >= len(c.nodes) {
+	target := c.node(to)
+	if target == nil {
 		return
 	}
 	if c.cfg.DropRate > 0 && rand.Float64() < c.cfg.DropRate {
 		return
 	}
-	target := c.nodes[to]
 	from := e.n.id
 	delay := c.cfg.Latency
 	if c.cfg.Jitter > 0 {

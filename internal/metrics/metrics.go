@@ -261,6 +261,22 @@ func AggregateGroups(groups []GroupReport, total time.Duration) GroupReport {
 	return out
 }
 
+// MigrationReport carries a live rebalance's measures alongside the
+// paper's dependability metrics: when the migration window opened and
+// closed on the run's x-axis, how much of the hash space moved, and which
+// group joined. The window is the only client-visible impact interval —
+// during it, writes of moving keys are delayed (never failed), so it is
+// reported next to availability rather than folded into downtime.
+type MigrationReport struct {
+	Happened    bool
+	NewGroup    int
+	MovedSlices int
+	TotalSlices int
+	StartSec    float64 // window open (freeze), seconds from run start
+	CutoverSec  float64 // window close (new epoch published)
+	WindowSec   float64 // CutoverSec - StartSec
+}
+
 // Dependability aggregates the four measures of §5.1 for one experiment
 // run.
 type Dependability struct {

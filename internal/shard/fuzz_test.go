@@ -1,0 +1,83 @@
+package shard
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// FuzzTableRoundTrip drives randomized routing tables through both wire
+// encodings — the binary manifest form and JSON — and asserts a lossless
+// round trip, plus that the decoder never panics or accepts corrupt input
+// silently (the table is durable routing state; a silently-misdecoded
+// assignment would strand keys). The sibling of tpcw's FuzzRoundTrip for
+// the routing layer.
+func FuzzTableRoundTrip(f *testing.F) {
+	f.Add(uint(1), int64(0), uint(0), []byte(nil))
+	f.Add(uint(4), int64(0), uint(0), []byte(nil))
+	f.Add(uint(3), int64(7), uint(5), []byte{0xff, 0x00})
+	f.Add(uint(8), int64(1), uint(200), []byte("rtb1junk"))
+
+	f.Fuzz(func(t *testing.T, groups uint, epoch int64, grows uint, raw []byte) {
+		// A structurally valid table: fresh, epoch-shifted, then grown a
+		// few times so non-trivial assignments are covered.
+		n := int(groups%8) + 1
+		tab := NewRoutingTable(n)
+		if epoch < 0 {
+			epoch = -epoch
+		}
+		tab.Epoch = epoch % (1 << 40)
+		for i := uint(0); i < grows%4; i++ {
+			tab, _ = tab.Grow(tab.Groups())
+		}
+
+		enc := EncodeTable(tab)
+		dec, err := DecodeTable(enc)
+		if err != nil {
+			t.Fatalf("decode of a freshly encoded table failed: %v", err)
+		}
+		if !dec.Equal(tab) {
+			t.Fatalf("binary round trip changed the table: %+v vs %+v", tab, dec)
+		}
+		// Re-encoding the decoded table is byte-identical (canonical
+		// form — manifests are compared and checksummed by bytes).
+		if !bytes.Equal(enc, EncodeTable(dec)) {
+			t.Fatal("re-encoding is not canonical")
+		}
+
+		js, err := json.Marshal(tab)
+		if err != nil {
+			t.Fatalf("json encode: %v", err)
+		}
+		var jdec RoutingTable
+		if err := json.Unmarshal(js, &jdec); err != nil {
+			t.Fatalf("json decode of freshly encoded table: %v", err)
+		}
+		if !jdec.Equal(tab) {
+			t.Fatal("JSON round trip changed the table")
+		}
+
+		// Arbitrary bytes must never panic, and any accepted decode must
+		// be structurally valid.
+		if got, err := DecodeTable(raw); err == nil {
+			if err := got.validate(); err != nil {
+				t.Fatalf("decoder accepted an invalid table: %v", err)
+			}
+		}
+		var jraw RoutingTable
+		if err := json.Unmarshal(raw, &jraw); err == nil {
+			if err := jraw.validate(); err != nil {
+				t.Fatalf("JSON decoder accepted an invalid table: %v", err)
+			}
+		}
+
+		// Bit-flip corruption of the binary form is detected (CRC).
+		if len(enc) > 0 {
+			bad := append([]byte(nil), enc...)
+			bad[int(groups)%len(bad)] ^= 0x20
+			if got, err := DecodeTable(bad); err == nil && got.Equal(tab) && !bytes.Equal(bad, enc) {
+				t.Fatal("corrupted encoding decoded to the original table")
+			}
+		}
+	})
+}

@@ -1,0 +1,445 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"robuststore/internal/core"
+)
+
+// This file is the live-migration protocol over the epoch-versioned
+// routing table: Rebalance adds one Paxos group, computes the next-epoch
+// table (Grow), streams the moving hash slices from each source group to
+// the new one through the ordered log (keyed snapshot export → ordered
+// PartitionImport), and cuts over by atomically publishing the new epoch.
+//
+// Correctness argument, phase by phase:
+//
+//   - boot: the new group's members are registered and started; nothing
+//     routes to them yet, so the running workload is untouched.
+//   - drain: the moving slices are frozen — Submit buffers, Execute backs
+//     off — and the per-group in-flight counters drain, so every write
+//     that could land on a moving key has been applied on its source.
+//     An ordered Noop barrier per source group then fences the log:
+//     state read after the barrier contains every pre-freeze write.
+//   - copy: each source group exports the rows owned by the slices it is
+//     losing (a keyed snapshot, read post-barrier on the member that
+//     applied the barrier) and the payload is submitted to the new group
+//     as an ordered PartitionImport — every new-group replica applies it
+//     at the same log position. Imports are idempotent keyed upserts, so
+//     the driver can re-submit when a crash hides a completion.
+//   - cutover: the next-epoch table is published with one atomic pointer
+//     swap and the buffered submissions flow to their new owners. The
+//     client-visible migration window is freeze→cutover and only delays
+//     writes to moving keys; reads and all other keys never stall.
+//   - cleanup: the source groups drop the moved rows through ordered
+//     PartitionDrops (idempotent, retried the same way).
+//
+// A member crash mid-migration is absorbed by the same mechanisms that
+// serve normal traffic: pick() re-targets submissions, the retry sweeps
+// re-submit barriers/imports/drops whose completions died with the
+// victim, and idempotency makes the re-submission safe.
+
+// Migration phases, in order.
+const (
+	PhaseBoot    = "boot"    // new group starting, leader electing
+	PhaseDrain   = "drain"   // moving slices frozen, sources draining
+	PhaseCopy    = "copy"    // keyed snapshots streaming to the new group
+	PhaseCleanup = "cleanup" // new epoch live; sources dropping moved rows
+	PhaseDone    = "done"
+)
+
+// RebalanceOptions parameterizes one Rebalance call.
+type RebalanceOptions struct {
+	// OnPhase, if non-nil, observes each phase transition (fault
+	// injection hooks into this to crash members mid-migration).
+	OnPhase func(phase string)
+
+	// Done, if non-nil, runs when the migration has fully completed
+	// (cleanup included) or failed to start.
+	Done func(err error)
+}
+
+// MigrationStatus is a snapshot of the migration state machine.
+type MigrationStatus struct {
+	Epoch       int64  // routing epoch currently published
+	Active      bool   // a migration is in flight (cleanup included)
+	Phase       string // current phase ("" when never migrated)
+	NewGroup    int    // group index being added
+	MovedSlices int    // hash slices changing owner
+	TotalSlices int    // hash slices overall
+
+	// StartedAt..CutoverAt is the client-visible migration window: the
+	// interval during which writes to moving keys were delayed.
+	// CutoverAt is zero while the window is open.
+	StartedAt time.Time
+	CutoverAt time.Time
+}
+
+// Window returns the client-visible migration window, or 0 while open or
+// never started.
+func (st MigrationStatus) Window() time.Duration {
+	if st.StartedAt.IsZero() || st.CutoverAt.IsZero() {
+		return 0
+	}
+	return st.CutoverAt.Sub(st.StartedAt)
+}
+
+// Migration returns the current (or last) migration's status. Safe from
+// any goroutine.
+func (s *Store) Migration() MigrationStatus {
+	st := MigrationStatus{Epoch: s.Epoch()}
+	m := s.mig.Load()
+	if m == nil {
+		return st
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st.Active = m.phase != PhaseDone
+	st.Phase = m.phase
+	st.NewGroup = m.newShard
+	st.MovedSlices = len(m.moved)
+	st.TotalSlices = len(m.next.Assign)
+	st.StartedAt = m.startedAt
+	st.CutoverAt = m.cutoverAt
+	return st
+}
+
+// ErrMigrationActive is returned by Rebalance while a previous migration
+// is still in flight.
+var ErrMigrationActive = errors.New("shard: a migration is already in flight")
+
+// pendingSubmit is one Submit buffered during the handoff freeze.
+type pendingSubmit struct {
+	key    string
+	action any
+	done   func(result any, err error)
+}
+
+// migration is the driver state machine. Fields are guarded by mu; the
+// driver itself advances through runtime-scheduled callbacks (After) and
+// replica-executor completions, so it never blocks an executor.
+type migration struct {
+	store    *Store
+	opts     RebalanceOptions
+	newShard int
+	newGroup *Group
+	prev     RoutingTable
+	next     RoutingTable
+	moved    []int         // slices moving to the new group
+	bySource map[int][]int // source group → its moving slices
+	oldPhase int32         // drain phase in force before the freeze
+
+	mu        sync.Mutex
+	phase     string
+	frozen    map[int]bool // slice → frozen (handoff in progress)
+	queue     []pendingSubmit
+	startedAt time.Time
+	cutoverAt time.Time
+	pendingOp map[string]bool // in-flight ordered ops, by name
+	copied    int             // source groups whose snapshot has imported
+	dropped   int             // source groups whose cleanup has applied
+}
+
+// Rebalance adds one Paxos group to the store and live-migrates its share
+// of the hash space to it, publishing the next routing epoch at cutover.
+// It returns immediately; progress is event-driven (observe it via
+// RebalanceOptions or Migration). Requires a Runtime with After (both
+// runtimes have it). Safe to call from simulator events or from any
+// goroutine on the live runtime.
+func (s *Store) Rebalance(opts RebalanceOptions) {
+	fail := func(err error) {
+		if opts.Done != nil {
+			opts.Done(err)
+		}
+	}
+	if _, ok := s.rt.(delayer); !ok {
+		fail(errors.New("shard: Rebalance needs a Runtime with After"))
+		return
+	}
+	// One migration at a time: the active check, group registration and
+	// publication below are a single serialized step, so two concurrent
+	// Rebalance calls cannot both pass the check or lose an append.
+	s.rebalMu.Lock()
+	defer s.rebalMu.Unlock()
+	if m := s.mig.Load(); m != nil {
+		m.mu.Lock()
+		active := m.phase != PhaseDone
+		m.mu.Unlock()
+		if active {
+			fail(ErrMigrationActive)
+			return
+		}
+	}
+
+	prev := s.Table()
+	newShard := s.Shards()
+	next, moved := prev.Grow(newShard)
+	m := &migration{
+		store:     s,
+		opts:      opts,
+		newShard:  newShard,
+		prev:      prev,
+		next:      next,
+		moved:     moved,
+		bySource:  make(map[int][]int),
+		phase:     PhaseBoot,
+		frozen:    make(map[int]bool),
+		pendingOp: make(map[string]bool),
+	}
+	for _, sl := range moved {
+		m.bySource[prev.Assign[sl]] = append(m.bySource[prev.Assign[sl]], sl)
+	}
+
+	// Register and boot the new group, then extend the group list. The
+	// table still maps nothing to it, so it serves no traffic yet.
+	grp := s.buildGroup(newShard)
+	for _, id := range grp.ids {
+		s.rt.Restart(id)
+	}
+	m.newGroup = grp
+	groups := append(append([]*Group(nil), s.groupList()...), grp)
+	s.groups.Store(&groups)
+	s.mig.Store(m)
+	m.enterPhase(PhaseBoot)
+	m.awaitBoot()
+}
+
+// --- Driver plumbing ----------------------------------------------------
+
+func (m *migration) after(d time.Duration, fn func()) {
+	m.store.rt.(delayer).After(d, fn)
+}
+
+func (m *migration) now() time.Time {
+	if n, ok := m.store.rt.(nower); ok {
+		return n.Now()
+	}
+	return time.Now()
+}
+
+func (m *migration) enterPhase(phase string) {
+	m.mu.Lock()
+	m.phase = phase
+	m.mu.Unlock()
+	if m.opts.OnPhase != nil {
+		m.opts.OnPhase(phase)
+	}
+}
+
+// sliceFrozen reports whether a hash slice is held mid-handoff.
+func (m *migration) sliceFrozen(slice int) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.frozen[slice]
+}
+
+// defer_ buffers one frozen-slice submission until cutover. It reports
+// false if the freeze lifted concurrently (the caller then routes through
+// the published table).
+func (m *migration) defer_(key string, action any, done func(any, error)) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.frozen[m.next.SliceOf(key)] {
+		return false
+	}
+	m.queue = append(m.queue, pendingSubmit{key: key, action: action, done: done})
+	return true
+}
+
+// orderedOp submits one ordered action to grp until a completion is
+// observed, then calls then(replica) on the completing replica's
+// executor, exactly once. Submissions that die with a crashed member are
+// re-issued by a sweep; the actions involved (Noop, PartitionImport,
+// PartitionDrop) are idempotent, so a resubmission racing a hidden
+// completion is safe.
+func (m *migration) orderedOp(name string, grp *Group, action func() any, then func(r *core.Replica)) {
+	m.mu.Lock()
+	m.pendingOp[name] = true
+	m.mu.Unlock()
+	complete := func(r *core.Replica) {
+		m.mu.Lock()
+		first := m.pendingOp[name]
+		delete(m.pendingOp, name)
+		m.mu.Unlock()
+		if first {
+			then(r)
+		}
+	}
+	var attempt func()
+	attempt = func() {
+		m.mu.Lock()
+		pending := m.pendingOp[name]
+		m.mu.Unlock()
+		if !pending {
+			return
+		}
+		if r := grp.pick(); r != nil {
+			r.SubmitFrom(action(), func(_ any, err error) {
+				if err == nil {
+					complete(r)
+				}
+			})
+		}
+		m.after(500*time.Millisecond, attempt)
+	}
+	attempt()
+}
+
+// --- Phases -------------------------------------------------------------
+
+// awaitBoot polls until the new group has a ready member that observed an
+// elected leader, then freezes the moving slices.
+func (m *migration) awaitBoot() {
+	if r := m.newGroup.pick(); r != nil && r.HasLeader() {
+		m.freeze()
+		return
+	}
+	m.after(20*time.Millisecond, m.awaitBoot)
+}
+
+// freeze opens the migration window: writes to moving slices buffer from
+// here until cutover. Flipping the drain phase after setting the freeze
+// makes the old phase's in-flight counters strictly draining: new
+// Executes charge the other phase (and moving-key ones back off at their
+// re-check), so the drain wait is bounded even under sustained load.
+func (m *migration) freeze() {
+	m.mu.Lock()
+	for _, sl := range m.moved {
+		m.frozen[sl] = true
+	}
+	m.startedAt = m.now()
+	m.mu.Unlock()
+	m.oldPhase = m.store.drainPhase.Load()
+	m.store.drainPhase.Store(1 - m.oldPhase)
+	m.enterPhase(PhaseDrain)
+	m.awaitDrain()
+}
+
+// awaitDrain waits for every source group's pre-freeze in-flight Execute
+// count to reach zero, then fences each source log with an ordered
+// barrier.
+func (m *migration) awaitDrain() {
+	groups := m.store.groupList()
+	for g := range m.bySource {
+		if groups[g].inflight[m.oldPhase].Load() != 0 {
+			m.after(time.Millisecond, m.awaitDrain)
+			return
+		}
+	}
+	m.enterPhase(PhaseCopy)
+	m.mu.Lock()
+	remaining := len(m.bySource)
+	m.mu.Unlock()
+	if remaining == 0 {
+		// Degenerate: nothing moves (a 1-slice table cannot shed load).
+		m.cutover()
+		return
+	}
+	for g := range m.bySource {
+		g := g
+		m.orderedOp(fmt.Sprintf("barrier/%d", g), groups[g], func() any { return core.Noop{} },
+			func(r *core.Replica) { m.export(g, r) })
+	}
+}
+
+// export runs on the executor of the source replica that applied the
+// barrier: its machine now contains every pre-freeze write to the moving
+// slices, which cannot change again until cutover. The keyed snapshot is
+// then shipped to the new group as an ordered import.
+func (m *migration) export(g int, r *core.Replica) {
+	var data any
+	var size int64
+	if pm, ok := r.Machine().(core.PartitionedMachine); ok {
+		data, size = pm.ExportOwned(m.prev.Owned(m.bySource[g]))
+	}
+	// Hop off the source executor before submitting elsewhere.
+	m.after(0, func() { m.importInto(g, data, size) })
+}
+
+// importInto streams one source's keyed snapshot into the new group (or
+// completes immediately for machines without the partition capability —
+// a routing-only migration).
+func (m *migration) importInto(g int, data any, size int64) {
+	if data == nil {
+		m.sourceDone()
+		return
+	}
+	m.orderedOp(fmt.Sprintf("import/%d", g), m.newGroup,
+		func() any {
+			return core.PartitionImport{Epoch: m.next.Epoch, Source: g, Data: data, Size: size}
+		},
+		func(*core.Replica) { m.after(0, m.sourceDone) })
+}
+
+// sourceDone counts completed source handoffs; the last one cuts over.
+func (m *migration) sourceDone() {
+	m.mu.Lock()
+	done := false
+	m.copied++
+	if m.copied == len(m.bySource) {
+		done = true
+	}
+	m.mu.Unlock()
+	if done {
+		m.cutover()
+	}
+}
+
+// cutover atomically publishes the next-epoch table, closes the migration
+// window, and releases the buffered submissions to their new owners.
+func (m *migration) cutover() {
+	next := m.next
+	m.mu.Lock()
+	m.store.table.Store(&next)
+	m.cutoverAt = m.now()
+	m.frozen = make(map[int]bool)
+	q := m.queue
+	m.queue = nil
+	m.mu.Unlock()
+	m.enterPhase(PhaseCleanup)
+	groups := m.store.groupList()
+	for _, p := range q {
+		r := groups[next.Group(p.key)].pick()
+		if r == nil || !r.SubmitFrom(p.action, p.done) {
+			if p.done != nil {
+				p.done(nil, ErrNoReplica)
+			}
+		}
+	}
+	// Post-cutover cleanup: sources shed the rows they no longer own.
+	m.mu.Lock()
+	sources := len(m.bySource)
+	m.mu.Unlock()
+	if sources == 0 {
+		m.finish()
+		return
+	}
+	for g := range m.bySource {
+		g := g
+		m.orderedOp(fmt.Sprintf("drop/%d", g), groups[g],
+			func() any { return core.PartitionDrop{Epoch: next.Epoch, Owned: m.prev.Owned(m.bySource[g])} },
+			func(*core.Replica) { m.after(0, m.dropDone) })
+	}
+}
+
+// dropDone counts completed source cleanups; the last one finishes the
+// migration.
+func (m *migration) dropDone() {
+	m.mu.Lock()
+	m.dropped++
+	done := m.dropped == len(m.bySource)
+	m.mu.Unlock()
+	if done {
+		m.finish()
+	}
+}
+
+func (m *migration) finish() {
+	m.enterPhase(PhaseDone)
+	if m.opts.Done != nil {
+		m.opts.Done(nil)
+	}
+}

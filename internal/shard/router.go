@@ -31,32 +31,45 @@ func Hash(key string) uint64 {
 	return h
 }
 
-// Router deterministically maps partition keys to shards. The zero value
-// routes everything to shard 0; construct real routers with NewRouter.
+// Router deterministically maps partition keys to shards. Since the
+// epoch-versioned refactor it is a fixed view over an epoch-0
+// RoutingTable (see table.go) — the mapping is identical to the
+// historical hash%N arithmetic, but routing decisions now flow through
+// explicit table state, which is what live migration versions. The zero
+// value routes everything to shard 0; construct real routers with
+// NewRouter.
 type Router struct {
-	n int
+	t RoutingTable
 }
 
-// NewRouter returns a router over n shards.
+// NewRouter returns a router over the epoch-0 table for n shards.
 func NewRouter(n int) Router {
-	if n <= 0 {
-		panic("shard: NewRouter needs a positive shard count")
+	return Router{t: NewRoutingTable(n)}
+}
+
+// Table returns the routing table behind this router.
+func (r Router) Table() RoutingTable {
+	if len(r.t.Assign) == 0 {
+		return NewRoutingTable(1)
 	}
-	return Router{n: n}
+	return r.t
 }
 
 // Shards returns the shard count.
 func (r Router) Shards() int {
-	if r.n == 0 {
+	if len(r.t.Assign) == 0 {
 		return 1
 	}
-	return r.n
+	return r.t.Groups()
 }
 
 // Shard returns the shard owning key. Every key maps to exactly one
 // shard, and the mapping is stable across processes and runs.
 func (r Router) Shard(key string) int {
-	return int(Hash(key) % uint64(r.Shards()))
+	if len(r.t.Assign) == 0 {
+		return 0
+	}
+	return r.t.Group(key)
 }
 
 // ShardInt routes an integer key (client ID, session ID) by hashing its

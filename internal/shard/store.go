@@ -3,6 +3,7 @@ package shard
 import (
 	"context"
 	"errors"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -11,18 +12,26 @@ import (
 )
 
 // Runtime is the slice of a node runtime the store needs: registering
-// member nodes and observing liveness. Both *sim.Sim (deterministic
-// experiments) and *livenet.Cluster (real goroutines) satisfy it.
+// member nodes, booting late-added ones (live scale-out) and observing
+// liveness. Both *sim.Sim (deterministic experiments) and
+// *livenet.Cluster (real goroutines) satisfy it.
 type Runtime interface {
 	AddNode(factory func() env.Node) env.NodeID
+	Restart(id env.NodeID)
 	Alive(id env.NodeID) bool
 }
 
-// delayer is the optional scheduling capability of a Runtime, used to
-// sweep for members that crash mid-checkpoint. Both *sim.Sim and
+// delayer is the optional scheduling capability of a Runtime, used by the
+// checkpoint sweep and the migration driver. Both *sim.Sim and
 // *livenet.Cluster provide it.
 type delayer interface {
 	After(d time.Duration, fn func())
+}
+
+// nower is the optional clock capability of a Runtime (virtual time on
+// the simulator); runtimes without it run on the wall clock.
+type nower interface {
+	Now() time.Time
 }
 
 // Config parameterizes a sharded store.
@@ -37,8 +46,9 @@ type Config struct {
 
 	// Machine builds a fresh state machine for one incarnation of one
 	// member of the given shard. Each shard is an independent partition:
-	// machines of different shards never see each other's actions.
-	// Required.
+	// machines of different shards never see each other's actions. The
+	// factory must also accept shard indices ≥ Shards — Rebalance adds
+	// groups live. Required.
 	Machine func(shard int) core.StateMachine
 
 	// Core is the per-replica configuration template. Its Machine field
@@ -66,11 +76,29 @@ var ErrNoReplica = errors.New("shard: no ready replica in owning group")
 // key-routed facade. Node IDs are allocated group-major: group g owns the
 // g-th contiguous run of Replicas IDs, so a 1-shard store produces the
 // same node layout as hand-built unsharded deployments.
+//
+// Routing is explicit, epoch-versioned state: the store publishes a
+// RoutingTable (epoch 0 reproduces the historical hash%N mapping bit for
+// bit) and Rebalance produces the next epoch by adding a group and live-
+// migrating the moving hash slices to it (see migrate.go).
 type Store struct {
-	cfg    Config
-	rt     Runtime
-	router Router
-	groups []*Group
+	cfg Config
+	rt  Runtime
+
+	table  atomic.Pointer[RoutingTable]
+	groups atomic.Pointer[[]*Group]
+	mig    atomic.Pointer[migration]
+
+	// rebalMu serializes Rebalance calls: the active-migration check,
+	// new-group registration and group-list publication must be one
+	// atomic step (Rebalance is callable from any goroutine).
+	rebalMu sync.Mutex
+
+	// drainPhase selects which in-flight counter Execute charges (0/1).
+	// A migration freeze flips it, then waits only for the pre-freeze
+	// counter to drain — new traffic lands on the other counter, so the
+	// wait is bounded even under sustained load on non-moving keys.
+	drainPhase atomic.Int32
 }
 
 // Group is one Paxos group (one shard): a fixed member set whose current
@@ -80,6 +108,12 @@ type Group struct {
 	shard int
 	ids   []env.NodeID
 	reps  []atomic.Pointer[core.Replica]
+
+	// inflight counts Execute calls currently submitted against this
+	// group, split by the store's drain phase; the migration drain waits
+	// for the pre-freeze phase's counter to reach zero after the routing
+	// freeze, so no pre-freeze submission can slip past the barrier.
+	inflight [2]atomic.Int64
 }
 
 // New registers all member nodes of a sharded store with the runtime.
@@ -89,20 +123,29 @@ func New(rt Runtime, cfg Config) *Store {
 	if cfg.Machine == nil {
 		panic("shard: Config.Machine is required")
 	}
-	s := &Store{cfg: cfg, rt: rt, router: NewRouter(cfg.Shards)}
+	s := &Store{cfg: cfg, rt: rt}
+	t := NewRoutingTable(cfg.Shards)
+	s.table.Store(&t)
+	groups := make([]*Group, 0, cfg.Shards)
 	for g := 0; g < cfg.Shards; g++ {
-		grp := &Group{store: s, shard: g}
-		grp.reps = make([]atomic.Pointer[core.Replica], cfg.Replicas)
-		for m := 0; m < cfg.Replicas; m++ {
-			shard, member := g, m
-			id := rt.AddNode(func() env.Node {
-				return grp.newReplica(shard, member)
-			})
-			grp.ids = append(grp.ids, id)
-		}
-		s.groups = append(s.groups, grp)
+		groups = append(groups, s.buildGroup(g))
 	}
+	s.groups.Store(&groups)
 	return s
+}
+
+// buildGroup registers one group's member nodes with the runtime.
+func (s *Store) buildGroup(g int) *Group {
+	grp := &Group{store: s, shard: g}
+	grp.reps = make([]atomic.Pointer[core.Replica], s.cfg.Replicas)
+	for m := 0; m < s.cfg.Replicas; m++ {
+		shard, member := g, m
+		id := s.rt.AddNode(func() env.Node {
+			return grp.newReplica(shard, member)
+		})
+		grp.ids = append(grp.ids, id)
+	}
+	return grp
 }
 
 // newReplica builds one incarnation of member m of group g.
@@ -115,17 +158,28 @@ func (g *Group) newReplica(shard, member int) *core.Replica {
 	return r
 }
 
-// Router returns the store's key router.
-func (s *Store) Router() Router { return s.router }
+// Table returns the currently published routing table. Safe from any
+// goroutine; the pointer swaps atomically at migration cutover.
+func (s *Store) Table() RoutingTable { return *s.table.Load() }
 
-// Shards returns the group count.
-func (s *Store) Shards() int { return s.cfg.Shards }
+// Epoch returns the published routing epoch.
+func (s *Store) Epoch() int64 { return s.table.Load().Epoch }
 
-// ShardOf returns the group owning key.
-func (s *Store) ShardOf(key string) int { return s.router.Shard(key) }
+// Router returns a fixed view over the current routing table.
+func (s *Store) Router() Router { return Router{t: s.Table()} }
+
+// groupList returns the current group slice (append-only; safe to
+// iterate from any goroutine).
+func (s *Store) groupList() []*Group { return *s.groups.Load() }
+
+// Shards returns the current group count.
+func (s *Store) Shards() int { return len(s.groupList()) }
+
+// ShardOf returns the group owning key under the published table.
+func (s *Store) ShardOf(key string) int { return s.table.Load().Group(key) }
 
 // Group returns shard g.
-func (s *Store) Group(g int) *Group { return s.groups[g] }
+func (s *Store) Group(g int) *Group { return s.groupList()[g] }
 
 // Members returns group g's node IDs (for fault injection in tests).
 func (g *Group) Members() []env.NodeID { return g.ids }
@@ -156,18 +210,33 @@ func (g *Group) pick() *core.Replica {
 	return fallback
 }
 
+// route resolves key to its owning group, reporting frozen=true while a
+// migration holds the key's slice in handoff (writes must wait for the
+// new epoch; reads keep hitting the source group via the published
+// table).
+func (s *Store) route(key string) (group int, frozen bool) {
+	t := s.table.Load()
+	slice := t.SliceOf(key)
+	if m := s.mig.Load(); m != nil && m.sliceFrozen(slice) {
+		return t.Assign[slice], true
+	}
+	return t.Assign[slice], false
+}
+
 // PickReplica returns the current submission target of the group owning
 // key, or nil while no member is ready.
 func (s *Store) PickReplica(key string) *core.Replica {
-	return s.groups[s.router.Shard(key)].pick()
+	g, _ := s.route(key)
+	return s.groupList()[g].pick()
 }
 
 // PickRead returns a ready member of the group owning key for local
 // reads, spread across the group's members by the caller-supplied hint
 // (e.g. the session ID) so read traffic does not funnel to the leader —
-// the 95%-local-reads property of §5.2 per shard.
+// the 95%-local-reads property of §5.2 per shard. Reads are never frozen
+// by a migration: until cutover they are served by the source group.
 func (s *Store) PickRead(key string, hint int64) *core.Replica {
-	g := s.groups[s.router.Shard(key)]
+	g := s.groupList()[s.table.Load().Group(key)]
 	n := len(g.ids)
 	start := int(uint64(hint) % uint64(n))
 	for off := 0; off < n; off++ {
@@ -187,8 +256,21 @@ func (s *Store) PickRead(key string, hint int64) *core.Replica {
 // core.Replica.Submit it must run on the target node's executor — in
 // practice, inside the single-threaded simulator. Goroutine-based callers
 // use Execute.
+//
+// While a migration holds the key's slice in handoff, the submission is
+// buffered and flows to the new owning group at cutover — delayed by the
+// migration window, never lost.
 func (s *Store) Submit(key string, action any, done func(result any, err error)) {
-	r := s.groups[s.router.Shard(key)].pick()
+	g, frozen := s.route(key)
+	if frozen {
+		if m := s.mig.Load(); m != nil && m.defer_(key, action, done) {
+			return
+		}
+		// Migration completed between route and defer: fall through with
+		// the post-cutover routing.
+		g, _ = s.route(key)
+	}
+	r := s.groupList()[g].pick()
 	if r == nil {
 		if done != nil {
 			done(nil, ErrNoReplica)
@@ -200,14 +282,36 @@ func (s *Store) Submit(key string, action any, done func(result any, err error))
 
 // Execute proposes an action on the group owning key and blocks until it
 // has been applied there, retrying while the group has no ready member
-// (live runtime only; safe from any goroutine).
+// or the key's slice is mid-handoff (live runtime only; safe from any
+// goroutine).
 func (s *Store) Execute(ctx context.Context, key string, action any) (any, error) {
-	g := s.groups[s.router.Shard(key)]
 	for {
-		if r := g.pick(); r != nil {
-			result, err := r.Execute(ctx, action)
-			if err == nil || !errors.Is(err, core.ErrNotReady) {
-				return result, err
+		gi, frozen := s.route(key)
+		if !frozen {
+			g := s.groupList()[gi]
+			// The in-flight count brackets the submission so the
+			// migration drain (freeze, then wait for the pre-freeze
+			// phase's counter) cannot miss it. The re-check under the
+			// held count decides: if it still names the same unfrozen
+			// group, any later freeze must wait for our decrement before
+			// the source log is fenced; if it sees the freeze, or a
+			// whole migration completed between the two checks and the
+			// key now routes elsewhere, we back off and re-route rather
+			// than write to the stale owner.
+			ph := s.drainPhase.Load()
+			g.inflight[ph].Add(1)
+			if gi2, nowFrozen := s.route(key); !nowFrozen && gi2 == gi {
+				if r := g.pick(); r != nil {
+					result, err := r.Execute(ctx, action)
+					g.inflight[ph].Add(-1)
+					if err == nil || !errors.Is(err, core.ErrNotReady) {
+						return result, err
+					}
+				} else {
+					g.inflight[ph].Add(-1)
+				}
+			} else {
+				g.inflight[ph].Add(-1)
 			}
 		}
 		select {
@@ -231,18 +335,19 @@ func (s *Store) Checkpoint(done func()) {
 	// complete synchronously (nothing to checkpoint), so counting and
 	// starting in one pass could fire done before all members started.
 	type target struct {
-		g, m int
-		id   env.NodeID
-		r    *core.Replica
+		grp *Group
+		m   int
+		id  env.NodeID
+		r   *core.Replica
 	}
 	var targets []target
-	for gi, g := range s.groups {
+	for _, g := range s.groupList() {
 		for m, id := range g.ids {
 			if !s.rt.Alive(id) {
 				continue
 			}
 			if r := g.reps[m].Load(); r != nil {
-				targets = append(targets, target{g: gi, m: m, id: id, r: r})
+				targets = append(targets, target{grp: g, m: m, id: id, r: r})
 			}
 		}
 	}
@@ -257,7 +362,7 @@ func (s *Store) Checkpoint(done func()) {
 	core.CheckpointFanout(reps,
 		func(k int) bool {
 			t := targets[k]
-			return !s.rt.Alive(t.id) || s.groups[t.g].reps[t.m].Load() != t.r
+			return !s.rt.Alive(t.id) || t.grp.reps[t.m].Load() != t.r
 		},
 		after, done)
 }
@@ -277,8 +382,9 @@ type GroupStatus struct {
 // Status returns one entry per shard. Safe from any goroutine; leader and
 // backlog are published snapshots (≤100 ms stale).
 func (s *Store) Status() []GroupStatus {
-	out := make([]GroupStatus, len(s.groups))
-	for i, g := range s.groups {
+	groups := s.groupList()
+	out := make([]GroupStatus, len(groups))
+	for i, g := range groups {
 		st := GroupStatus{Shard: i, Members: len(g.ids), Leader: -1}
 		for m, id := range g.ids {
 			r := g.reps[m].Load()

@@ -1,0 +1,264 @@
+package shard
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"strconv"
+)
+
+// This file makes routing explicit, versioned state instead of an
+// arithmetic convention: a RoutingTable partitions the hash space into a
+// fixed number of slices and assigns each slice to a Paxos group. Tables
+// are versioned by a monotonically increasing epoch; epoch 0 is defined
+// to reproduce the historical mod-N mapping bit for bit (golden-tested),
+// so deploying the table costs no key movement. Later epochs are produced
+// by Grow, which reassigns whole slices to a new group — the unit of the
+// live-migration protocol in migrate.go. The design follows the
+// manifest-versioning idiom (KevoDB): the current table is a small,
+// durable, checksummed artifact that every tier reads, not a formula
+// frozen into the code.
+
+// slicesPerGroup is the hash-space granularity of a fresh table: an
+// epoch-0 table over n groups has n×slicesPerGroup slices. The multiple
+// keeps slice count divisible by n (the mod-N identity below) while
+// giving Grow enough slices to rebalance in ~1.5 % steps.
+const slicesPerGroup = 64
+
+// RoutingTable maps hash-space slices to Paxos groups. A key's slice is
+// Hash(key) mod Slices(); its group is Assign[slice]. The zero value is
+// not a valid table; construct with NewRoutingTable or DecodeTable.
+type RoutingTable struct {
+	// Epoch versions the table: routing state published under a higher
+	// epoch supersedes every lower one. Epoch 0 is the deployment-time
+	// table, identical to the historical hash%N router.
+	Epoch int64 `json:"epoch"`
+
+	// Assign maps slice index → owning group. len(Assign) is the slice
+	// count, fixed for the lifetime of a table lineage (changing it
+	// would move slice boundaries and strand every key).
+	Assign []int `json:"assign"`
+}
+
+// NewRoutingTable returns the epoch-0 table over n groups. Its mapping is
+// bit-for-bit the historical mod-N router: the slice count is a multiple
+// of n, so Hash(key) mod Slices mod n == Hash(key) mod n.
+func NewRoutingTable(n int) RoutingTable {
+	if n <= 0 {
+		panic("shard: NewRoutingTable needs a positive group count")
+	}
+	t := RoutingTable{Assign: make([]int, n*slicesPerGroup)}
+	for i := range t.Assign {
+		t.Assign[i] = i % n
+	}
+	return t
+}
+
+// Slices returns the hash-space slice count.
+func (t RoutingTable) Slices() int { return len(t.Assign) }
+
+// Groups returns the group count (1 + the highest assigned group).
+func (t RoutingTable) Groups() int {
+	max := 0
+	for _, g := range t.Assign {
+		if g > max {
+			max = g
+		}
+	}
+	return max + 1
+}
+
+// SliceOf returns the hash-space slice owning key.
+func (t RoutingTable) SliceOf(key string) int {
+	return int(Hash(key) % uint64(len(t.Assign)))
+}
+
+// Group returns the group owning key under this table.
+func (t RoutingTable) Group(key string) int {
+	return t.Assign[t.SliceOf(key)]
+}
+
+// GroupInt routes an integer key by its decimal representation, agreeing
+// with Group on equal keys (see Router.ShardInt).
+func (t RoutingTable) GroupInt(key int64) int {
+	return t.Group(strconv.FormatInt(key, 10))
+}
+
+// Owned returns the key predicate selecting exactly the given slices —
+// the filter a source group's keyed snapshot export runs under.
+func (t RoutingTable) Owned(slices []int) func(key string) bool {
+	in := make(map[int]bool, len(slices))
+	for _, s := range slices {
+		in[s] = true
+	}
+	n := uint64(len(t.Assign))
+	return func(key string) bool { return in[int(Hash(key)%n)] }
+}
+
+// Grow returns the next-epoch table with group newGroup added, plus the
+// slices that move to it. Reassignment is deterministic: slices are taken
+// one at a time from whichever group currently owns the most (ties to the
+// lowest group index, highest slice index first) until the new group owns
+// its fair share, floor(Slices/(groups+1)). Slices that do not move keep
+// their owner, so only the moved slices' keys change groups.
+func (t RoutingTable) Grow(newGroup int) (next RoutingTable, moved []int) {
+	n := t.Groups()
+	if newGroup != n {
+		panic(fmt.Sprintf("shard: Grow(%d) on a %d-group table (new group must be the next index)", newGroup, n))
+	}
+	next = RoutingTable{Epoch: t.Epoch + 1, Assign: append([]int(nil), t.Assign...)}
+	// Per-group slice lists, slice indices ascending.
+	own := make([][]int, n)
+	for s, g := range t.Assign {
+		own[g] = append(own[g], s)
+	}
+	want := len(t.Assign) / (n + 1)
+	for len(moved) < want {
+		// Donor: the group owning the most slices right now.
+		donor := 0
+		for g := 1; g < n; g++ {
+			if len(own[g]) > len(own[donor]) {
+				donor = g
+			}
+		}
+		s := own[donor][len(own[donor])-1]
+		own[donor] = own[donor][:len(own[donor])-1]
+		next.Assign[s] = newGroup
+		moved = append(moved, s)
+	}
+	return next, moved
+}
+
+// --- Encoding -----------------------------------------------------------
+//
+// The wire format is a versioned manifest record: magic, format version,
+// epoch, slice count, the assignment as uvarints, and a CRC32 footer over
+// everything before it. JSON encoding rides on the exported fields.
+
+var tableMagic = [4]byte{'r', 't', 'b', '1'}
+
+// ErrBadTable is returned by DecodeTable for malformed or corrupt input.
+var ErrBadTable = errors.New("shard: malformed routing table encoding")
+
+// EncodeTable renders the table into its durable wire form.
+func EncodeTable(t RoutingTable) []byte {
+	buf := make([]byte, 0, 16+len(t.Assign))
+	buf = append(buf, tableMagic[:]...)
+	buf = binary.AppendUvarint(buf, uint64(t.Epoch))
+	buf = binary.AppendUvarint(buf, uint64(len(t.Assign)))
+	for _, g := range t.Assign {
+		buf = binary.AppendUvarint(buf, uint64(g))
+	}
+	sum := crc32.ChecksumIEEE(buf)
+	return binary.BigEndian.AppendUint32(buf, sum)
+}
+
+// DecodeTable parses a table encoded by EncodeTable, verifying the
+// checksum and that the assignment is a well-formed surjection onto a
+// dense group range.
+func DecodeTable(data []byte) (RoutingTable, error) {
+	if len(data) < len(tableMagic)+4+2 {
+		return RoutingTable{}, ErrBadTable
+	}
+	body, foot := data[:len(data)-4], data[len(data)-4:]
+	if crc32.ChecksumIEEE(body) != binary.BigEndian.Uint32(foot) {
+		return RoutingTable{}, fmt.Errorf("%w: checksum mismatch", ErrBadTable)
+	}
+	if string(body[:4]) != string(tableMagic[:]) {
+		return RoutingTable{}, fmt.Errorf("%w: bad magic", ErrBadTable)
+	}
+	rest := body[4:]
+	epoch, n := binary.Uvarint(rest)
+	if n <= 0 {
+		return RoutingTable{}, ErrBadTable
+	}
+	rest = rest[n:]
+	slices, n := binary.Uvarint(rest)
+	if n <= 0 || slices == 0 || slices > 1<<20 {
+		return RoutingTable{}, ErrBadTable
+	}
+	rest = rest[n:]
+	t := RoutingTable{Epoch: int64(epoch), Assign: make([]int, slices)}
+	for i := range t.Assign {
+		g, n := binary.Uvarint(rest)
+		if n <= 0 {
+			return RoutingTable{}, ErrBadTable
+		}
+		rest = rest[n:]
+		t.Assign[i] = int(g)
+	}
+	if len(rest) != 0 {
+		return RoutingTable{}, fmt.Errorf("%w: trailing bytes", ErrBadTable)
+	}
+	if err := t.validate(); err != nil {
+		return RoutingTable{}, err
+	}
+	return t, nil
+}
+
+// MarshalJSON/UnmarshalJSON give the table a validated JSON form (the
+// operator-facing twin of the binary manifest).
+func (t RoutingTable) MarshalJSON() ([]byte, error) {
+	type wire RoutingTable // shed methods to avoid recursion
+	return json.Marshal(wire(t))
+}
+
+func (t *RoutingTable) UnmarshalJSON(data []byte) error {
+	type wire RoutingTable
+	var w wire
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	got := RoutingTable(w)
+	if err := got.validate(); err != nil {
+		return err
+	}
+	*t = got
+	return nil
+}
+
+// validate checks the structural invariants every decoded table must
+// satisfy: at least one slice, non-negative dense group assignment (every
+// group in [0, Groups) owns at least one slice).
+func (t RoutingTable) validate() error {
+	if len(t.Assign) == 0 {
+		return fmt.Errorf("%w: no slices", ErrBadTable)
+	}
+	if t.Epoch < 0 {
+		return fmt.Errorf("%w: negative epoch", ErrBadTable)
+	}
+	max := 0
+	for _, g := range t.Assign {
+		if g < 0 || g >= len(t.Assign) {
+			return fmt.Errorf("%w: assignment out of range", ErrBadTable)
+		}
+		if g > max {
+			max = g
+		}
+	}
+	seen := make([]bool, max+1)
+	for _, g := range t.Assign {
+		seen[g] = true
+	}
+	for g, ok := range seen {
+		if !ok {
+			return fmt.Errorf("%w: group %d owns no slices", ErrBadTable, g)
+		}
+	}
+	return nil
+}
+
+// Equal reports whether two tables are identical (epoch and assignment).
+func (t RoutingTable) Equal(o RoutingTable) bool {
+	if t.Epoch != o.Epoch || len(t.Assign) != len(o.Assign) {
+		return false
+	}
+	for i := range t.Assign {
+		if t.Assign[i] != o.Assign[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -175,12 +175,11 @@ type simNode struct {
 	nicBusy     time.Time // outbound NIC serialization horizon
 }
 
-// AddNode registers a cluster member built by factory. All nodes must be
-// added before StartAll. The returned ID is dense, starting at 0.
+// AddNode registers a cluster member built by factory. The returned ID
+// is dense, starting at 0. Nodes added before StartAll are booted by it;
+// a node added later (live scale-out, e.g. shard.Store.Rebalance) starts
+// down and is booted by Restart, exactly as on the live runtime.
 func (s *Sim) AddNode(factory func() env.Node) env.NodeID {
-	if s.started {
-		panic("sim: AddNode after StartAll")
-	}
 	id := env.NodeID(len(s.nodes))
 	n := &simNode{
 		sim:     s,

@@ -1,0 +1,217 @@
+package tpcw
+
+import "strconv"
+
+// This file implements the keyed-snapshot half of live shard migration
+// (core.PartitionedMachine): exporting only the rows a group is losing,
+// merging such an export in on the destination, and dropping moved rows
+// on the source after cutover. Row keys follow PartitionKey's vocabulary
+// ("item/N", "customer/N", "cart/N"), so the same hash-slice predicate
+// that routes actions selects the rows that travel with them.
+//
+// Row-to-key mapping:
+//   - carts move under "cart/N";
+//   - customers move under "customer/N", carrying their addresses, orders
+//     and last-order index (VerifyConsistency requires orders and their
+//     customers to stay together);
+//   - items move under "item/N". Catalog item rows exist in every group's
+//     initial population (the catalog is soft-replicated), so DropOwned
+//     keeps them: dropping would break local reads for sessions that
+//     never moved. The import still overwrites the destination's copies,
+//     carrying admin updates and stock decrements across.
+//
+// The best-sellers window (recentOrders/bsQty) is a per-group aggregate
+// over the group's own order history and does not migrate; eviction
+// tolerates dropped orders.
+//
+// ImportOwned is an idempotent keyed upsert (map set + max-monotonic ID
+// counters), as core.PartitionedMachine requires: the migration driver
+// may re-deliver a payload whose completion a crash hid.
+
+// PartitionSnap is the keyed-snapshot payload: the subset of storeSnap
+// owned by a key predicate. Like checkpoint payloads it shares pointed-to
+// rows under the store's copy-on-write discipline.
+type PartitionSnap struct {
+	Items     map[ItemID]*Item
+	Customers map[CustomerID]*Customer
+	ByUName   map[string]CustomerID
+	Addresses map[AddressID]*Address
+	Orders    map[OrderID]*Order
+	Carts     map[CartID]Cart
+	LastOrder map[CustomerID]OrderID
+
+	// Counter floors: the destination raises its ID counters to these so
+	// rows it allocates later cannot collide with imported ones.
+	NextAddress  AddressID
+	NextCustomer CustomerID
+	NextOrder    OrderID
+	NextCart     CartID
+
+	NominalBytes int64 // nominal size of the rows carried
+}
+
+func itemKey(id ItemID) string         { return "item/" + strconv.FormatInt(int64(id), 10) }
+func customerKey(id CustomerID) string { return "customer/" + strconv.FormatInt(int64(id), 10) }
+func cartKey(id CartID) string         { return "cart/" + strconv.FormatInt(int64(id), 10) }
+
+// nominalOrderBytes is the accounting size of one order row, mirroring
+// applyBuyConfirm's accrual.
+func nominalOrderBytes(o *Order) int64 {
+	return nominalOrder + nominalCC + int64(len(o.Lines))*nominalLine
+}
+
+func nominalCartBytes(c Cart) int64 {
+	return nominalCart + int64(len(c.Lines))*nominalCartLine
+}
+
+// ExportOwned implements core.PartitionedMachine: a deep-enough copy of
+// the rows whose key satisfies owned, plus their nominal size.
+func (s *Store) ExportOwned(owned func(key string) bool) (any, int64) {
+	snap := PartitionSnap{
+		Items:        make(map[ItemID]*Item),
+		Customers:    make(map[CustomerID]*Customer),
+		ByUName:      make(map[string]CustomerID),
+		Addresses:    make(map[AddressID]*Address),
+		Orders:       make(map[OrderID]*Order),
+		Carts:        make(map[CartID]Cart),
+		LastOrder:    make(map[CustomerID]OrderID),
+		NextAddress:  s.nextAddress,
+		NextCustomer: s.nextCustomer,
+		NextOrder:    s.nextOrder,
+		NextCart:     s.nextCart,
+	}
+	for id, it := range s.items {
+		if owned(itemKey(id)) {
+			snap.Items[id] = it
+			snap.NominalBytes += nominalItem
+		}
+	}
+	for id, c := range s.customers {
+		if !owned(customerKey(id)) {
+			continue
+		}
+		snap.Customers[id] = c
+		snap.ByUName[c.UName] = id
+		snap.NominalBytes += nominalCustomer
+		if a, ok := s.addresses[c.Addr]; ok {
+			snap.Addresses[c.Addr] = a
+			snap.NominalBytes += nominalAddress
+		}
+		if oid, ok := s.lastOrder[id]; ok {
+			snap.LastOrder[id] = oid
+		}
+	}
+	for id, o := range s.orders {
+		if owned(customerKey(o.Customer)) {
+			snap.Orders[id] = o
+			snap.NominalBytes += nominalOrderBytes(o)
+			if a, ok := s.addresses[o.ShipAddr]; ok && snap.Addresses[o.ShipAddr] == nil {
+				snap.Addresses[o.ShipAddr] = a
+				snap.NominalBytes += nominalAddress
+			}
+		}
+	}
+	for id, c := range s.carts {
+		if owned(cartKey(id)) {
+			c.Lines = append([]CartLine(nil), c.Lines...)
+			snap.Carts[id] = c
+			snap.NominalBytes += nominalCartBytes(c)
+		}
+	}
+	return snap, snap.NominalBytes
+}
+
+// ImportOwned implements core.PartitionedMachine: merge an ExportOwned
+// payload in. Idempotent — re-importing the same payload leaves the state
+// unchanged.
+func (s *Store) ImportOwned(data any) {
+	snap, ok := data.(PartitionSnap)
+	if !ok {
+		return
+	}
+	for id, it := range snap.Items {
+		if _, had := s.items[id]; !had {
+			s.nominalBytes += nominalItem
+		}
+		s.items[id] = it
+	}
+	for id, c := range snap.Customers {
+		if _, had := s.customers[id]; !had {
+			s.nominalBytes += nominalCustomer
+		}
+		s.customers[id] = c
+		s.byUName[c.UName] = id
+	}
+	for id, a := range snap.Addresses {
+		if _, had := s.addresses[id]; !had {
+			s.nominalBytes += nominalAddress
+		}
+		s.addresses[id] = a
+	}
+	for id, o := range snap.Orders {
+		if _, had := s.orders[id]; !had {
+			s.nominalBytes += nominalOrderBytes(o)
+		}
+		s.orders[id] = o
+	}
+	for id, c := range snap.Carts {
+		if had, ok := s.carts[id]; ok {
+			s.nominalBytes -= nominalCartBytes(had)
+		}
+		c.Lines = append([]CartLine(nil), c.Lines...)
+		s.carts[id] = c
+		s.nominalBytes += nominalCartBytes(c)
+	}
+	for cid, oid := range snap.LastOrder {
+		s.lastOrder[cid] = oid
+	}
+	if snap.NextAddress > s.nextAddress {
+		s.nextAddress = snap.NextAddress
+	}
+	if snap.NextCustomer > s.nextCustomer {
+		s.nextCustomer = snap.NextCustomer
+	}
+	if snap.NextOrder > s.nextOrder {
+		s.nextOrder = snap.NextOrder
+	}
+	if snap.NextCart > s.nextCart {
+		s.nextCart = snap.NextCart
+	}
+	s.bsCache = nil
+}
+
+// DropOwned implements core.PartitionedMachine: remove the moved rows on
+// the source after cutover. Catalog item rows are kept (soft-replicated;
+// see the file comment). Idempotent.
+func (s *Store) DropOwned(owned func(key string) bool) {
+	for id, c := range s.customers {
+		if !owned(customerKey(id)) {
+			continue
+		}
+		delete(s.customers, id)
+		delete(s.byUName, c.UName)
+		s.nominalBytes -= nominalCustomer
+		if _, ok := s.addresses[c.Addr]; ok {
+			delete(s.addresses, c.Addr)
+			s.nominalBytes -= nominalAddress
+		}
+		delete(s.lastOrder, id)
+	}
+	for id, o := range s.orders {
+		if owned(customerKey(o.Customer)) {
+			delete(s.orders, id)
+			s.nominalBytes -= nominalOrderBytes(o)
+			if _, ok := s.addresses[o.ShipAddr]; ok {
+				delete(s.addresses, o.ShipAddr)
+				s.nominalBytes -= nominalAddress
+			}
+		}
+	}
+	for id, c := range s.carts {
+		if owned(cartKey(id)) {
+			delete(s.carts, id)
+			s.nominalBytes -= nominalCartBytes(c)
+		}
+	}
+	s.bsCache = nil
+}

@@ -66,10 +66,16 @@ type Config struct {
 // Cluster wires servers, proxy, watchdog and faultload over a simulator.
 // Server indices are flat and group-major: server i belongs to group
 // i/Servers as its member i%Servers.
+//
+// Session routing is epoch-versioned state (shard.RoutingTable), not
+// arithmetic: the epoch-0 table reproduces the historical hash%N mapping
+// bit for bit, and Rebalance (rebalance.go) adds a group mid-run by
+// live-migrating session slices to it and publishing the next epoch.
 type Cluster struct {
 	cfg    Config
 	sim    *sim.Sim
-	router shard.Router
+	table  shard.RoutingTable // current routing epoch (sim-loop confined)
+	shards int                // current group count (grows on Rebalance)
 
 	serverIDs []env.NodeID   // flat, group-major
 	groupIDs  [][]env.NodeID // per-group member IDs (Paxos membership)
@@ -84,6 +90,8 @@ type Cluster struct {
 	faults        int
 	interventions int
 	crashedAt     []time.Time
+
+	mig *clusterMigration // non-nil once Rebalance has been called
 }
 
 // NewCluster builds the deployment. Call Start before driving load.
@@ -106,7 +114,8 @@ func NewCluster(cfg Config) *Cluster {
 	total := cfg.Shards * cfg.Servers
 	c := &Cluster{
 		cfg:       cfg,
-		router:    shard.NewRouter(cfg.Shards),
+		table:     shard.NewRoutingTable(cfg.Shards),
+		shards:    cfg.Shards,
 		servers:   make([]*Server, total),
 		groupIDs:  make([][]env.NodeID, cfg.Shards),
 		auto:      make([]bool, total),
@@ -135,17 +144,27 @@ func NewCluster(cfg Config) *Cluster {
 // Sim exposes the simulator for scheduling workload and faultloads.
 func (c *Cluster) Sim() *sim.Sim { return c.sim }
 
-// Shards returns the Paxos group count.
-func (c *Cluster) Shards() int { return c.cfg.Shards }
+// Shards returns the current Paxos group count (grows on Rebalance).
+func (c *Cluster) Shards() int { return c.shards }
+
+// Table returns the currently published routing table.
+func (c *Cluster) Table() shard.RoutingTable { return c.table }
 
 // TotalServers returns the flat server count (Shards × Servers).
 func (c *Cluster) TotalServers() int { return len(c.serverIDs) }
 
-// GroupOf returns the group serving a client's session. The mapping is
-// tpcw.SessionKey's, so the web tier, the live command and any
-// shard.Store keyed by session agree on placement.
+// GroupOf returns the group serving a client's session under the current
+// routing epoch. The mapping is tpcw.SessionKey's, so the web tier, the
+// live command and any shard.Store keyed by session agree on placement.
 func (c *Cluster) GroupOf(client int64) int {
-	return c.router.Shard(tpcw.SessionKey(client))
+	return c.table.Group(tpcw.SessionKey(client))
+}
+
+// sessionFrozen reports whether a client's session slice is mid-handoff:
+// its writes must wait for the next routing epoch (the proxy requeues
+// them; reads keep flowing to the source group).
+func (c *Cluster) sessionFrozen(client int64) bool {
+	return c.mig != nil && c.mig.frozen[c.table.SliceOf(tpcw.SessionKey(client))]
 }
 
 // Start boots all nodes and the watchdogs.
@@ -221,7 +240,7 @@ func (c *Cluster) Downtime() time.Duration {
 // the proxy (the per-slice availability inputs).
 func (c *Cluster) GroupDowntimes() []time.Duration {
 	if c.proxy == nil {
-		return make([]time.Duration, c.cfg.Shards)
+		return make([]time.Duration, c.shards)
 	}
 	return c.proxy.GroupDowntimes()
 }

@@ -1,0 +1,179 @@
+package webtier
+
+import (
+	"testing"
+	"time"
+
+	"robuststore/internal/rbe"
+)
+
+// Regression tests for late server responses arriving at the proxy after
+// the request's lifecycle already ended — expired, retried, or finished.
+// The migration cutover path stresses exactly these races (a response
+// from the old group can trail the epoch switch), so the proxy must be
+// immune to double-finish and to resurrecting dead requests.
+
+// lateHarness dispatches one request directly and returns the outReq and
+// its outstanding ID so the test can deliver protocol messages by hand.
+func lateHarness(t *testing.T, c *Cluster, kind rbe.Interaction, done func(rbe.Response)) (*outReq, int64) {
+	t.Helper()
+	p := c.proxy
+	r := &outReq{req: rbe.Request{Client: 42, Kind: kind, Item: 1}, done: done}
+	p.dispatch(r)
+	for id, v := range p.outstanding {
+		if v == r {
+			return r, id
+		}
+	}
+	t.Fatal("request not outstanding after dispatch")
+	return nil, 0
+}
+
+// TestLateResponseAfterExpiryIsIgnored: a response arriving after the
+// request timed out must be dropped — the client already got its error;
+// finishing again would call done twice.
+func TestLateResponseAfterExpiryIsIgnored(t *testing.T) {
+	c := testCluster(t, 3, nil)
+	s := c.Sim()
+	finishes := 0
+	var last rbe.Response
+	s.At(s.Now(), func() {
+		r, id := lateHarness(t, c, rbe.Home, func(resp rbe.Response) { finishes++; last = resp })
+		_ = r
+		p := c.proxy
+		p.expire(id)
+		if finishes != 1 || !last.Err {
+			t.Fatalf("expiry must finish the request with an error: finishes=%d resp=%+v", finishes, last)
+		}
+		// The server's answer arrives late: must be ignored entirely.
+		p.onResponse(respMsg{ID: id, Resp: rbe.Response{}})
+		p.onResponse(respMsg{ID: id, Resp: rbe.Response{}}) // and again
+	})
+	s.RunFor(time.Second)
+	if finishes != 1 {
+		t.Fatalf("done ran %d times, want exactly once", finishes)
+	}
+	if st := c.ProxyStats(); st.ErrTimeout != 1 {
+		t.Fatalf("expected one timeout in stats, got %+v", st)
+	}
+}
+
+// TestStaleResponseAfterRetryIsSuperseded: when a read is redispatched,
+// the first server's late answer must not finish the request — only the
+// retry's answer may, exactly once, even if the original reply then
+// trickles in.
+func TestStaleResponseAfterRetryIsSuperseded(t *testing.T) {
+	c := testCluster(t, 3, nil)
+	s := c.Sim()
+	finishes := 0
+	s.At(s.Now(), func() {
+		p := c.proxy
+		r, firstID := lateHarness(t, c, rbe.Home, func(rbe.Response) { finishes++ })
+		// Server-side error triggers the transparent retry; the retry is
+		// outstanding under a fresh ID.
+		p.onResponse(respMsg{ID: firstID, Resp: rbe.Response{Err: true}})
+		if r.finished {
+			t.Fatal("request finished by the failed first attempt")
+		}
+		var retryID int64
+		for id, v := range p.outstanding {
+			if v == r {
+				retryID = id
+			}
+		}
+		if retryID == 0 || retryID == firstID {
+			t.Fatalf("retry not outstanding under a fresh ID (got %d)", retryID)
+		}
+		// The first server's answer now trails in — superseded, ignored.
+		p.onResponse(respMsg{ID: firstID, Resp: rbe.Response{}})
+		if finishes != 0 {
+			t.Fatal("stale first-attempt response finished the retried request")
+		}
+		// The retry completes; a duplicate of it is ignored too.
+		p.onResponse(respMsg{ID: retryID, Resp: rbe.Response{}})
+		p.onResponse(respMsg{ID: retryID, Resp: rbe.Response{}})
+	})
+	s.RunFor(time.Second)
+	if finishes != 1 {
+		t.Fatalf("done ran %d times, want exactly once", finishes)
+	}
+}
+
+// TestStaleEpochResponseRedirects: a WrongEpoch answer (the request raced
+// a rebalance cutover) re-routes the request instead of failing the
+// client, and a late duplicate of the old answer cannot double-finish.
+// This is the double-finish hazard of the cutover path in isolation.
+func TestStaleEpochResponseRedirects(t *testing.T) {
+	c := testCluster(t, 3, nil)
+	s := c.Sim()
+	finishes := 0
+	var resp rbe.Response
+	s.At(s.Now(), func() {
+		p := c.proxy
+		r, firstID := lateHarness(t, c, rbe.ShoppingCart, func(rr rbe.Response) { finishes++; resp = rr })
+		// The serving group answers "not mine any more".
+		p.onResponse(respMsg{ID: firstID, Resp: rbe.Response{Err: true}, WrongEpoch: true})
+		if r.finished || finishes != 0 {
+			t.Fatal("epoch redirect must not finish the request")
+		}
+		if st := c.ProxyStats(); st.EpochRedirects != 1 || st.ErrServerSide != 0 {
+			t.Fatalf("redirect accounting wrong: %+v", st)
+		}
+		// Late duplicate of the old answer: superseded, ignored.
+		p.onResponse(respMsg{ID: firstID, Resp: rbe.Response{Err: true}, WrongEpoch: true})
+		// The re-dispatched request is outstanding again and completes
+		// normally (a write, untouched by the redirect accounting).
+		var newID int64
+		for id, v := range p.outstanding {
+			if v == r {
+				newID = id
+			}
+		}
+		if newID == 0 {
+			t.Fatal("request not re-dispatched after WrongEpoch")
+		}
+		p.onResponse(respMsg{ID: newID, Resp: rbe.Response{Cart: 7}})
+	})
+	s.RunFor(time.Second)
+	if finishes != 1 || resp.Err || resp.Cart != 7 {
+		t.Fatalf("redirected write did not complete cleanly: finishes=%d resp=%+v", finishes, resp)
+	}
+}
+
+// TestEpochRedirectLoopBounded: endless WrongEpoch answers (a server
+// stuck on a stale view) must not redispatch forever — after the cap the
+// client gets an error, once.
+func TestEpochRedirectLoopBounded(t *testing.T) {
+	c := testCluster(t, 3, nil)
+	s := c.Sim()
+	finishes := 0
+	s.At(s.Now(), func() {
+		p := c.proxy
+		r, id := lateHarness(t, c, rbe.Home, func(rbe.Response) { finishes++ })
+		for hops := 0; hops < 10 && !r.finished; hops++ {
+			p.onResponse(respMsg{ID: id, Resp: rbe.Response{Err: true}, WrongEpoch: true})
+			if r.finished {
+				break
+			}
+			found := false
+			for nid, v := range p.outstanding {
+				if v == r {
+					id, found = nid, true
+				}
+			}
+			if !found {
+				t.Fatal("request neither finished nor outstanding")
+			}
+		}
+		if !r.finished {
+			t.Fatal("unbounded WrongEpoch loop")
+		}
+	})
+	s.RunFor(time.Second)
+	if finishes != 1 {
+		t.Fatalf("done ran %d times, want exactly once", finishes)
+	}
+	if st := c.ProxyStats(); st.EpochRedirects != 4 {
+		t.Fatalf("expected the redirect cap (4), got %+v", st)
+	}
+}

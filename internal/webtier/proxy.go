@@ -55,15 +55,26 @@ type ProxyStats struct {
 	ErrNoServer   int
 	ErrServerSide int
 	Redispatched  int
+
+	// EpochRedirects counts requests that raced a routing-epoch cutover
+	// (served group changed between dispatch and arrival) and were
+	// transparently re-routed instead of failed.
+	EpochRedirects int
+
+	// Requeued counts write dispatches held back because their session
+	// slice was mid-handoff (delayed until cutover, never failed).
+	Requeued int
 }
 
 type outReq struct {
-	req      rbe.Request
-	done     func(rbe.Response)
-	server   int // index into cluster servers
-	attempts int
-	timer    env.Timer
-	finished bool
+	req       rbe.Request
+	done      func(rbe.Response)
+	server    int // index into cluster servers
+	attempts  int
+	redirects int  // WrongEpoch re-routes (not balance retries)
+	requeued  bool // was held by a migration freeze (counted once)
+	timer     env.Timer
+	finished  bool
 }
 
 var _ env.Node = (*Proxy)(nil)
@@ -104,8 +115,22 @@ func (p *Proxy) Do(req rbe.Request, done func(rbe.Response)) {
 }
 
 // dispatch routes a request to a live, in-rotation server of the group
-// owning the client's session (with one shard, every server).
+// owning the client's session (with one shard, every server). The table
+// is re-read on every dispatch, so a redispatch after a routing-epoch
+// cutover lands on the session's new group.
 func (p *Proxy) dispatch(r *outReq) {
+	if r.req.Kind.IsWrite() && !r.finished && p.c.sessionFrozen(r.req.Client) {
+		// The session's slice is mid-handoff: hold the write until the
+		// new epoch publishes. The client observes added latency bounded
+		// by the migration window, never an error. Counted once per
+		// request, not per 10 ms retry tick.
+		if !r.requeued {
+			r.requeued = true
+			p.Stats.Requeued++
+		}
+		p.e.After(10*time.Millisecond, func() { p.dispatch(r) })
+		return
+	}
 	group := p.c.GroupOf(r.req.Client)
 	candidates := p.candidates(group)
 	if r.attempts > 0 && len(candidates) > 1 {
@@ -163,6 +188,19 @@ func (p *Proxy) onResponse(m respMsg) {
 		return // superseded (redispatch) or expired
 	}
 	delete(p.outstanding, m.ID)
+	if m.WrongEpoch && r.redirects < 4 {
+		// The serving group changed between dispatch and arrival (a
+		// routing cutover): the action was not executed, so any request
+		// — writes included — re-routes under the current table. Not an
+		// error and not a balance retry.
+		r.redirects++
+		if r.attempts > 0 {
+			r.attempts--
+		}
+		p.Stats.EpochRedirects++
+		p.dispatch(r)
+		return
+	}
 	if m.Resp.Err && !r.req.Kind.IsWrite() && r.attempts < 2 {
 		// A read that failed server-side (e.g. still warming up) gets
 		// one transparent retry.
@@ -220,6 +258,21 @@ func (p *Proxy) onServerReset(server int) {
 		}
 		p.Stats.ErrReset++
 		p.finish(r, rbe.Response{Err: true})
+	}
+}
+
+// grow extends the proxy's per-server and per-group state for servers
+// added by a live rebalance. New servers enter rotation optimistically;
+// until operational they refuse connections, which the dispatch and probe
+// paths already treat as instant failures.
+func (p *Proxy) grow(totalServers, shards int) {
+	for len(p.up) < totalServers {
+		p.up = append(p.up, true)
+		p.failCount = append(p.failCount, 0)
+	}
+	for len(p.noServiceSince) < shards {
+		p.noServiceSince = append(p.noServiceSince, time.Time{})
+		p.downtime = append(p.downtime, 0)
 	}
 }
 

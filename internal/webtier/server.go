@@ -30,6 +30,12 @@ type respMsg struct {
 	ID   int64
 	Resp rbe.Response
 	Page int64
+
+	// WrongEpoch reports that the serving group no longer owns the
+	// request's session under the current routing table (the request
+	// raced a rebalance cutover); the proxy re-routes instead of
+	// failing the client.
+	WrongEpoch bool
 }
 
 func (m respMsg) WireSize() int64 { return 96 + m.Page }
@@ -187,6 +193,24 @@ func (m *serverMachine) Execute(action any) any {
 func (m *serverMachine) Snapshot() (any, int64) { return m.s.store.Snapshot() }
 func (m *serverMachine) Restore(data any)       { m.s.store.Restore(data) }
 
+// The partition-migration capability (core.PartitionedMachine) delegates
+// to the bookstore; merging an import pauses the server CPU like the
+// deserialization of a checkpoint of the moved bytes would.
+func (m *serverMachine) ExportOwned(owned func(string) bool) (any, int64) {
+	return m.s.store.ExportOwned(owned)
+}
+
+func (m *serverMachine) ImportOwned(data any) {
+	m.s.store.ImportOwned(data)
+	if ps, ok := data.(tpcw.PartitionSnap); ok {
+		m.s.cpu.Acquire(m.s.c.cfg.Cal.checkpointPause(ps.NominalBytes), nil)
+	}
+}
+
+func (m *serverMachine) DropOwned(owned func(string) bool) {
+	m.s.store.DropOwned(owned)
+}
+
 // CPUQueue returns the server CPU queue length (diagnostics).
 func (s *Server) CPUQueue() int { return s.cpu.QueueLen() }
 
@@ -194,6 +218,12 @@ func (s *Server) CPUQueue() int { return s.cpu.QueueLen() }
 func (s *Server) handleRequest(proxy env.NodeID, m reqMsg) {
 	if s.replica == nil || !s.replica.Ready() {
 		s.e.Send(proxy, respMsg{ID: m.ID, Resp: rbe.Response{Err: true}})
+		return
+	}
+	if s.c.GroupOf(m.Req.Client) != s.group {
+		// The session moved to another group while this request was in
+		// flight (routing-epoch cutover): redirect, don't serve stale.
+		s.e.Send(proxy, respMsg{ID: m.ID, Resp: rbe.Response{Err: true}, WrongEpoch: true})
 		return
 	}
 	cal := s.c.cfg.Cal
