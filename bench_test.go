@@ -11,6 +11,7 @@
 package robuststore_test
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
 	"testing"
@@ -220,6 +221,62 @@ func BenchmarkShardedRecovery(b *testing.B) {
 		b.ReportMetric(p.MeanRecoverySec, fmt.Sprintf("rec_%dshard_s", p.Shards))
 		b.ReportMetric(p.WorstGroupAvail, fmt.Sprintf("avail_%dshard", p.Shards))
 	}
+}
+
+// BenchmarkCheckpointRecovery tracks the incremental-checkpoint pipeline
+// against monolithic full-state checkpoints at the paper's default 60 s
+// interval and 500 MB state: one-crash recovery time, per-checkpoint and
+// per-second checkpoint disk traffic, and throughput — plus the sustained
+// ordered-actions/s of the sharded store at 1 and 4 groups. The results
+// are also written to BENCH_checkpoint.json so the perf trajectory is
+// machine-readable from this PR on.
+func BenchmarkCheckpointRecovery(b *testing.B) {
+	var pts []exp.CheckpointPoint
+	for i := 0; i < b.N; i++ {
+		pts = exp.CheckpointCurve(exp.CheckpointCurveConfig{
+			Servers: 3, StateMB: 500, Browsers: 300,
+			Measure: 150 * time.Second, Intervals: []int{60}, Seed: 3,
+		})
+	}
+	exp.PrintCheckpointCurve(os.Stdout, pts)
+	full, incr := pts[0], pts[1]
+	t1 := shard.MeasureThroughput(shard.ThroughputConfig{Shards: 1, Seed: benchSeed})
+	t4 := shard.MeasureThroughput(shard.ThroughputConfig{Shards: 4, Seed: benchSeed})
+
+	report := struct {
+		RecoverySecFull60 float64 `json:"recovery_sec_full_60s"`
+		RecoverySecIncr60 float64 `json:"recovery_sec_incremental_60s"`
+		PerCkptMBFull     float64 `json:"mb_per_checkpoint_full"`
+		PerCkptMBIncr     float64 `json:"mb_per_checkpoint_incremental"`
+		CkptMBPerSecFull  float64 `json:"checkpoint_mb_per_sec_full"`
+		CkptMBPerSecIncr  float64 `json:"checkpoint_mb_per_sec_incremental"`
+		AWIPSFull         float64 `json:"awips_full"`
+		AWIPSIncr         float64 `json:"awips_incremental"`
+		ActionsPerSec1    float64 `json:"actions_per_sec_1shard"`
+		ActionsPerSec4    float64 `json:"actions_per_sec_4shards"`
+	}{
+		RecoverySecFull60: full.RecoverySec,
+		RecoverySecIncr60: incr.RecoverySec,
+		PerCkptMBFull:     full.PerCkptMB,
+		PerCkptMBIncr:     incr.PerCkptMB,
+		CkptMBPerSecFull:  full.CkptMBPerSec,
+		CkptMBPerSecIncr:  incr.CkptMBPerSec,
+		AWIPSFull:         full.AWIPS,
+		AWIPSIncr:         incr.AWIPS,
+		ActionsPerSec1:    t1.PerSec,
+		ActionsPerSec4:    t4.PerSec,
+	}
+	if data, err := json.MarshalIndent(report, "", "  "); err == nil {
+		if err := os.WriteFile("BENCH_checkpoint.json", append(data, '\n'), 0o644); err != nil {
+			b.Logf("BENCH_checkpoint.json not written: %v", err)
+		}
+	}
+	b.ReportMetric(full.RecoverySec, "recovery_full_s")
+	b.ReportMetric(incr.RecoverySec, "recovery_incr_s")
+	b.ReportMetric(full.PerCkptMB, "MB_per_ckpt_full")
+	b.ReportMetric(incr.PerCkptMB, "MB_per_ckpt_incr")
+	b.ReportMetric(t1.PerSec, "aps_1shard")
+	b.ReportMetric(t4.PerSec, "aps_4shards")
 }
 
 // BenchmarkAblationFastVsClassicPaxos compares Treplica's Fast Paxos mode

@@ -11,11 +11,14 @@
 //	experiment -run recovery-times
 //	experiment -run sharded -shards 2 -short
 //	experiment -run sharded-recovery
+//	experiment -run checkpoint -short
 //
 // The sharded modes run the faultload-DSL scenarios (one member of every
 // group, rolling crashes, whole-group outage) against a Shards×Servers
 // deployment and print per-group + aggregate dependability reports;
-// -short shrinks them to a CI-sized smoke run.
+// -short shrinks them to a CI-sized smoke run. The checkpoint mode
+// sweeps the checkpoint interval, comparing monolithic full-state
+// checkpoints against the incremental delta-chain pipeline.
 //
 // Every run is deterministic for a given -seed.
 package main
@@ -32,7 +35,7 @@ import (
 
 func main() {
 	var (
-		which   = flag.String("run", "all", "experiment: speedup | scaleup | one-crash | two-crashes | delayed | recovery-times | ablations | sharded | sharded-recovery | rebalance | all")
+		which   = flag.String("run", "all", "experiment: speedup | scaleup | one-crash | two-crashes | delayed | recovery-times | ablations | sharded | sharded-recovery | rebalance | checkpoint | all")
 		seed    = flag.Uint64("seed", 1, "root seed (runs are deterministic per seed)")
 		servers = flag.Int("servers", 5, "replication degree for single-run modes")
 		profile = flag.String("profile", "shopping", "workload profile for single-run modes: browsing | shopping | ordering")
@@ -86,6 +89,19 @@ func run(which string, seed uint64, servers int, profileName string, shards int,
 		r := exp.RebalanceScenario(cfg)
 		exp.PrintHistogram(out, r)
 		exp.PrintRebalance(out, r)
+	case "checkpoint":
+		// Recovery time vs checkpoint interval (the Figure 6 trade-off),
+		// monolithic full-state checkpoints vs the incremental
+		// delta-chain pipeline at equal state size.
+		cfg := exp.CheckpointCurveConfig{Seed: seed}
+		if short {
+			cfg.Servers = 3
+			cfg.StateMB = 300
+			cfg.Browsers = 300
+			cfg.Measure = 150 * time.Second
+			cfg.Intervals = []int{20, 60}
+		}
+		exp.PrintCheckpointCurve(out, exp.CheckpointCurve(cfg))
 	case "sharded-recovery":
 		// Sweep doubling shard counts up to -shards (e.g. -shards 8 →
 		// 1, 2, 4, 8).
@@ -135,7 +151,7 @@ func run(which string, seed uint64, servers int, profileName string, shards int,
 	case "ablations":
 		exp.PrintAblation(out, exp.AblationFastPaxos(seed))
 	case "all":
-		for _, w := range []string{"speedup", "scaleup", "one-crash", "two-crashes", "delayed", "recovery-times", "sharded", "sharded-recovery", "rebalance", "ablations"} {
+		for _, w := range []string{"speedup", "scaleup", "one-crash", "two-crashes", "delayed", "recovery-times", "sharded", "sharded-recovery", "rebalance", "checkpoint", "ablations"} {
 			fmt.Fprintln(out)
 			if err := run(w, seed, servers, profileName, shards, short); err != nil {
 				return err

@@ -117,6 +117,14 @@ func (r *Replica) executeAction(action any) any {
 		if pm, ok := r.sm.(PartitionedMachine); ok {
 			pm.DropOwned(a.Owned)
 		}
+		// A wholesale deletion cannot be expressed as a row-upsert delta
+		// layer: truncate the delta chain at the next checkpoint (fold
+		// into a fresh base) so dropped rows can never resurrect from a
+		// stale layer on recovery. Until then, recovery replays this
+		// drop from the retained log suffix. Machines track this
+		// themselves too (SnapshotDelta must fail after DropOwned); the
+		// replica-level flag is the belt to that suspender.
+		r.forceBase = true
 		return nil
 	default:
 		return r.sm.Execute(action)

@@ -76,6 +76,23 @@ type Config struct {
 	// extension, enabled by default).
 	DisableRemoteSnapshot bool
 
+	// FullCheckpoints forces the monolithic full-state checkpoint path
+	// even when the machine implements DeltaSnapshotter — the baseline
+	// the incremental pipeline is compared against (exp.CheckpointCurve).
+	// Machines without the capability always use the monolithic path.
+	FullCheckpoints bool
+
+	// MaxDeltaChain caps how many delta layers stack on one base before
+	// the next checkpoint compacts the chain back into a fresh base
+	// (bounding recovery to base + MaxDeltaChain layer reads).
+	// Default 8.
+	MaxDeltaChain int
+
+	// MaxChainFraction compacts earlier when the chain's accumulated
+	// delta bytes exceed this fraction of the base size (bounding the
+	// redundant bytes recovery reads). Default 0.5.
+	MaxChainFraction float64
+
 	// ActionSize models an action's serialized size in bytes; nil means
 	// 160 bytes.
 	ActionSize func(action any) int64
@@ -110,6 +127,12 @@ func (c Config) withDefaults() Config {
 	if c.ActionSize == nil {
 		c.ActionSize = func(any) int64 { return 160 }
 	}
+	if c.MaxDeltaChain == 0 {
+		c.MaxDeltaChain = 8
+	}
+	if c.MaxChainFraction == 0 {
+		c.MaxChainFraction = 0.5
+	}
 	return c
 }
 
@@ -128,8 +151,20 @@ type command struct {
 }
 
 // Snapshot payloads.
+//
+// metaSnap doubles as the layered-checkpoint manifest (delta.go): Base
+// names the durable base snapshot, BaseID identifies it for remote
+// missing-layer streaming, and Chain lists the delta layers stacked on
+// it in application order. An empty Base means the legacy monolithic
+// "app" snapshot. The manifest write is the atomic commit point of every
+// checkpoint — layers are durable strictly before the manifest that
+// references them, so a crash anywhere in between leaves the previous,
+// consistent (base, chain) prefix in force.
 type metaSnap struct {
 	LastApplied paxos.InstanceID
+	Base        string
+	BaseID      int64
+	Chain       []LayerRef
 }
 
 type appSnap struct {
@@ -146,16 +181,42 @@ type appSnap struct {
 }
 
 // Core-level transfer messages (remote checkpoint fallback).
-type snapReqMsg struct{}
+//
+// HaveBaseID/HaveLayers describe the layered snapshot the requester
+// already restored from a previous reply (zero = none): a peer whose
+// current base matches streams only the missing delta layers instead of
+// re-sending the full base image.
+type snapReqMsg struct {
+	HaveBaseID int64
+	HaveLayers int
+}
 
 func (snapReqMsg) WireSize() int64 { return 48 }
 
+// snapReplyMsg carries a layered checkpoint: an optional base image plus
+// the delta layers stacked on it, in chain order. Legacy monolithic
+// checkpoints travel as a base with no deltas. FirstDelta is the chain
+// index of Deltas[0] on the serving replica (non-zero only when the
+// requester already held a prefix of the chain).
 type snapReplyMsg struct {
-	OK   bool
-	Snap appSnap
+	OK         bool
+	BaseID     int64
+	HasBase    bool
+	Base       appSnap
+	FirstDelta int
+	Deltas     []appSnap
 }
 
-func (m snapReplyMsg) WireSize() int64 { return 64 + m.Snap.Size }
+func (m snapReplyMsg) WireSize() int64 {
+	sz := int64(64)
+	if m.HasBase {
+		sz += m.Base.Size
+	}
+	for _, d := range m.Deltas {
+		sz += d.Size
+	}
+	return sz
+}
 
 // ErrNotReady is returned for submissions while the replica is still
 // recovering its application state.
@@ -191,6 +252,32 @@ type Replica struct {
 	hasCheckpoint  bool
 	checkpointing  bool
 
+	// Incremental-checkpoint state (delta.go): the in-memory mirror of
+	// the durable manifest. baseName == "" means no base yet (legacy
+	// monolithic checkpoints, or delta mode before its first base).
+	baseName   string
+	baseID     int64
+	baseSeq    int64 // monotone base counter, restored from the manifest
+	baseSize   int64
+	chain      []LayerRef
+	chainBytes int64
+	forceBase  bool // an ordered PartitionDrop poisoned the chain
+
+	// staleLayers are durable layers a remote restore superseded in
+	// memory while the on-disk manifest still references them; the next
+	// base write garbage-collects them once its manifest commits.
+	staleLayers []string
+
+	// Remote layered-restore bookkeeping: the identity of the last
+	// remotely fetched base, so a repeated fallback asks the serving
+	// peer for only the layers it has not applied yet.
+	remoteBaseID int64
+	remoteLayers int
+
+	// serving guards one in-flight snapshot serve per requester, so a
+	// retrying peer cannot queue redundant checkpoint reads on our disk.
+	serving map[env.NodeID]bool
+
 	snapAsked    bool
 	recheckArmed bool
 	applied      int64 // actions applied this incarnation (stats)
@@ -208,6 +295,12 @@ type Replica struct {
 	pubLastApplied atomic.Int64
 	pubApplied     atomic.Int64
 	pubEnv         atomic.Value // env.Env, set once at Start
+
+	// Checkpoint accounting (published): full base images and delta
+	// layers written this incarnation, and their total bytes.
+	pubCkptBases  atomic.Int64
+	pubCkptDeltas atomic.Int64
+	pubCkptBytes  atomic.Int64
 }
 
 type bufferedValue struct {
@@ -223,7 +316,11 @@ func NewReplica(cfg Config) *Replica {
 	if cfg.Machine == nil {
 		panic("core: Config.Machine is required")
 	}
-	return &Replica{cfg: cfg, pending: make(map[int64]func(any, error))}
+	return &Replica{
+		cfg:     cfg,
+		pending: make(map[int64]func(any, error)),
+		serving: make(map[env.NodeID]bool),
+	}
 }
 
 // Start implements env.Node: it boots consensus and runs recovery. The
@@ -241,9 +338,11 @@ func (r *Replica) Start(e env.Env) {
 
 	e.Storage().LoadSnapshot("meta", func(snap env.Snapshot, ok bool) {
 		floor := paxos.InstanceID(0)
+		var manifest metaSnap
 		if ok {
 			meta, good := snap.Data.(metaSnap)
 			if good {
+				manifest = meta
 				floor = meta.LastApplied + 1
 				r.recovering = true
 			}
@@ -269,6 +368,13 @@ func (r *Replica) Start(e env.Env) {
 			r.en.Boot(e, floor, nil)
 		}
 		loadApp := func() {
+			if manifest.Base != "" {
+				// Layered checkpoint: restore the base image, then
+				// apply each delta layer of the manifest chain in order
+				// (delta.go). Each layer read charges its own disk time.
+				r.loadChain(manifest, bootEngine)
+				return
+			}
 			e.Storage().LoadSnapshot("app", func(snap env.Snapshot, ok bool) {
 				if r.cfg.SequentialRecovery {
 					bootEngine()
@@ -342,7 +448,7 @@ func (r *Replica) Receive(from env.NodeID, msg env.Message) {
 	}
 	switch m := msg.(type) {
 	case snapReqMsg:
-		r.onSnapReq(from)
+		r.onSnapReq(from, m)
 	case snapReplyMsg:
 		r.onSnapReply(m)
 	}
@@ -511,10 +617,16 @@ func (r *Replica) maybeRecovered() {
 // --- Checkpointing -----------------------------------------------------
 
 func (r *Replica) scheduleCheckpoint() {
-	// Spread replicas' checkpoints across the interval so they do not
-	// pause in lockstep.
-	phase := time.Duration(int64(r.me)) * r.cfg.CheckpointInterval / time.Duration(8)
-	r.e.After(r.cfg.CheckpointInterval+phase, r.checkpointLoop)
+	r.e.After(r.cfg.CheckpointInterval+checkpointPhase(r.me, r.cfg.CheckpointInterval), r.checkpointLoop)
+}
+
+// checkpointPhase spreads replicas' checkpoints across the interval so
+// they do not pause in lockstep: me mod 8 eighths of the interval. The
+// modulus matters — without it, node IDs past 8 (every sharded
+// deployment) would delay their first checkpoint by whole multiples of
+// the interval and land groups of nodes back on the same phase.
+func checkpointPhase(me env.NodeID, interval time.Duration) time.Duration {
+	return time.Duration(int64(me)%8) * interval / 8
 }
 
 func (r *Replica) checkpointLoop() {
@@ -526,6 +638,11 @@ func (r *Replica) checkpointLoop() {
 // write it to stable storage, then compact the consensus log up to it
 // (minus the retention window that serves recovering peers). done, if
 // non-nil, runs when the checkpoint is durable.
+//
+// Machines implementing DeltaSnapshotter get the incremental pipeline
+// (delta.go) unless Config.FullCheckpoints forces the monolithic path:
+// steady-state checkpoints then write only the rows dirtied since the
+// previous one, as a delta layer chained onto the last full base.
 func (r *Replica) Checkpoint(done func()) {
 	// An initial checkpoint (nothing applied yet, nothing checkpointed)
 	// is meaningful: it makes the pre-populated state durable, which is
@@ -539,6 +656,10 @@ func (r *Replica) Checkpoint(done func()) {
 		return
 	}
 	r.checkpointing = true
+	if ds, ok := r.sm.(DeltaSnapshotter); ok && !r.cfg.FullCheckpoints {
+		r.checkpointLayered(ds, done)
+		return
+	}
 	data, size := r.sm.Snapshot()
 	snap := appSnap{
 		LastApplied: r.lastApplied,
@@ -551,6 +672,8 @@ func (r *Replica) Checkpoint(done func()) {
 		r.cfg.OnCheckpoint(size)
 	}
 	at := r.lastApplied
+	r.pubCkptBases.Add(1)
+	r.pubCkptBytes.Add(size)
 	r.e.Storage().SaveSnapshot("app", env.Snapshot{Data: snap, Size: size}, func(error) {
 		r.e.Storage().SaveSnapshot("meta", env.Snapshot{Data: metaSnap{LastApplied: at}, Size: 256}, func(error) {
 			r.lastCheckpoint = at
@@ -574,50 +697,114 @@ func (r *Replica) onCatchUpGap(firstAvail paxos.InstanceID) {
 		return
 	}
 	r.snapAsked = true
-	// Ask every member; first useful reply wins.
+	// Ask every member; first useful reply wins. The request advertises
+	// the layered snapshot we already hold so a matching peer streams
+	// only the layers we are missing.
 	for _, p := range r.members() {
 		if p != r.me {
-			r.e.Send(p, snapReqMsg{})
+			r.e.Send(p, snapReqMsg{HaveBaseID: r.remoteBaseID, HaveLayers: r.remoteLayers})
 		}
 	}
 }
 
-func (r *Replica) onSnapReq(from env.NodeID) {
-	// Serve our most recent durable checkpoint; reading it charges our
-	// disk, transferring it charges the network, both as in a real
-	// state transfer.
-	r.e.Storage().LoadSnapshot("app", func(snap env.Snapshot, ok bool) {
-		if !ok {
-			r.e.Send(from, snapReplyMsg{})
+func (r *Replica) onSnapReq(from env.NodeID, m snapReqMsg) {
+	// Serve our most recent durable checkpoint from disk — the manifest
+	// decides the layout, so a replica still restoring its own state (or
+	// one that has not built an in-memory chain yet) serves exactly what
+	// its storage holds. Reading charges our disk, the reply charges the
+	// network, both as in a real state transfer. One serve per requester
+	// at a time: a retrying peer must not queue redundant multi-second
+	// checkpoint reads on our disk.
+	if r.serving[from] {
+		return
+	}
+	r.serving[from] = true
+	send := func(reply snapReplyMsg) {
+		delete(r.serving, from)
+		r.e.Send(from, reply)
+	}
+	r.e.Storage().LoadSnapshot("meta", func(snap env.Snapshot, ok bool) {
+		manifest, good := snap.Data.(metaSnap)
+		if ok && good && manifest.Base != "" {
+			// Layered checkpoint: base + chain, streaming only the
+			// layers the requester is missing (delta.go).
+			r.serveLayered(from, manifest, m, send)
 			return
 		}
-		app, good := snap.Data.(appSnap)
-		if !good {
-			r.e.Send(from, snapReplyMsg{})
-			return
-		}
-		r.e.Send(from, snapReplyMsg{OK: true, Snap: app})
+		r.e.Storage().LoadSnapshot("app", func(snap env.Snapshot, ok bool) {
+			app, good := snap.Data.(appSnap)
+			if !ok || !good {
+				send(snapReplyMsg{})
+				return
+			}
+			send(snapReplyMsg{OK: true, HasBase: true, Base: app})
+		})
 	})
 }
 
 func (r *Replica) onSnapReply(m snapReplyMsg) {
-	if !m.OK || !r.appReady || m.Snap.LastApplied <= r.lastApplied {
-		r.snapAsked = false
+	r.snapAsked = false
+	if !m.OK || !r.appReady {
 		return
 	}
-	r.sm.Restore(m.Snap.Data)
+	// The restore target is the newest layer carried; a stale or empty
+	// reply (our state already covers it) is ignored.
+	var last *appSnap
+	if m.HasBase {
+		last = &m.Base
+	}
+	if n := len(m.Deltas); n > 0 {
+		last = &m.Deltas[n-1]
+	}
+	if last == nil || last.LastApplied <= r.lastApplied {
+		return
+	}
+	ds, capable := r.sm.(DeltaSnapshotter)
+	if len(m.Deltas) > 0 && !capable {
+		return // layered reply for a machine that cannot apply deltas
+	}
+	if m.HasBase {
+		r.sm.Restore(m.Base.Data)
+		r.remoteBaseID = m.BaseID
+		r.remoteLayers = 0
+	} else if m.BaseID == 0 || m.BaseID != r.remoteBaseID || m.FirstDelta > r.remoteLayers {
+		return // delta-only reply that does not extend our remote base
+	}
+	// Apply the layers we do not hold yet (a retransmitted prefix is
+	// skipped, not re-applied).
+	start := r.remoteLayers - m.FirstDelta
+	if start < 0 {
+		start = 0
+	}
+	for k := start; k < len(m.Deltas); k++ {
+		ds.ApplyDelta(m.Deltas[k].Data)
+	}
+	r.remoteLayers = m.FirstDelta + len(m.Deltas)
 	r.imported = nil
-	if len(m.Snap.Imported) > 0 {
-		r.imported = make(map[importKey]bool, len(m.Snap.Imported))
-		for k := range m.Snap.Imported {
+	if len(last.Imported) > 0 {
+		r.imported = make(map[importKey]bool, len(last.Imported))
+		for k := range last.Imported {
 			r.imported[k] = true
 		}
 	}
-	r.lastApplied = m.Snap.LastApplied
-	r.lastCheckpoint = m.Snap.LastApplied
-	r.en.SetDelivered(m.Snap.Delivered)
-	r.en.SkipTo(m.Snap.LastApplied + 1)
-	r.snapAsked = false
+	r.lastApplied = last.LastApplied
+	r.lastCheckpoint = last.LastApplied
+	// The local durable chain no longer describes the in-memory state,
+	// so the next checkpoint must fold into a fresh base. The superseded
+	// layers stay on disk until that base's manifest commits (the durable
+	// manifest still references them); the fold then deletes them.
+	if r.baseName != "" {
+		r.staleLayers = append(r.staleLayers, r.baseName)
+		for _, ref := range r.chain {
+			r.staleLayers = append(r.staleLayers, ref.Name)
+		}
+	}
+	r.baseName = ""
+	r.baseID = 0
+	r.chain = nil
+	r.chainBytes = 0
+	r.en.SetDelivered(last.Delivered)
+	r.en.SkipTo(last.LastApplied + 1)
 	r.maybeRecovered()
 }
 
@@ -647,6 +834,13 @@ func (r *Replica) LastApplied() paxos.InstanceID {
 
 // AppliedCount returns actions applied in this incarnation.
 func (r *Replica) AppliedCount() int64 { return r.pubApplied.Load() }
+
+// CheckpointStats reports this incarnation's checkpoint activity: full
+// base images written, delta layers written, and their total bytes.
+// Safe from any goroutine.
+func (r *Replica) CheckpointStats() (bases, deltas, bytes int64) {
+	return r.pubCkptBases.Load(), r.pubCkptDeltas.Load(), r.pubCkptBytes.Load()
+}
 
 // LeaderHint reports whether this replica led its consensus group at the
 // last publish tick (≤100 ms stale; safe from any goroutine). Use

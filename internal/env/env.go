@@ -118,6 +118,13 @@ type Storage interface {
 	// SaveSnapshot durably replaces the named snapshot.
 	SaveSnapshot(name string, snap Snapshot, done func(error))
 
+	// DeleteSnapshot durably removes the named snapshot; deleting an
+	// absent name is a no-op. Incremental checkpointing stores its
+	// layers as individually named snapshots (a base plus a chain of
+	// deltas, see internal/core) and garbage-collects superseded layers
+	// after a compaction commits.
+	DeleteSnapshot(name string, done func(error))
+
 	// LoadSnapshot asynchronously reads the named snapshot and calls
 	// done on the node's executor with ok=false if none was saved.
 	// Loading the checkpoint from disk is the dominant recovery cost in

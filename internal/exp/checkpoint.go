@@ -1,0 +1,105 @@
+package exp
+
+import (
+	"time"
+
+	"robuststore/internal/rbe"
+)
+
+// This file is the checkpoint experiment: the Figure 6 trade-off
+// (recovery time vs checkpoint interval) re-measured with the
+// incremental delta-chain pipeline against the paper's monolithic
+// full-state checkpoints. Full checkpoints couple the two costs — a
+// short interval means less log to replay at recovery but O(state) disk
+// writes every interval, which steal bandwidth and CPU from the
+// serving path; the incremental pipeline decouples them, making short
+// intervals (and therefore fast recovery) affordable.
+
+// CheckpointPoint is one cell of the curve: one checkpoint interval in
+// one mode.
+type CheckpointPoint struct {
+	IntervalSec int
+	Incremental bool
+
+	RecoverySec float64 // one-crash recovery duration (-1: none observed)
+	AWIPS       float64 // sustained throughput over the measurement
+
+	CkptWrites   int64   // steady-state checkpoints taken, cluster-wide
+	CkptMB       float64 // steady-state checkpoint bytes written (MB)
+	PerCkptMB    float64 // mean MB per checkpoint write
+	CkptMBPerSec float64 // write rate over the accounting window (MB/s)
+}
+
+// CheckpointCurveConfig parameterizes the sweep.
+type CheckpointCurveConfig struct {
+	Servers   int           // replication degree; default 5
+	StateMB   int           // initial state size; default 500
+	Browsers  int           // offered load; default 400
+	Measure   time.Duration // default 300 s
+	Intervals []int         // checkpoint intervals in seconds; default {15, 30, 60, 120}
+	Seed      uint64
+}
+
+func (c CheckpointCurveConfig) withDefaults() CheckpointCurveConfig {
+	if c.Servers == 0 {
+		c.Servers = 5
+	}
+	if c.StateMB == 0 {
+		c.StateMB = 500
+	}
+	if c.Browsers == 0 {
+		c.Browsers = 400
+	}
+	if c.Measure == 0 {
+		c.Measure = 300 * time.Second
+	}
+	if len(c.Intervals) == 0 {
+		c.Intervals = []int{15, 30, 60, 120}
+	}
+	return c
+}
+
+// CheckpointCurve sweeps the checkpoint interval under the one-crash
+// faultload, once with monolithic full-state checkpoints and once with
+// the incremental pipeline, at equal state size and offered load. Each
+// point reports the recovery duration, the sustained throughput and the
+// steady-state checkpoint disk traffic.
+func CheckpointCurve(cfg CheckpointCurveConfig) []CheckpointPoint {
+	cfg = cfg.withDefaults()
+	out := make([]CheckpointPoint, 0, 2*len(cfg.Intervals))
+	for _, iv := range cfg.Intervals {
+		for _, incremental := range []bool{false, true} {
+			r := Run(RunConfig{
+				Profile:               rbe.Shopping,
+				Servers:               cfg.Servers,
+				StateMB:               cfg.StateMB,
+				Fault:                 OneCrash,
+				Browsers:              cfg.Browsers,
+				Measure:               cfg.Measure,
+				CrashAt:               90,
+				Seed:                  cfg.Seed,
+				CheckpointIntervalSec: iv,
+				FullCheckpoints:       !incremental,
+			})
+			pt := CheckpointPoint{
+				IntervalSec: iv,
+				Incremental: incremental,
+				RecoverySec: -1,
+				AWIPS:       r.AWIPS,
+				CkptWrites:  r.CheckpointWrites,
+				CkptMB:      float64(r.CheckpointBytes) / 1e6,
+			}
+			if len(r.RecoveryDur) > 0 {
+				pt.RecoverySec = r.RecoveryDur[0]
+			}
+			if r.CheckpointWrites > 0 {
+				pt.PerCkptMB = pt.CkptMB / float64(r.CheckpointWrites)
+			}
+			if r.CheckpointWindowSec > 0 {
+				pt.CkptMBPerSec = pt.CkptMB / r.CheckpointWindowSec
+			}
+			out = append(out, pt)
+		}
+	}
+	return out
+}

@@ -285,6 +285,23 @@ func PrintShardedRecovery(w io.Writer, pts []ShardedRecoveryPoint) {
 	}
 }
 
+// PrintCheckpointCurve renders the recovery-time-vs-checkpoint-interval
+// trade-off, full vs incremental checkpoints side by side.
+func PrintCheckpointCurve(w io.Writer, pts []CheckpointPoint) {
+	fmt.Fprintln(w, "Checkpoint curve — recovery time vs interval, full vs incremental")
+	fmt.Fprintf(w, "%-10s %-12s %10s %8s %8s %12s %12s\n",
+		"interval", "mode", "rec(s)", "AWIPS", "ckpts", "MB/ckpt", "ckpt MB/s")
+	for _, p := range pts {
+		mode := "full"
+		if p.Incremental {
+			mode = "incremental"
+		}
+		fmt.Fprintf(w, "%-10d %-12s %10.1f %8.1f %8d %12.1f %12.2f\n",
+			p.IntervalSec, mode, p.RecoverySec, p.AWIPS, p.CkptWrites,
+			p.PerCkptMB, p.CkptMBPerSec)
+	}
+}
+
 // PrintAblation renders one ablation comparison.
 func PrintAblation(w io.Writer, a AblationResult) {
 	fmt.Fprintf(w, "Ablation %s:\n  %-16s %8.1f WIPS %8.1f ms\n  %-16s %8.1f WIPS %8.1f ms\n",

@@ -60,6 +60,15 @@ type RunConfig struct {
 	NoBatch  bool // disable command batching (ablation)
 	SeqRec   bool // disable parallel recovery (ablation)
 
+	// CheckpointIntervalSec overrides Treplica's checkpoint period
+	// (default: the paper's 60 s). The checkpoint experiments sweep it.
+	CheckpointIntervalSec int
+
+	// FullCheckpoints forces monolithic full-state checkpoints instead
+	// of the incremental delta-chain pipeline (the baseline side of
+	// exp.CheckpointCurve).
+	FullCheckpoints bool
+
 	// CrashAt overrides the faultload's first crash time (seconds from
 	// run start) for shortened recovery-time runs; 0 keeps the paper's
 	// times.
@@ -114,10 +123,11 @@ func (c RunConfig) faultload() Faultload {
 
 // key returns the memoization key.
 func (c RunConfig) key() string {
-	return fmt.Sprintf("%v/%d/%d/%d/%v/%d/%v/%d/%v/%v/%v/%.0f/%.0f/%v/%s",
+	return fmt.Sprintf("%v/%d/%d/%d/%v/%d/%v/%d/%v/%v/%v/%.0f/%.0f/%v/%d/%v/%s",
 		c.Profile, c.Servers, c.Shards, c.StateMB, c.Fault, c.Browsers, c.Measure,
 		c.Seed, c.NoFast, c.NoBatch, c.SeqRec, c.CrashAt,
-		c.RebalanceAtSec, c.CrashMidMigration, c.faultload().key())
+		c.RebalanceAtSec, c.CrashMidMigration,
+		c.CheckpointIntervalSec, c.FullCheckpoints, c.faultload().key())
 }
 
 // RunResult aggregates everything the paper reports about one run.
@@ -156,6 +166,16 @@ type RunResult struct {
 	Faults       int
 	Errors       int
 	Total        int
+
+	// Steady-state checkpoint I/O across all servers, measured from T0
+	// (the initial population install is excluded) until the run's drain
+	// tail ends — CheckpointWindowSec is that accounting window's length,
+	// the denominator for write-rate derivations. The incremental
+	// pipeline shrinks bytes-per-write from O(state) to O(writes since
+	// the last checkpoint).
+	CheckpointWrites    int64
+	CheckpointBytes     int64
+	CheckpointWindowSec float64
 
 	// CrashedServers lists the flat server index behind each entry of
 	// CrashSec, so sharded scenarios can attribute windows to groups.
@@ -236,14 +256,19 @@ func runOnce(cfg RunConfig) RunResult {
 		pcfg.BatchDelay = time.Microsecond
 		pcfg.MaxBatchCmds = 1
 	}
+	ckptIv := checkpointInterval
+	if cfg.CheckpointIntervalSec > 0 {
+		ckptIv = time.Duration(cfg.CheckpointIntervalSec) * time.Second
+	}
 	cluster := webtier.NewCluster(webtier.Config{
 		Servers:            cfg.Servers,
 		Shards:             cfg.Shards,
 		FastPaxos:          !cfg.NoFast,
 		Store:              proto.Clone,
 		Cal:                webtier.DefaultCalibration(),
-		CheckpointInterval: checkpointInterval,
+		CheckpointInterval: ckptIv,
 		RetainInstances:    retainInstances,
+		FullCheckpoints:    cfg.FullCheckpoints,
 		Paxos:              pcfg,
 		SequentialRecovery: cfg.SeqRec,
 		Seed:               cfg.Seed*1e6 + uint64(cfg.Servers)*1000 + uint64(cfg.Profile),
@@ -267,7 +292,10 @@ func runOnce(cfg RunConfig) RunResult {
 	}
 
 	// T0: the run's time origin (start of ramp-up; the paper's x axis).
+	// Checkpoint I/O before this point (the population install) is
+	// excluded from the steady-state accounting.
 	t0 := s.Now()
+	ckptW0, ckptB0 := cluster.CheckpointIO()
 	total := rampUp + cfg.Measure + rampDown
 	recGroups := cfg.Shards
 	if cfg.RebalanceAtSec > 0 {
@@ -339,7 +367,7 @@ func runOnce(cfg RunConfig) RunResult {
 	// Run to completion plus a drain tail for late recoveries.
 	s.RunUntil(t0.Add(total + 90*time.Second))
 
-	return collect(cfg, cluster, recorder, t0, total, crashes,
+	res := collect(cfg, cluster, recorder, t0, total, crashes,
 		func() []recoveryEvent {
 			out := make([]recoveryEvent, 0, len(recoveries))
 			for _, r := range recoveries {
@@ -347,6 +375,11 @@ func runOnce(cfg RunConfig) RunResult {
 			}
 			return out
 		}())
+	w, b := cluster.CheckpointIO()
+	res.CheckpointWrites = w - ckptW0
+	res.CheckpointBytes = b - ckptB0
+	res.CheckpointWindowSec = s.Now().Sub(t0).Seconds()
+	return res
 }
 
 type recoveryEvent struct {

@@ -370,6 +370,16 @@ func (s *storageView) SaveSnapshot(name string, snap env.Snapshot, done func(err
 	}
 }
 
+func (s *storageView) DeleteSnapshot(name string, done func(error)) {
+	st := s.n.storage
+	st.mu.Lock()
+	delete(st.snapshots, name)
+	st.mu.Unlock()
+	if done != nil {
+		s.done(func() { done(nil) })
+	}
+}
+
 func (s *storageView) LoadSnapshot(name string, done func(env.Snapshot, bool)) {
 	st := s.n.storage
 	st.mu.Lock()

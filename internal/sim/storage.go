@@ -226,6 +226,18 @@ func (d *diskStorage) SaveSnapshot(name string, snap env.Snapshot, done func(err
 	})
 }
 
+func (d *diskStorage) DeleteSnapshot(name string, done func(error)) {
+	// Deletion is metadata only: charge one sync, like Truncate.
+	doneAt := d.reserve(d.cfg.SyncLatency)
+	inc := d.node.incarnation
+	d.sim.schedule(doneAt, func() {
+		delete(d.snapshots, name)
+		if done != nil && d.node.alive && d.node.incarnation == inc {
+			done(nil)
+		}
+	})
+}
+
 func (d *diskStorage) LoadSnapshot(name string, done func(env.Snapshot, bool)) {
 	snap, ok := d.snapshots[name]
 	var bytes int64

@@ -157,6 +157,7 @@ func (s *Store) applyCreateCart(a CreateCartAction) CreateCartResult {
 	id := s.nextCart
 	s.carts[id] = Cart{ID: id, Time: a.Now}
 	s.nominalBytes += nominalCart
+	s.markCart(id)
 	return CreateCartResult{Cart: id}
 }
 
@@ -196,6 +197,7 @@ func (s *Store) applyCartUpdate(a CartUpdateAction) CartResult {
 	}
 	cart.Time = a.Now
 	s.carts[cart.ID] = cart
+	s.markCart(cart.ID)
 	return CartResult{Cart: cart}
 }
 
@@ -251,6 +253,7 @@ func (s *Store) applyCreateCustomer(a CreateCustomerAction) CreateCustomerResult
 	s.customers[id] = &c
 	s.byUName[c.UName] = id
 	s.nominalBytes += nominalCustomer
+	s.markCustomer(id)
 	return CreateCustomerResult{Customer: c}
 }
 
@@ -265,6 +268,7 @@ func (s *Store) addAddress(st1, st2, city, state, zip string, country CountryID)
 		Zip: zip, Country: country,
 	}
 	s.nominalBytes += nominalAddress
+	s.markAddress(id)
 	return id
 }
 
@@ -278,6 +282,7 @@ func (s *Store) applyRefreshSession(a RefreshSessionAction) any {
 	c.Login = a.Now
 	c.Expiration = a.Now.Add(2 * time.Hour)
 	s.customers[a.Customer] = &c
+	s.markCustomer(a.Customer)
 	return nil
 }
 
@@ -316,6 +321,7 @@ func (s *Store) applyBuyConfirm(a BuyConfirmAction) BuyConfirmResult {
 			cp.Stock += 21
 		}
 		s.items[cl.Item] = &cp
+		s.markItem(cl.Item)
 	}
 	if len(lines) == 0 {
 		return BuyConfirmResult{Err: "no valid items"}
@@ -353,14 +359,18 @@ func (s *Store) applyBuyConfirm(a BuyConfirmAction) BuyConfirmResult {
 	s.lastOrder[a.Customer] = oid
 	s.pushRecentOrder(&order)
 	s.nominalBytes += nominalOrder + nominalCC + int64(len(lines))*nominalLine
+	s.markOrder(oid)
+	s.markLastOrder(a.Customer)
 
 	// The purchased cart is consumed.
 	delete(s.carts, a.Cart)
 	s.nominalBytes -= nominalCart + int64(len(cart.Lines))*nominalCartLine
+	s.killCart(a.Cart)
 
 	cust.Balance += total
 	cust.YTDPmt += total
 	s.customers[a.Customer] = &cust
+	s.markCustomer(a.Customer)
 
 	return BuyConfirmResult{Order: oid, Total: total}
 }
@@ -411,6 +421,7 @@ func (s *Store) applyAdminUpdate(a AdminUpdateAction) any {
 	// window (deterministic: ordered scan, stable tie-break by item id).
 	item.Related = s.relatedFromOrders(a.Item)
 	s.items[a.Item] = &item
+	s.markItem(a.Item)
 	return nil
 }
 

@@ -134,6 +134,7 @@ func (s *Store) ImportOwned(data any) {
 			s.nominalBytes += nominalItem
 		}
 		s.items[id] = it
+		s.markItem(id)
 	}
 	for id, c := range snap.Customers {
 		if _, had := s.customers[id]; !had {
@@ -141,18 +142,21 @@ func (s *Store) ImportOwned(data any) {
 		}
 		s.customers[id] = c
 		s.byUName[c.UName] = id
+		s.markCustomer(id)
 	}
 	for id, a := range snap.Addresses {
 		if _, had := s.addresses[id]; !had {
 			s.nominalBytes += nominalAddress
 		}
 		s.addresses[id] = a
+		s.markAddress(id)
 	}
 	for id, o := range snap.Orders {
 		if _, had := s.orders[id]; !had {
 			s.nominalBytes += nominalOrderBytes(o)
 		}
 		s.orders[id] = o
+		s.markOrder(id)
 	}
 	for id, c := range snap.Carts {
 		if had, ok := s.carts[id]; ok {
@@ -161,9 +165,14 @@ func (s *Store) ImportOwned(data any) {
 		c.Lines = append([]CartLine(nil), c.Lines...)
 		s.carts[id] = c
 		s.nominalBytes += nominalCartBytes(c)
+		// An imported cart revives its ID: it must not stay shadowed by
+		// a tombstone recorded for a locally consumed cart.
+		delete(s.dirty.deadCarts, id)
+		s.markCart(id)
 	}
 	for cid, oid := range snap.LastOrder {
 		s.lastOrder[cid] = oid
+		s.markLastOrder(cid)
 	}
 	if snap.NextAddress > s.nextAddress {
 		s.nextAddress = snap.NextAddress
@@ -214,4 +223,8 @@ func (s *Store) DropOwned(owned func(key string) bool) {
 		}
 	}
 	s.bsCache = nil
+	// A wholesale drop cannot travel in a row-upsert delta: poison the
+	// chain so the next checkpoint folds into a fresh base (delta.go) —
+	// dropped rows must not resurrect from a stale delta layer.
+	s.deltaBase = false
 }

@@ -72,6 +72,9 @@ func (s *Store) Snapshot() (any, int64) {
 	for k, v := range s.lastOrder {
 		snap.LastOrder[k] = v
 	}
+	// A full snapshot anchors the incremental-checkpoint chain: the next
+	// SnapshotDelta is relative to this state (see delta.go).
+	s.resetDirty()
 	return snap, s.nominalBytes
 }
 
@@ -126,6 +129,8 @@ func (s *Store) Restore(data any) {
 	}
 	s.bsCache = nil
 	s.ordersSinceBS = 0
+	// The restored state is snapshot-exact: re-anchor delta tracking.
+	s.resetDirty()
 }
 
 // Execute implements core.StateMachine by dispatching to Apply.

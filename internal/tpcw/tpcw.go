@@ -230,6 +230,13 @@ type Store struct {
 	bsCache       map[string][]BestSeller
 
 	nominalBytes int64
+
+	// dirty tracks the rows mutated since the last checkpoint for
+	// incremental checkpoints (core.DeltaSnapshotter; see delta.go).
+	// deltaBase is false until a full Snapshot anchors the chain, and
+	// after a DropOwned (deltas cannot express wholesale deletion).
+	dirty     storeDirty
+	deltaBase bool
 }
 
 // bestSellerWindow is the TPC-W definition: best sellers are computed over

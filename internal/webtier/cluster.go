@@ -41,6 +41,12 @@ type Config struct {
 	CheckpointInterval time.Duration
 	RetainInstances    int64
 
+	// FullCheckpoints forces monolithic full-state checkpoints instead
+	// of the incremental delta-chain pipeline the bookstore machine
+	// supports (the comparison baseline of exp.CheckpointCurve; see
+	// core.Config.FullCheckpoints).
+	FullCheckpoints bool
+
 	// Paxos carries engine tuning overrides.
 	Paxos paxos.Config
 
@@ -90,6 +96,12 @@ type Cluster struct {
 	faults        int
 	interventions int
 	crashedAt     []time.Time
+
+	// Checkpoint I/O accounting across all servers (sim-loop confined;
+	// read after the run): writes counts checkpoints taken, bytes their
+	// written sizes — full images or delta layers.
+	ckptWrites int64
+	ckptBytes  int64
 
 	mig *clusterMigration // non-nil once Rebalance has been called
 }
@@ -219,6 +231,13 @@ func (c *Cluster) CrashedAt(i int) time.Time { return c.crashedAt[i] }
 // interventions (autonomy measure).
 func (c *Cluster) Faults() int        { return c.faults }
 func (c *Cluster) Interventions() int { return c.interventions }
+
+// CheckpointIO returns the cumulative checkpoint count and bytes written
+// across all servers (the steady-state disk cost the incremental
+// pipeline shrinks). Read it outside the simulation loop's execution.
+func (c *Cluster) CheckpointIO() (writes, bytes int64) {
+	return c.ckptWrites, c.ckptBytes
+}
 
 // ProxyStats returns error-cause diagnostics.
 func (c *Cluster) ProxyStats() ProxyStats {
