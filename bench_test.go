@@ -279,6 +279,36 @@ func BenchmarkCheckpointRecovery(b *testing.B) {
 	b.ReportMetric(t4.PerSec, "aps_4shards")
 }
 
+// BenchmarkPartitionRecovery measures the leader-isolation faultload on
+// the reference deployment: how long until the group detects the silent
+// leader and throughput is back (failover), how long to reabsorb the
+// stale ex-leader after the network heals, and the AWIPS level during and
+// after the partition window. Results are written to BENCH_partition.json
+// so the partition-recovery trajectory is machine-readable.
+func BenchmarkPartitionRecovery(b *testing.B) {
+	var pt exp.PartitionBenchPoint
+	for i := 0; i < b.N; i++ {
+		pt = exp.PartitionRecoveryBench(benchSeed)
+	}
+	exp.PrintPartitionBench(os.Stdout, pt)
+	report := struct {
+		DetectSec   float64 `json:"detect_failover_sec"`
+		ReabsorbSec float64 `json:"post_heal_reabsorb_sec"`
+		FFAWIPS     float64 `json:"awips_failure_free"`
+		WindowAWIPS float64 `json:"awips_during_window"`
+		PostAWIPS   float64 `json:"awips_after_heal"`
+	}{pt.DetectSec, pt.ReabsorbSec, pt.FFAWIPS, pt.WindowAWIPS, pt.PostAWIPS}
+	if data, err := json.MarshalIndent(report, "", "  "); err == nil {
+		if err := os.WriteFile("BENCH_partition.json", append(data, '\n'), 0o644); err != nil {
+			b.Logf("BENCH_partition.json not written: %v", err)
+		}
+	}
+	b.ReportMetric(pt.DetectSec, "detect_s")
+	b.ReportMetric(pt.ReabsorbSec, "reabsorb_s")
+	b.ReportMetric(pt.WindowAWIPS, "window_WIPS")
+	b.ReportMetric(pt.PostAWIPS, "post_WIPS")
+}
+
 // BenchmarkAblationFastVsClassicPaxos compares Treplica's Fast Paxos mode
 // against classic-only Paxos under the write-heavy ordering profile — the
 // protocol choice §2 motivates.

@@ -12,6 +12,13 @@
 //	experiment -run sharded -shards 2 -short
 //	experiment -run sharded-recovery
 //	experiment -run checkpoint -short
+//	experiment -run partition -shards 2 -short
+//	experiment -run slowdisk
+//
+// The partition mode runs the correlated network faultloads (leader
+// isolation, minority split, whole-group isolation, asymmetric one-way
+// loss) and slowdisk the failing-disk straggler; both print partition /
+// degradation windows beside the per-group dependability reports.
 //
 // The sharded modes run the faultload-DSL scenarios (one member of every
 // group, rolling crashes, whole-group outage) against a Shards×Servers
@@ -35,7 +42,7 @@ import (
 
 func main() {
 	var (
-		which   = flag.String("run", "all", "experiment: speedup | scaleup | one-crash | two-crashes | delayed | recovery-times | ablations | sharded | sharded-recovery | rebalance | checkpoint | all")
+		which   = flag.String("run", "all", "experiment: speedup | scaleup | one-crash | two-crashes | delayed | recovery-times | ablations | sharded | sharded-recovery | rebalance | checkpoint | partition | slowdisk | all")
 		seed    = flag.Uint64("seed", 1, "root seed (runs are deterministic per seed)")
 		servers = flag.Int("servers", 5, "replication degree for single-run modes")
 		profile = flag.String("profile", "shopping", "workload profile for single-run modes: browsing | shopping | ordering")
@@ -77,6 +84,33 @@ func run(which string, seed uint64, servers int, profileName string, shards int,
 			exp.PrintShardedDependability(out, r)
 			fmt.Fprintln(out)
 		}
+	case "partition":
+		// Correlated network faults: leader isolation, minority split,
+		// whole-group isolation (proxy path severed), asymmetric one-way
+		// loss — partition windows on the paper's x-axis with per-group
+		// dependability reports.
+		cfg := exp.ShardedSuiteConfig{Shards: shards, Seed: seed}
+		if short {
+			cfg.Browsers = 300
+			cfg.Measure = 150 * time.Second
+		}
+		for _, r := range exp.PartitionSuite(cfg) {
+			exp.PrintHistogram(out, r)
+			exp.PrintShardedDependability(out, r)
+			fmt.Fprintln(out)
+		}
+	case "slowdisk":
+		// The failing-disk straggler: one member's disk degraded live,
+		// dragging group commit and checkpoints without tripping crash
+		// detection.
+		cfg := exp.ShardedSuiteConfig{Shards: shards, Seed: seed}
+		if short {
+			cfg.Browsers = 300
+			cfg.Measure = 150 * time.Second
+		}
+		r := exp.SlowDiskScenario(cfg)
+		exp.PrintHistogram(out, r)
+		exp.PrintShardedDependability(out, r)
 	case "rebalance":
 		// Resharding under fault: add a group live at t=240 s, kill a
 		// source-group member mid-copy, report the migration window and
@@ -151,7 +185,7 @@ func run(which string, seed uint64, servers int, profileName string, shards int,
 	case "ablations":
 		exp.PrintAblation(out, exp.AblationFastPaxos(seed))
 	case "all":
-		for _, w := range []string{"speedup", "scaleup", "one-crash", "two-crashes", "delayed", "recovery-times", "sharded", "sharded-recovery", "rebalance", "checkpoint", "ablations"} {
+		for _, w := range []string{"speedup", "scaleup", "one-crash", "two-crashes", "delayed", "recovery-times", "sharded", "sharded-recovery", "rebalance", "checkpoint", "partition", "slowdisk", "ablations"} {
 			fmt.Fprintln(out)
 			if err := run(w, seed, servers, profileName, shards, short); err != nil {
 				return err

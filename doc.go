@@ -60,6 +60,26 @@
 // performability and recovery-window reports (RunResult.PerGroup,
 // cmd/experiment -run sharded, BenchmarkShardedRecovery).
 //
+// Faultloads reach beyond crashes — the paper's "other fault types"
+// future work: OpPartition/OpHeal schedule network partitions (symmetric
+// or asymmetric one-way loss, victims chosen by the selectors plus the
+// late-bound Leader(group) and quorum-preserving Minority(group)), and
+// OpDiskSlow/OpDiskRestore degrade a victim's disk live by a factor (the
+// failing-disk straggler that drags group commit and checkpoints without
+// tripping crash detection). Partitions are handle-based and composable
+// on both runtimes — the simulator refcounts directed link blocks, and
+// livenet gained an equivalent message-filter layer, so the same
+// scenarios run on real goroutines — and active partition sets persist:
+// a node added mid-partition (live rebalance) joins the majority side
+// instead of straddling the split. The standard scenarios — leader
+// isolation, minority split, whole-group isolation (the proxy↔group path
+// severed), asymmetric one-way loss, slow-disk straggler — report
+// partition/degradation windows beside the recovery windows
+// (metrics.FaultWindow, GroupReport.PartitionSec/DegradedSec;
+// cmd/experiment -run partition | slowdisk), and
+// BenchmarkPartitionRecovery writes BENCH_partition.json with
+// detection/failover and post-heal reabsorption times.
+//
 // See README.md for the layout, DESIGN.md for the system inventory and
 // per-experiment index, and EXPERIMENTS.md for paper-vs-measured results.
 // The root package holds only the benchmark harness (bench_test.go);

@@ -68,6 +68,48 @@ type Env interface {
 	Logf(format string, args ...any)
 }
 
+// LinkDir selects which directions of traffic a partition blocks, relative
+// to the isolated node set. Asymmetric partitions model one-way loss (a
+// half-open switch port, an asymmetric routing failure): the victims can
+// still hear the cluster but not answer it, or the reverse.
+type LinkDir int
+
+const (
+	// LinkBothWays blocks traffic in both directions — the classic
+	// symmetric network partition.
+	LinkBothWays LinkDir = iota
+
+	// LinkOutboundOnly blocks only messages FROM the isolated set to the
+	// rest: victims receive requests but their replies are lost.
+	LinkOutboundOnly
+
+	// LinkInboundOnly blocks only messages TO the isolated set from the
+	// rest: victims can speak but hear nothing.
+	LinkInboundOnly
+)
+
+// String implements fmt.Stringer.
+func (d LinkDir) String() string {
+	switch d {
+	case LinkBothWays:
+		return "both"
+	case LinkOutboundOnly:
+		return "outbound"
+	case LinkInboundOnly:
+		return "inbound"
+	default:
+		return "unknown"
+	}
+}
+
+// PartitionHandle names one composable set of link blocks installed by a
+// runtime's Partition call. Healing a handle removes exactly the blocks it
+// installed: overlapping partitions compose, and healing one never
+// disturbs another. Heal is idempotent.
+type PartitionHandle interface {
+	Heal()
+}
+
 // Rand is the subset of xrand.Rand the protocols need. It is an interface
 // so runtimes can inject instrumented streams.
 type Rand interface {

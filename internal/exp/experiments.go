@@ -193,6 +193,29 @@ func ShardedFaultloads(shards int) []Faultload {
 	}
 }
 
+// PartitionFaultloads returns the standard correlated-fault scenario set,
+// all on the paper's x-axis with a 90 s partition window opening at
+// t=240 s: the group-0 leader isolated (failover without a crash), a
+// quorum-preserving minority split, a whole group isolated from the proxy
+// (client-slice outage with every member alive), and asymmetric one-way
+// loss on a single member. With several shards the untouched groups keep
+// serving — the per-group report shows the blast radius.
+func PartitionFaultloads() []Faultload {
+	return []Faultload{
+		LeaderIsolation(0, 240, 330),
+		MinoritySplit(0, 240, 330),
+		GroupIsolation(0, 240, 330),
+		AsymmetricLoss(0, 240, 330),
+	}
+}
+
+// SlowDiskFaultload is the straggler scenario: one member of group 0 runs
+// on a disk degraded by DefaultSlowFactor from t=240 s until a swap at
+// t=420 s.
+func SlowDiskFaultload() Faultload {
+	return SlowDiskStraggler(0, 0, 240, 420)
+}
+
 // ShardedSuiteConfig parameterizes the sharded dependability suite.
 type ShardedSuiteConfig struct {
 	Shards   int           // default 2
@@ -237,6 +260,126 @@ func ShardedSuite(cfg ShardedSuiteConfig) []RunResult {
 		}))
 	}
 	return out
+}
+
+// PartitionSuite runs every correlated partition scenario against one
+// deployment and returns the per-scenario results, each carrying the
+// fault windows (RunResult.FaultWindows) and per-group dependability
+// rows.
+func PartitionSuite(cfg ShardedSuiteConfig) []RunResult {
+	cfg = cfg.withDefaults()
+	scenarios := PartitionFaultloads()
+	out := make([]RunResult, 0, len(scenarios))
+	for i := range scenarios {
+		fl := scenarios[i]
+		out = append(out, Run(RunConfig{
+			Profile:   rbe.Shopping,
+			Servers:   cfg.Servers,
+			Shards:    cfg.Shards,
+			StateMB:   cfg.StateMB,
+			Faultload: &fl,
+			Browsers:  cfg.Browsers,
+			Measure:   cfg.Measure,
+			Seed:      cfg.Seed,
+		}))
+	}
+	return out
+}
+
+// SlowDiskScenario runs the straggler-disk faultload against one
+// deployment: the degraded member drags its group's commit pipeline
+// whenever it sits in the phase-2 quorum without ever tripping crash
+// detection.
+func SlowDiskScenario(cfg ShardedSuiteConfig) RunResult {
+	cfg = cfg.withDefaults()
+	fl := SlowDiskFaultload()
+	return Run(RunConfig{
+		Profile:   rbe.Shopping,
+		Servers:   cfg.Servers,
+		Shards:    cfg.Shards,
+		StateMB:   cfg.StateMB,
+		Faultload: &fl,
+		Browsers:  cfg.Browsers,
+		Measure:   cfg.Measure,
+		Seed:      cfg.Seed,
+	})
+}
+
+// PartitionBenchPoint is the leader-isolation benchmark's summary: how
+// fast the group detects the silent leader and re-elects (throughput back
+// during the window), how fast it reabsorbs the stale ex-leader after the
+// heal, and the AWIPS levels before, during and after the window.
+type PartitionBenchPoint struct {
+	DetectSec   float64 // window open → throughput ≥ threshold; -1: never within the run
+	ReabsorbSec float64 // heal → throughput ≥ threshold; -1: never within the run
+	FFAWIPS     float64 // failure-free level
+	WindowAWIPS float64 // mean during the partition window
+	PostAWIPS   float64 // mean after the heal
+}
+
+// PartitionRecoveryBench measures leader-isolation failover on the
+// reference single-group deployment (5 replicas, shortened measurement).
+func PartitionRecoveryBench(seed uint64) PartitionBenchPoint {
+	fl := LeaderIsolation(0, 240, 330)
+	r := Run(RunConfig{
+		Profile:   rbe.Shopping,
+		Servers:   5,
+		StateMB:   300,
+		Faultload: &fl,
+		Browsers:  600,
+		Measure:   300 * time.Second,
+		Seed:      seed,
+	})
+	// Recovery times default to the "never recovered within the run"
+	// sentinel, so a liveness regression (e.g. the stale-leader-rejoin
+	// livelock this benchmark was built to track) publishes -1, not a
+	// perfect 0-second score.
+	pt := PartitionBenchPoint{
+		DetectSec:   -1,
+		ReabsorbSec: -1,
+		FFAWIPS:     r.Perf.FailureFreeAWIPS,
+		WindowAWIPS: r.Perf.RecoveryAWIPS,
+	}
+	if len(r.FaultWindows) == 0 {
+		return pt
+	}
+	w := r.FaultWindows[0]
+	threshold := 0.7 * pt.FFAWIPS
+	if at := seriesRecoversAt(r.Series, int(w.FromSec)+1, threshold); at >= 0 {
+		if pt.DetectSec = float64(at) - w.FromSec; pt.DetectSec < 0 {
+			pt.DetectSec = 0
+		}
+	}
+	if w.ToSec > 0 {
+		if at := seriesRecoversAt(r.Series, int(w.ToSec)+1, threshold); at >= 0 {
+			if pt.ReabsorbSec = float64(at) - w.ToSec; pt.ReabsorbSec < 0 {
+				pt.ReabsorbSec = 0
+			}
+		}
+		end := len(r.Series)
+		if e := int(w.ToSec) + 1; e < end {
+			pt.PostAWIPS = stats.Mean(r.Series[e:end])
+		}
+	}
+	return pt
+}
+
+// seriesRecoversAt returns the first second at/after floor where
+// throughput is back AND stays back: the bucket itself and the mean of
+// the three buckets starting there reach target. Looking forward (never
+// before floor) keeps full one-second resolution without letting healthy
+// pre-phase seconds mask a dip or one jittery bucket declare recovery.
+// Returns -1 when throughput never sustains target within the run.
+func seriesRecoversAt(series []float64, floor int, target float64) int {
+	if floor < 0 {
+		floor = 0
+	}
+	for i := floor; i+2 < len(series); i++ {
+		if series[i] >= target && stats.Mean(series[i:i+3]) >= target {
+			return i
+		}
+	}
+	return -1
 }
 
 // ShardedRecoveryPoint is one point of the recovery-vs-shard-count curve:

@@ -3,6 +3,8 @@ package exp
 import (
 	"fmt"
 	"strings"
+
+	"robuststore/internal/env"
 )
 
 // This file defines the composable faultload DSL: a Faultload is a
@@ -12,6 +14,12 @@ import (
 // single-group deployment, and the same vocabulary scales them out to the
 // sharded web tier: one member of one group, one member of every group
 // (simultaneous or rolling), or a whole group down until manual recovery.
+//
+// Beyond crashes — the paper's "other fault types" future work — the DSL
+// schedules correlated fault operations: network partitions
+// (OpPartition/OpHeal, symmetric or one-way, composable via handles) and
+// disk degradations (OpDiskSlow/OpDiskRestore, the failing-disk straggler
+// that drags the group-commit pipeline and checkpoint writes).
 
 // FaultOp is what a fault event does to its victims.
 type FaultOp int
@@ -30,6 +38,29 @@ const (
 	// OpRecover restarts the victims by operator intervention, counting
 	// against the autonomy measure.
 	OpRecover
+
+	// OpPartition isolates the victims from the rest of the cluster —
+	// the proxy included, so isolating a whole group severs the
+	// proxy↔group path. The event's Dir selects symmetric isolation or
+	// asymmetric one-way loss. Partitions opened under different
+	// selectors compose; OpHeal with the same selector heals exactly this
+	// one.
+	OpPartition
+
+	// OpHeal removes the partition opened by the OpPartition event with
+	// the same selector (the network repairs itself; no operator action,
+	// so it does not count against autonomy).
+	OpHeal
+
+	// OpDiskSlow degrades the victims' disks live by the event's Factor:
+	// seek time multiplies by it, bandwidth divides by it — a failing
+	// drive in constant retry. The degradation survives crash/restart of
+	// the victim (it belongs to the hardware) until OpDiskRestore.
+	OpDiskSlow
+
+	// OpDiskRestore returns the victims' disks to their configured
+	// performance (the drive was swapped).
+	OpDiskRestore
 )
 
 // String implements fmt.Stringer.
@@ -41,6 +72,14 @@ func (o FaultOp) String() string {
 		return "crash-no-restart"
 	case OpRecover:
 		return "recover"
+	case OpPartition:
+		return "partition"
+	case OpHeal:
+		return "heal"
+	case OpDiskSlow:
+		return "disk-slow"
+	case OpDiskRestore:
+		return "disk-restore"
 	default:
 		return "unknown"
 	}
@@ -62,6 +101,18 @@ const (
 	// ScopeWholeGroup hits every member of group Group — quorum loss for
 	// that client slice until the members come back.
 	ScopeWholeGroup
+
+	// ScopeGroupLeader hits the member currently leading group Group's
+	// consensus. It is late-bound: the victim is resolved when the event
+	// fires (the leader is run state, not layout), falling back to the
+	// rotation's slot-0 victim when no leader is established.
+	ScopeGroupLeader
+
+	// ScopeGroupMinority hits the largest minority of group Group —
+	// ⌊(Servers−1)/2⌋ members starting at the rotation's slot-0 victim —
+	// so the remaining majority keeps quorum. At Servers=1 the minority
+	// is empty and the event is a no-op.
+	ScopeGroupMinority
 )
 
 // Selector picks victim servers from the deployment layout. Victims
@@ -89,6 +140,17 @@ func WholeGroup(group int) Selector {
 	return Selector{Scope: ScopeWholeGroup, Group: group}
 }
 
+// Leader selects the member leading one group's consensus at the moment
+// the event fires.
+func Leader(group int) Selector {
+	return Selector{Scope: ScopeGroupLeader, Group: group}
+}
+
+// Minority selects the largest quorum-preserving minority of one group.
+func Minority(group int) Selector {
+	return Selector{Scope: ScopeGroupMinority, Group: group}
+}
+
 // key renders the selector into the run memoization key.
 func (sel Selector) key() string {
 	switch sel.Scope {
@@ -98,6 +160,10 @@ func (sel Selector) key() string {
 		return fmt.Sprintf("e%d", sel.Slot)
 	case ScopeWholeGroup:
 		return fmt.Sprintf("g%d", sel.Group)
+	case ScopeGroupLeader:
+		return fmt.Sprintf("l%d", sel.Group)
+	case ScopeGroupMinority:
+		return fmt.Sprintf("n%d", sel.Group)
 	default:
 		return "?"
 	}
@@ -112,7 +178,22 @@ type FaultEvent struct {
 
 	Op     FaultOp
 	Select Selector
+
+	// Dir selects the blocked direction of an OpPartition relative to
+	// the victims (default LinkBothWays — symmetric isolation). Ignored
+	// by every other op.
+	Dir env.LinkDir
+
+	// Factor is OpDiskSlow's degradation multiple (seek × Factor,
+	// bandwidth ÷ Factor); 0 means DefaultSlowFactor. Ignored by every
+	// other op.
+	Factor float64
 }
+
+// DefaultSlowFactor is OpDiskSlow's degradation when the event leaves
+// Factor zero: an 8× slower disk, the failing-but-not-dead drive whose
+// group-commit flushes drag the whole phase-2 quorum.
+const DefaultSlowFactor = 8
 
 // Faultload is a composable crash/recovery schedule: the generalization
 // of the paper's FaultKind enum to victim selectors × event times.
@@ -129,16 +210,33 @@ func (f Faultload) key() string {
 	parts := make([]string, 0, len(f.Events)+1)
 	parts = append(parts, f.Name)
 	for _, ev := range f.Events {
-		parts = append(parts, fmt.Sprintf("%.0f:%d:%s", ev.AtSec, ev.Op, ev.Select.key()))
+		k := fmt.Sprintf("%.0f:%d:%s", ev.AtSec, ev.Op, ev.Select.key())
+		// Non-default direction/factor extend the key; crash-only
+		// faultloads keep their historical keys byte for byte. The
+		// factor is normalized the way resolve applies it, so Factor 0
+		// and an explicit DefaultSlowFactor memoize as the same run.
+		if ev.Dir != env.LinkBothWays {
+			k += fmt.Sprintf(":d%d", ev.Dir)
+		}
+		f := ev.Factor
+		if ev.Op == OpDiskSlow && f == 0 {
+			f = DefaultSlowFactor
+		}
+		if f != 0 {
+			k += fmt.Sprintf(":x%g", f)
+		}
+		parts = append(parts, k)
 	}
 	return strings.Join(parts, ",")
 }
 
-// shifted returns the faultload with every crash event moved so the first
-// crash lands at firstCrashSec, preserving relative spacing — the CrashAt
-// override of shortened recovery-time runs. Recovery events keep their
-// absolute times, matching the enum faultloads (the §5.6 intervention
-// stays at t=390 s).
+// shifted returns the faultload with every fault event (crashes,
+// partitions, heals, disk degradations) moved so the first lands at
+// firstCrashSec, preserving relative spacing — the CrashAt override of
+// shortened recovery-time runs. Heals shift with their partitions, so
+// window widths survive the shift. Recovery events keep their absolute
+// times, matching the enum faultloads (the §5.6 intervention stays at
+// t=390 s).
 func (f Faultload) shifted(firstCrashSec float64) Faultload {
 	first := -1.0
 	for _, ev := range f.Events {
@@ -222,14 +320,83 @@ func GroupOutage(group int, atSec, recoverSec float64) Faultload {
 	}}
 }
 
+// --- Correlated fault scenarios ----------------------------------------
+
+// LeaderIsolation partitions group's current consensus leader away from
+// the cluster (proxy included) at atSec and heals the network at healSec:
+// the group must detect the silent leader, elect a successor and keep its
+// quorum serving, then reabsorb the stale ex-leader after the heal.
+func LeaderIsolation(group int, atSec, healSec float64) Faultload {
+	return Faultload{Name: "leader-isolation", Events: []FaultEvent{
+		{AtSec: atSec, Op: OpPartition, Select: Leader(group)},
+		{AtSec: healSec, Op: OpHeal, Select: Leader(group)},
+	}}
+}
+
+// MinoritySplit partitions the largest quorum-preserving minority of one
+// group away at atSec, healing at healSec: the majority side keeps
+// committing (agreement must hold across the split), and the isolated
+// members catch back up after the heal.
+func MinoritySplit(group int, atSec, healSec float64) Faultload {
+	return Faultload{Name: "minority-split", Events: []FaultEvent{
+		{AtSec: atSec, Op: OpPartition, Select: Minority(group)},
+		{AtSec: healSec, Op: OpHeal, Select: Minority(group)},
+	}}
+}
+
+// GroupIsolation partitions an entire group away from the cluster —
+// severing the proxy↔group path, so its client slice sees a full outage
+// with every member still running — and heals at healSec. Unlike
+// GroupOutage no state is lost and no recovery replay is needed: service
+// must resume at network speed.
+func GroupIsolation(group int, atSec, healSec float64) Faultload {
+	return Faultload{Name: "group-isolation", Events: []FaultEvent{
+		{AtSec: atSec, Op: OpPartition, Select: WholeGroup(group)},
+		{AtSec: healSec, Op: OpHeal, Select: WholeGroup(group)},
+	}}
+}
+
+// AsymmetricLoss applies one-way loss to one member of one group (the
+// rotation's slot-0 victim): from atSec to healSec its outbound messages
+// vanish while inbound still arrive — the half-open link where the proxy
+// keeps dispatching into a server whose replies never return.
+func AsymmetricLoss(group int, atSec, healSec float64) Faultload {
+	return Faultload{Name: "asymmetric-loss", Events: []FaultEvent{
+		{AtSec: atSec, Op: OpPartition, Select: Member(group, 0), Dir: env.LinkOutboundOnly},
+		{AtSec: healSec, Op: OpHeal, Select: Member(group, 0)},
+	}}
+}
+
+// SlowDiskStraggler degrades the disk of one member of one group by
+// factor (0 → DefaultSlowFactor) from atSec to restoreSec: the straggler
+// drags the group-commit pipeline whenever it sits in the phase-2 quorum
+// and its checkpoint writes crawl, without ever failing outright — the
+// fault crash detection cannot see.
+func SlowDiskStraggler(group int, factor float64, atSec, restoreSec float64) Faultload {
+	return Faultload{Name: "slow-disk", Events: []FaultEvent{
+		{AtSec: atSec, Op: OpDiskSlow, Select: Member(group, 0), Factor: factor},
+		{AtSec: restoreSec, Op: OpDiskRestore, Select: Member(group, 0)},
+	}}
+}
+
 // --- Resolution --------------------------------------------------------
 
 // resolvedEvent is a fault event with its victims bound to flat server
-// indices of a concrete deployment.
+// indices of a concrete deployment. Leader selectors stay late-bound:
+// leaderOf names the group whose current leader is looked up when the
+// event fires (victims then holds the fallback).
 type resolvedEvent struct {
 	atSec   float64
 	op      FaultOp
 	victims []int
+	// selKey pairs OpHeal/OpDiskRestore with the OpPartition/OpDiskSlow
+	// that opened the window (the original selector's key).
+	selKey string
+	// leaderOf is the group whose live leader supersedes victims at fire
+	// time; -1 for statically resolved selectors.
+	leaderOf int
+	dir      env.LinkDir
+	factor   float64
 }
 
 // resolve binds the faultload's selectors to flat (group-major) server
@@ -247,7 +414,17 @@ func (f Faultload) resolve(cfg RunConfig) []resolvedEvent {
 	}
 	out := make([]resolvedEvent, 0, len(f.Events))
 	for _, ev := range f.Events {
-		re := resolvedEvent{atSec: ev.AtSec, op: ev.Op}
+		re := resolvedEvent{
+			atSec:    ev.AtSec,
+			op:       ev.Op,
+			selKey:   ev.Select.key(),
+			leaderOf: -1,
+			dir:      ev.Dir,
+			factor:   ev.Factor,
+		}
+		if re.op == OpDiskSlow && re.factor == 0 {
+			re.factor = DefaultSlowFactor
+		}
 		sel := ev.Select
 		switch sel.Scope {
 		case ScopeGroupMember:
@@ -264,8 +441,40 @@ func (f Faultload) resolve(cfg RunConfig) []resolvedEvent {
 			for m := 0; m < cfg.Servers; m++ {
 				re.victims = append(re.victims, g*cfg.Servers+m)
 			}
+		case ScopeGroupLeader:
+			// Late-bound: the leader is run state. The rotation's slot-0
+			// victim is the fallback when no leader is established at
+			// fire time.
+			g := groupOf(sel)
+			re.leaderOf = g
+			v := pickVictimsInGroup(cfg, g)
+			re.victims = []int{g*cfg.Servers + v[0]}
+		case ScopeGroupMinority:
+			g := groupOf(sel)
+			m := (cfg.Servers - 1) / 2 // largest quorum-preserving minority
+			first := pickVictimsInGroup(cfg, g)[0]
+			for i := 0; i < m; i++ {
+				re.victims = append(re.victims, g*cfg.Servers+(first+i)%cfg.Servers)
+			}
 		}
 		out = append(out, re)
+	}
+	return out
+}
+
+// groups returns the sorted distinct group indices of the event's victims
+// (for the leader scope, the late-bound group).
+func (re resolvedEvent) groups(servers int) []int {
+	if re.leaderOf >= 0 {
+		return []int{re.leaderOf}
+	}
+	seen := map[int]bool{}
+	var out []int
+	for _, v := range re.victims {
+		if g := v / servers; !seen[g] {
+			seen[g] = true
+			out = append(out, g)
+		}
 	}
 	return out
 }

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"robuststore/internal/env"
 	"robuststore/internal/rbe"
 )
 
@@ -166,4 +167,219 @@ func TestResolveRejectsOutOfRangeGroup(t *testing.T) {
 	}()
 	fl := GroupOutage(3, 240, 390)
 	fl.resolve(RunConfig{Servers: 3, Shards: 2, Profile: rbe.Shopping})
+}
+
+// TestCrashOnlyKeysUnchanged pins the run-memoization keys of the crash
+// faultloads to their pre-correlated-ops form, byte for byte: adding the
+// partition/disk vocabulary must not disturb how crash-only schedules
+// resolve or memoize.
+func TestCrashOnlyKeysUnchanged(t *testing.T) {
+	want := map[FaultKind]string{
+		OneCrash:        "one-crash,270:0:m0.0",
+		TwoCrashes:      "two-crashes,240:0:m0.0,270:0:m0.1",
+		DelayedRecovery: "delayed-recovery,240:0:m0.0,240:1:m0.1,390:2:m0.1",
+	}
+	for kind, w := range want {
+		if got := PaperFaultload(kind).key(); got != w {
+			t.Errorf("%v key = %q, want %q", kind, got, w)
+		}
+	}
+}
+
+// TestCorrelatedFaultloadResolve: the new ops resolve with paired
+// selector keys (heal ↔ partition, restore ↔ slow), directions, factors,
+// late-bound leaders and quorum-preserving minorities.
+func TestCorrelatedFaultloadResolve(t *testing.T) {
+	cfg := RunConfig{Servers: 5, Shards: 2, Seed: 1, Profile: rbe.Shopping}
+
+	li := LeaderIsolation(0, 240, 330).resolve(cfg)
+	if len(li) != 2 || li[0].op != OpPartition || li[1].op != OpHeal {
+		t.Fatalf("leader isolation resolved to %+v", li)
+	}
+	if li[0].selKey != li[1].selKey {
+		t.Fatalf("heal not paired with its partition: %q vs %q", li[0].selKey, li[1].selKey)
+	}
+	if li[0].leaderOf != 0 {
+		t.Fatalf("leader selector not late-bound: %+v", li[0])
+	}
+	if len(li[0].victims) != 1 {
+		t.Fatalf("leader fallback victim missing: %+v", li[0])
+	}
+
+	ms := MinoritySplit(1, 240, 330).resolve(cfg)
+	if len(ms[0].victims) != 2 { // (5-1)/2
+		t.Fatalf("minority of a 5-group = %v, want 2 members", ms[0].victims)
+	}
+	for _, v := range ms[0].victims {
+		if v/cfg.Servers != 1 {
+			t.Fatalf("minority victim %d outside group 1", v)
+		}
+	}
+	if one := MinoritySplit(0, 1, 2).resolve(RunConfig{Servers: 1, Shards: 1, Profile: rbe.Shopping}); len(one[0].victims) != 0 {
+		t.Fatalf("minority of a 1-group must be empty, got %v", one[0].victims)
+	}
+
+	al := AsymmetricLoss(0, 240, 330).resolve(cfg)
+	if al[0].dir != env.LinkOutboundOnly {
+		t.Fatalf("asymmetric loss direction = %v", al[0].dir)
+	}
+	if al[1].op != OpHeal || al[1].selKey != al[0].selKey {
+		t.Fatalf("asymmetric heal not paired: %+v", al)
+	}
+
+	sd := SlowDiskStraggler(0, 0, 240, 420).resolve(cfg)
+	if sd[0].op != OpDiskSlow || sd[0].factor != DefaultSlowFactor {
+		t.Fatalf("slow disk default factor not applied: %+v", sd[0])
+	}
+	if sd[1].op != OpDiskRestore || sd[1].selKey != sd[0].selKey {
+		t.Fatalf("disk restore not paired: %+v", sd)
+	}
+	if got := SlowDiskStraggler(0, 16, 240, 420).resolve(cfg)[0].factor; got != 16 {
+		t.Fatalf("explicit factor = %v, want 16", got)
+	}
+
+	gi := GroupIsolation(1, 240, 330).resolve(cfg)
+	if len(gi[0].victims) != cfg.Servers {
+		t.Fatalf("group isolation victims = %v", gi[0].victims)
+	}
+
+	// CrashAt shifting moves the partition and its heal together,
+	// preserving the window width.
+	sh := LeaderIsolation(0, 240, 330).shifted(90)
+	if sh.Events[0].AtSec != 90 || sh.Events[1].AtSec != 180 {
+		t.Fatalf("shifted window = %v..%v, want 90..180", sh.Events[0].AtSec, sh.Events[1].AtSec)
+	}
+}
+
+// TestPartitionScenarioRun: a leader-isolation run end to end on the
+// simulator — one closed partition window on the x-axis, the group's
+// partitioned time accounted in its report, no crashes, availability
+// intact (the quorum keeps serving), and one injected fault counted.
+func TestPartitionScenarioRun(t *testing.T) {
+	fl := LeaderIsolation(0, 60, 90)
+	r := Run(RunConfig{
+		Profile: rbe.Shopping, Servers: 3, StateMB: 300,
+		Faultload: &fl, Browsers: 200, Measure: 120 * time.Second, Seed: 6,
+	})
+	if len(r.CrashSec) != 0 {
+		t.Fatalf("partition run recorded crashes: %v", r.CrashSec)
+	}
+	if len(r.FaultWindows) != 1 {
+		t.Fatalf("fault windows = %+v, want one", r.FaultWindows)
+	}
+	w := r.FaultWindows[0]
+	if w.Kind != "partition" || w.Group != 0 {
+		t.Fatalf("window = %+v", w)
+	}
+	if w.ToSec <= w.FromSec {
+		t.Fatalf("window never closed: %+v", w)
+	}
+	if want := 30.0 * 120 / 540; w.ToSec-w.FromSec < want-1 || w.ToSec-w.FromSec > want+1 {
+		t.Fatalf("window width %.1f s, want ≈%.1f (scaled 30 s)", w.ToSec-w.FromSec, want)
+	}
+	if r.Faults != 1 {
+		t.Fatalf("faults = %d, want 1", r.Faults)
+	}
+	g := r.PerGroup[0]
+	if g.Partitions != 1 || g.PartitionSec <= 0 {
+		t.Fatalf("group report missed the partition window: %+v", g)
+	}
+	if g.Availability < 0.99 {
+		t.Fatalf("leader isolation broke availability: %v (quorum should keep serving)", g.Availability)
+	}
+	if r.Availability < 0.99 {
+		t.Fatalf("run availability = %v", r.Availability)
+	}
+}
+
+// TestSlowDiskScenarioRun: the straggler-disk run — a closed slowdisk
+// window, degradation time accounted per group, no crashes, full
+// availability (the fault never trips crash detection).
+func TestSlowDiskScenarioRun(t *testing.T) {
+	fl := SlowDiskStraggler(0, 8, 60, 100)
+	r := Run(RunConfig{
+		Profile: rbe.Shopping, Servers: 3, StateMB: 300,
+		Faultload: &fl, Browsers: 200, Measure: 120 * time.Second, Seed: 6,
+	})
+	if len(r.FaultWindows) != 1 || r.FaultWindows[0].Kind != "slowdisk" {
+		t.Fatalf("fault windows = %+v", r.FaultWindows)
+	}
+	if f := r.FaultWindows[0].Factor; f != 8 {
+		t.Fatalf("window factor = %v, want 8", f)
+	}
+	g := r.PerGroup[0]
+	if g.Degradations != 1 || g.DegradedSec <= 0 {
+		t.Fatalf("group report missed the degradation window: %+v", g)
+	}
+	if g.Crashes != 0 || r.Availability < 0.999 {
+		t.Fatalf("slow disk must not crash or break availability: %+v avail=%v", g, r.Availability)
+	}
+}
+
+// TestCrashOnlyRunCarriesNoFaultWindows: the crash faultloads stay free
+// of the correlated-fault machinery — nil windows, zero partition /
+// degradation time in every group report.
+func TestCrashOnlyRunCarriesNoFaultWindows(t *testing.T) {
+	r := Run(equivCfg(OneCrash))
+	if r.FaultWindows != nil {
+		t.Fatalf("crash-only run has fault windows: %+v", r.FaultWindows)
+	}
+	for _, g := range r.PerGroup {
+		if g.Partitions != 0 || g.PartitionSec != 0 || g.Degradations != 0 || g.DegradedSec != 0 {
+			t.Fatalf("crash-only group report carries fault windows: %+v", g)
+		}
+	}
+}
+
+// TestSlowDiskDefaultFactorKeyNormalized: Factor 0 (the default) and an
+// explicit DefaultSlowFactor are the same run — they must memoize under
+// the same key.
+func TestSlowDiskDefaultFactorKeyNormalized(t *testing.T) {
+	a := SlowDiskStraggler(0, 0, 240, 420).key()
+	b := SlowDiskStraggler(0, DefaultSlowFactor, 240, 420).key()
+	if a != b {
+		t.Fatalf("default-factor keys differ: %q vs %q", a, b)
+	}
+	if c := SlowDiskStraggler(0, 16, 240, 420).key(); c == a {
+		t.Fatalf("a 16x run must not share the 8x key %q", a)
+	}
+}
+
+// TestOverlappingDiskSlowWindowsCompose: two OpDiskSlow events whose
+// windows overlap on the same group — and a repeat on the same selector
+// — must keep their windows paired with their own restores; restoring
+// one must not leave another's window open or orphaned.
+func TestOverlappingDiskSlowWindowsCompose(t *testing.T) {
+	fl := Faultload{Name: "overlap-slow", Events: []FaultEvent{
+		{AtSec: 40, Op: OpDiskSlow, Select: Member(0, 0), Factor: 8},
+		{AtSec: 50, Op: OpDiskSlow, Select: WholeGroup(0), Factor: 4},
+		{AtSec: 60, Op: OpDiskSlow, Select: Member(0, 0), Factor: 12}, // supersedes the 8x event
+		{AtSec: 70, Op: OpDiskRestore, Select: WholeGroup(0)},
+		{AtSec: 90, Op: OpDiskRestore, Select: Member(0, 0)},
+	}}
+	r := Run(RunConfig{
+		Profile: rbe.Shopping, Servers: 3, StateMB: 300,
+		Faultload: &fl, Browsers: 100, Measure: 120 * time.Second, Seed: 9,
+	})
+	if len(r.FaultWindows) != 3 {
+		t.Fatalf("windows = %+v, want 3 (8x superseded, 4x, 12x)", r.FaultWindows)
+	}
+	for i, w := range r.FaultWindows {
+		if w.ToSec < 0 {
+			t.Fatalf("window %d never closed: %+v", i, w)
+		}
+		if w.Group != 0 || w.Kind != "slowdisk" {
+			t.Fatalf("window %d = %+v", i, w)
+		}
+	}
+	// The superseded 8x window closes when the 12x event replaces it;
+	// the 4x whole-group window closes at its own restore, the 12x at
+	// the final restore — strictly increasing close times.
+	if !(r.FaultWindows[0].ToSec < r.FaultWindows[1].ToSec &&
+		r.FaultWindows[1].ToSec < r.FaultWindows[2].ToSec) {
+		t.Fatalf("window closes out of order: %+v", r.FaultWindows)
+	}
+	if g := r.PerGroup[0]; g.Degradations != 3 || g.DegradedSec <= 0 {
+		t.Fatalf("group report = %+v, want 3 degradation windows", g)
+	}
 }

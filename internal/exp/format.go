@@ -237,17 +237,56 @@ func PrintShardedDependability(w io.Writer, r RunResult) {
 	total := rampUp + r.Cfg.Measure + rampDown
 	fmt.Fprintf(w, "Sharded dependability — %s (%d group(s) × %d servers, %s)\n",
 		name, len(r.PerGroup), r.Cfg.Servers, r.Cfg.Profile)
-	fmt.Fprintf(w, "%-10s %9s %8s %9s %8s %7s %5s %9s %7s\n",
-		"group", "AWIPS", "acc(%)", "avail", "down(s)", "crashes", "rec", "mrec(s)", "PV(%)")
+	fmt.Fprintf(w, "%-10s %9s %8s %9s %8s %7s %5s %9s %8s %8s %7s\n",
+		"group", "AWIPS", "acc(%)", "avail", "down(s)", "crashes", "rec", "mrec(s)",
+		"part(s)", "slow(s)", "PV(%)")
 	for _, g := range r.PerGroup {
-		fmt.Fprintf(w, "%-10d %9.1f %8.3f %9.5f %8.1f %7d %5d %9.1f %7.1f\n",
+		fmt.Fprintf(w, "%-10d %9.1f %8.3f %9.5f %8.1f %7d %5d %9.1f %8.1f %8.1f %7.1f\n",
 			g.Group, g.AWIPS, g.Accuracy, g.Availability, g.Downtime.Seconds(),
-			g.Crashes, g.Recoveries, g.MeanRecoverySec, g.Perf.PV)
+			g.Crashes, g.Recoveries, g.MeanRecoverySec, g.PartitionSec, g.DegradedSec,
+			g.Perf.PV)
 	}
 	agg := metrics.AggregateGroups(r.PerGroup, total)
-	fmt.Fprintf(w, "%-10s %9.1f %8.3f %9.5f %8.1f %7d %5d %9.1f %7.1f\n",
+	fmt.Fprintf(w, "%-10s %9.1f %8.3f %9.5f %8.1f %7d %5d %9.1f %8.1f %8.1f %7.1f\n",
 		"aggregate", agg.AWIPS, r.Accuracy, r.Availability, agg.Downtime.Seconds(),
-		agg.Crashes, agg.Recoveries, agg.MeanRecoverySec, r.Perf.PV)
+		agg.Crashes, agg.Recoveries, agg.MeanRecoverySec, agg.PartitionSec,
+		agg.DegradedSec, r.Perf.PV)
+	printFaultWindows(w, r.FaultWindows)
+}
+
+// printFaultWindows lists each correlated fault window on the x-axis.
+func printFaultWindows(w io.Writer, wins []metrics.FaultWindow) {
+	for _, fw := range wins {
+		extra := ""
+		if fw.Kind == "partition" && fw.Dir != "" && fw.Dir != "both" {
+			extra = ", one-way " + fw.Dir
+		}
+		if fw.Kind == "slowdisk" && fw.Factor > 0 {
+			extra = fmt.Sprintf(", %gx slower", fw.Factor)
+		}
+		if fw.ToSec < 0 {
+			fmt.Fprintf(w, "  %s window: group %d, t=%.1f s → (never healed)%s\n",
+				fw.Kind, fw.Group, fw.FromSec, extra)
+			continue
+		}
+		fmt.Fprintf(w, "  %s window: group %d, t=%.1f s → t=%.1f s (%.1f s)%s\n",
+			fw.Kind, fw.Group, fw.FromSec, fw.ToSec, fw.ToSec-fw.FromSec, extra)
+	}
+}
+
+// PrintPartitionBench renders the leader-isolation failover summary.
+func PrintPartitionBench(w io.Writer, p PartitionBenchPoint) {
+	sec := func(v float64) string {
+		if v < 0 {
+			return "never (within the run)"
+		}
+		return fmt.Sprintf("%.1f s", v)
+	}
+	fmt.Fprintln(w, "Partition recovery — leader isolated, no crash")
+	fmt.Fprintf(w, "  detection+failover: %s (throughput back ≥70%% of failure-free)\n", sec(p.DetectSec))
+	fmt.Fprintf(w, "  post-heal reabsorb: %s\n", sec(p.ReabsorbSec))
+	fmt.Fprintf(w, "  AWIPS failure-free %.1f, during window %.1f, after heal %.1f\n",
+		p.FFAWIPS, p.WindowAWIPS, p.PostAWIPS)
 }
 
 // PrintRebalance renders the resharding-under-fault report: the

@@ -181,6 +181,12 @@ type RunResult struct {
 	// CrashSec, so sharded scenarios can attribute windows to groups.
 	CrashedServers []int
 
+	// FaultWindows lists the correlated (non-crash) fault windows the
+	// faultload injected — network partitions and disk degradations — one
+	// entry per affected group, on the run's x-axis. Nil for crash-only
+	// faultloads.
+	FaultWindows []metrics.FaultWindow
+
 	// PerGroup carries each Paxos group's slice of the dependability
 	// report: its client slice's throughput, accuracy, outage time and
 	// recovery windows. One entry per shard (one for the paper's
@@ -321,6 +327,51 @@ func runOnce(cfg RunConfig) RunResult {
 		return t0.Add(rampUp + time.Duration(scale*(sec-30)*float64(time.Second)))
 	}
 	var crashes []crashEvent
+	// Correlated fault state: open partitions by selector key (so OpHeal
+	// heals exactly its partner's blocks and overlapping partitions
+	// compose), open windows by (kind, selector key) so heals close the
+	// windows their partner opened. Degraded disks are tracked per victim
+	// for the restore.
+	openParts := map[string]*sim.BlockHandle{}
+	openWins := map[string][]int{} // kind+selKey -> indices into faultWins
+	slowVictims := map[string][]int{}
+	// diskActive composes overlapping degradations: per victim, the
+	// factors of every open OpDiskSlow touching it. The hardware runs at
+	// the worst active factor; restoring one event re-applies the max of
+	// whatever remains (or heals the drive when none does).
+	diskActive := map[int]map[string]float64{}
+	applyDiskFactor := func(v int) {
+		f := 1.0
+		for _, x := range diskActive[v] {
+			if x > f {
+				f = x
+			}
+		}
+		cluster.SetDiskFactor(v, f)
+	}
+	var faultWins []metrics.FaultWindow
+	secOf := func(t time.Time) float64 { return t.Sub(t0).Seconds() }
+	openWindows := func(kind string, ev resolvedEvent, groups []int) {
+		key := kind + "/" + ev.selKey
+		for _, g := range groups {
+			openWins[key] = append(openWins[key], len(faultWins))
+			faultWins = append(faultWins, metrics.FaultWindow{
+				Kind:    kind,
+				Group:   g,
+				Dir:     ev.dir.String(),
+				Factor:  ev.factor,
+				FromSec: secOf(s.Now()),
+				ToSec:   -1,
+			})
+		}
+	}
+	closeWindows := func(kind string, ev resolvedEvent) {
+		key := kind + "/" + ev.selKey
+		for _, i := range openWins[key] {
+			faultWins[i].ToSec = secOf(s.Now())
+		}
+		delete(openWins, key)
+	}
 	for _, ev := range cfg.faultload().resolve(cfg) {
 		ev := ev
 		t := at(ev.atSec)
@@ -342,6 +393,67 @@ func runOnce(cfg RunConfig) RunResult {
 				for _, v := range ev.victims {
 					cluster.ManualRecover(v)
 				}
+			})
+		case OpPartition:
+			s.At(t, func() {
+				victims := ev.victims
+				if ev.leaderOf >= 0 {
+					// Late binding: partition whoever leads the group now;
+					// the rotation victim is the no-leader fallback.
+					if l := cluster.LeaderOf(ev.leaderOf); l >= 0 {
+						victims = []int{l}
+					}
+				}
+				if len(victims) == 0 {
+					return // e.g. the empty minority of a 1-server group
+				}
+				if old := openParts[ev.selKey]; old != nil {
+					old.Heal() // re-partitioning a selector supersedes its old split
+					closeWindows("partition", ev)
+				}
+				openParts[ev.selKey] = cluster.PartitionServers(ev.dir, victims...)
+				openWindows("partition", ev, ev.groups(cfg.Servers))
+			})
+		case OpHeal:
+			s.At(t, func() {
+				if h := openParts[ev.selKey]; h != nil {
+					h.Heal()
+					delete(openParts, ev.selKey)
+					closeWindows("partition", ev)
+				}
+			})
+		case OpDiskSlow:
+			s.At(t, func() {
+				if len(ev.victims) == 0 {
+					return
+				}
+				if old := slowVictims[ev.selKey]; old != nil {
+					// Re-degrading a selector supersedes its open event,
+					// like re-partitioning one does.
+					for _, v := range old {
+						delete(diskActive[v], ev.selKey)
+					}
+					closeWindows("slowdisk", ev)
+				}
+				for _, v := range ev.victims {
+					if diskActive[v] == nil {
+						diskActive[v] = map[string]float64{}
+					}
+					diskActive[v][ev.selKey] = ev.factor
+					cluster.DegradeDisk(v, ev.factor) // counts the fault
+					applyDiskFactor(v)                // worst active factor wins
+				}
+				slowVictims[ev.selKey] = ev.victims
+				openWindows("slowdisk", ev, ev.groups(cfg.Servers))
+			})
+		case OpDiskRestore:
+			s.At(t, func() {
+				for _, v := range slowVictims[ev.selKey] {
+					delete(diskActive[v], ev.selKey)
+					applyDiskFactor(v) // back to the next-worst, or healthy
+				}
+				delete(slowVictims, ev.selKey)
+				closeWindows("slowdisk", ev)
 			})
 		}
 	}
@@ -374,7 +486,7 @@ func runOnce(cfg RunConfig) RunResult {
 				out = append(out, recoveryEvent{server: r.server, at: r.at})
 			}
 			return out
-		}())
+		}(), faultWins)
 	w, b := cluster.CheckpointIO()
 	res.CheckpointWrites = w - ckptW0
 	res.CheckpointBytes = b - ckptB0
@@ -417,7 +529,7 @@ func pickVictimsInGroup(cfg RunConfig, g int) []int {
 // collect derives the paper's measures from a finished run.
 func collect(cfg RunConfig, cluster *webtier.Cluster, srec *metrics.ShardedRecorder,
 	t0 time.Time, total time.Duration, crashes []crashEvent,
-	recoveries []recoveryEvent) RunResult {
+	recoveries []recoveryEvent, faultWins []metrics.FaultWindow) RunResult {
 
 	rec := srec.Aggregate()
 	sec := func(t time.Time) float64 { return t.Sub(t0).Seconds() }
@@ -435,6 +547,7 @@ func collect(cfg RunConfig, cluster *webtier.Cluster, srec *metrics.ShardedRecor
 	}
 	res.Accuracy = rec.Accuracy()
 	res.Proxy = cluster.ProxyStats()
+	res.FaultWindows = faultWins
 	res.Availability = metrics.Availability(cluster.Downtime(), total)
 	res.Autonomy = metrics.ComputeAutonomy(cluster.Interventions(), cluster.Faults())
 	res.Faults = cluster.Faults()
@@ -492,6 +605,17 @@ func collect(cfg RunConfig, cluster *webtier.Cluster, srec *metrics.ShardedRecor
 		} else {
 			res.Perf = rec.ComputePerformability(ff, metrics.Window{From: crash0, To: recEnd})
 		}
+	} else if w := windowSpan(faultWins, -1, total.Seconds()); w != nil {
+		// No crashes, but correlated fault windows (partition / slow
+		// disk): performability compares the faulty interval against the
+		// failure-free remainder, exactly like a recovery window.
+		if f0, f1, ok := clipWindow(w[0], w[1], mStart, mEnd); ok {
+			ff := []metrics.Window{{From: mStart, To: f0}}
+			if f1+1 < mEnd {
+				ff = append(ff, metrics.Window{From: f1 + 1, To: mEnd})
+			}
+			res.Perf = rec.ComputePerformability(ff, metrics.Window{From: f0, To: f1})
+		}
 	}
 
 	// The live rebalance's report: migration window on the x-axis plus
@@ -548,6 +672,26 @@ func collect(cfg RunConfig, cluster *webtier.Cluster, srec *metrics.ShardedRecor
 		if gr.Recoveries > 0 {
 			gr.MeanRecoverySec = durSum / float64(gr.Recoveries)
 		}
+		// Correlated fault windows: this group's partitioned and
+		// disk-degraded time (open windows extend to the accounting end).
+		endSec := total.Seconds()
+		for _, fw := range faultWins {
+			if fw.Group != g {
+				continue
+			}
+			to := fw.ToSec
+			if to < 0 {
+				to = endSec
+			}
+			switch fw.Kind {
+			case "partition":
+				gr.Partitions++
+				gr.PartitionSec += to - fw.FromSec
+			case "slowdisk":
+				gr.Degradations++
+				gr.DegradedSec += to - fw.FromSec
+			}
+		}
 		if gr.Crashes > 0 {
 			if gRecEnd < 0 || gRecEnd > mEnd {
 				gRecEnd = mEnd
@@ -557,6 +701,17 @@ func collect(cfg RunConfig, cluster *webtier.Cluster, srec *metrics.ShardedRecor
 				gff = append(gff, metrics.Window{From: gRecEnd + 1, To: mEnd})
 			}
 			gr.Perf = grec.ComputePerformability(gff, metrics.Window{From: gCrash0, To: gRecEnd})
+		} else if w := windowSpan(faultWins, g, endSec); w != nil {
+			// Crash-free group under a partition or disk-degradation
+			// window: its performability compares the window against the
+			// failure-free rest.
+			if f0, f1, ok := clipWindow(w[0], w[1], mStart, mEnd); ok {
+				gff := []metrics.Window{{From: mStart, To: f0}}
+				if f1+1 < mEnd {
+					gff = append(gff, metrics.Window{From: f1 + 1, To: mEnd})
+				}
+				gr.Perf = grec.ComputePerformability(gff, metrics.Window{From: f0, To: f1})
+			}
 		}
 		res.PerGroup[g] = gr
 	}
@@ -609,6 +764,49 @@ func delayedRecoveryShape(f Faultload) bool {
 		}
 	}
 	return auto
+}
+
+// windowSpan returns the [first-open, last-close] span of the fault
+// windows touching group g (any group when g < 0), or nil when none.
+// Windows still open extend to endSec.
+func windowSpan(wins []metrics.FaultWindow, g int, endSec float64) *[2]float64 {
+	from, to := -1.0, -1.0
+	for _, fw := range wins {
+		if g >= 0 && fw.Group != g {
+			continue
+		}
+		end := fw.ToSec
+		if end < 0 {
+			end = endSec
+		}
+		if from < 0 || fw.FromSec < from {
+			from = fw.FromSec
+		}
+		if end > to {
+			to = end
+		}
+	}
+	if from < 0 {
+		return nil
+	}
+	return &[2]float64{from, to}
+}
+
+// clipWindow converts a [fromSec, toSec] span to whole-second bucket
+// bounds clipped to the measurement interval, reporting ok=false when the
+// span misses it entirely.
+func clipWindow(fromSec, toSec float64, mStart, mEnd int) (f0, f1 int, ok bool) {
+	f0, f1 = int(fromSec), int(toSec)
+	if f0 >= mEnd || f1 <= mStart || f1 <= f0 {
+		return 0, 0, false
+	}
+	if f0 < mStart {
+		f0 = mStart
+	}
+	if f1 > mEnd {
+		f1 = mEnd
+	}
+	return f0, f1, true
 }
 
 func maxFloat(xs []float64) float64 {

@@ -5,6 +5,13 @@
 // and commands run the same env.Node implementations (internal/core,
 // internal/paxos) on this runtime that the experiments run on the
 // deterministic simulator.
+//
+// Fault injection mirrors the simulator's surface: a message-filter layer
+// blocks directed links (SetLink) and installs handle-based, composable
+// partitions (Partition/PartitionDir — symmetric or one-way), healed per
+// handle or wholesale (Heal). Active partition sets persist, so a node
+// added mid-partition joins the majority side, exactly as on the
+// simulator.
 package livenet
 
 import (
@@ -45,7 +52,19 @@ type Cluster struct {
 	peers atomic.Pointer[[]env.NodeID]
 	rng   *xrand.Rand
 	wg    sync.WaitGroup
+
+	// The message-filter layer: directed link blocks consulted on every
+	// Send, mirroring the simulator's fault-injection surface so
+	// partition faultloads run identically on both runtimes. blocked is
+	// refcounted per handle-based partition; manual holds SetLink's
+	// direct toggles.
+	linkMu  sync.RWMutex
+	blocked map[linkKey]int
+	manual  map[linkKey]bool
+	parts   []*BlockHandle
 }
+
+type linkKey struct{ from, to env.NodeID }
 
 // nodeList returns the current node snapshot.
 func (c *Cluster) nodeList() []*liveNode {
@@ -69,7 +88,135 @@ func New(cfg Config) *Cluster {
 	if cfg.Latency == 0 {
 		cfg.Latency = 200 * time.Microsecond
 	}
-	return &Cluster{cfg: cfg, rng: xrand.New(cfg.Seed*0x9e3779b97f4a7c15 + 3)}
+	return &Cluster{
+		cfg:     cfg,
+		rng:     xrand.New(cfg.Seed*0x9e3779b97f4a7c15 + 3),
+		blocked: make(map[linkKey]int),
+		manual:  make(map[linkKey]bool),
+	}
+}
+
+// SetLink blocks or unblocks the directed network link from → to. It is a
+// direct toggle independent of the handle-based partitions: unblocking a
+// link here does not disturb a partition that also covers it.
+func (c *Cluster) SetLink(from, to env.NodeID, blocked bool) {
+	c.linkMu.Lock()
+	defer c.linkMu.Unlock()
+	if blocked {
+		c.manual[linkKey{from, to}] = true
+	} else {
+		delete(c.manual, linkKey{from, to})
+	}
+}
+
+// linkBlocked reports whether the directed link from → to drops traffic.
+func (c *Cluster) linkBlocked(from, to env.NodeID) bool {
+	c.linkMu.RLock()
+	defer c.linkMu.RUnlock()
+	k := linkKey{from, to}
+	return c.blocked[k] > 0 || c.manual[k]
+}
+
+// BlockHandle is one composable set of directed link blocks (one
+// partition) on the live runtime. Healing it removes exactly the blocks
+// it installed, so overlapping partitions compose.
+type BlockHandle struct {
+	c      *Cluster
+	links  []linkKey
+	side   map[env.NodeID]bool
+	dir    env.LinkDir
+	healed bool
+}
+
+var _ env.PartitionHandle = (*BlockHandle)(nil)
+
+// Heal removes this handle's blocks. Idempotent; safe from any goroutine.
+func (h *BlockHandle) Heal() {
+	h.c.linkMu.Lock()
+	defer h.c.linkMu.Unlock()
+	h.healLocked()
+}
+
+func (h *BlockHandle) healLocked() {
+	if h.healed {
+		return
+	}
+	h.healed = true
+	for _, k := range h.links {
+		if h.c.blocked[k] <= 1 {
+			delete(h.c.blocked, k)
+		} else {
+			h.c.blocked[k]--
+		}
+	}
+	h.links = nil
+	for i, p := range h.c.parts {
+		if p == h {
+			h.c.parts = append(h.c.parts[:i], h.c.parts[i+1:]...)
+			break
+		}
+	}
+}
+
+// blockPairLocked installs the handle's directed blocks between isolated
+// node a and outside node b, honoring the handle's direction. Caller
+// holds linkMu.
+func (h *BlockHandle) blockPairLocked(a, b env.NodeID) {
+	if h.dir == env.LinkBothWays || h.dir == env.LinkOutboundOnly {
+		k := linkKey{a, b}
+		h.c.blocked[k]++
+		h.links = append(h.links, k)
+	}
+	if h.dir == env.LinkBothWays || h.dir == env.LinkInboundOnly {
+		k := linkKey{b, a}
+		h.c.blocked[k]++
+		h.links = append(h.links, k)
+	}
+}
+
+// Partition isolates the given nodes from the rest of the cluster in both
+// directions and returns the handle that heals exactly this partition.
+// Like the simulator's, the partition set persists: a node added later
+// joins on the majority side rather than straddling it.
+func (c *Cluster) Partition(isolated ...env.NodeID) *BlockHandle {
+	return c.PartitionDir(env.LinkBothWays, isolated...)
+}
+
+// PartitionDir is Partition with an explicit direction (asymmetric
+// one-way loss relative to the isolated set).
+func (c *Cluster) PartitionDir(dir env.LinkDir, isolated ...env.NodeID) *BlockHandle {
+	h := &BlockHandle{c: c, dir: dir, side: make(map[env.NodeID]bool, len(isolated))}
+	for _, id := range isolated {
+		h.side[id] = true
+	}
+	c.linkMu.Lock()
+	defer c.linkMu.Unlock()
+	var peers []env.NodeID
+	if p := c.peers.Load(); p != nil {
+		peers = *p
+	}
+	for _, b := range peers {
+		if h.side[b] {
+			continue
+		}
+		for a := range h.side {
+			h.blockPairLocked(a, b)
+		}
+	}
+	c.parts = append(c.parts, h)
+	return h
+}
+
+// Heal removes all link blocks: every active partition handle is healed
+// and every SetLink toggle cleared.
+func (c *Cluster) Heal() {
+	c.linkMu.Lock()
+	defer c.linkMu.Unlock()
+	for len(c.parts) > 0 {
+		c.parts[len(c.parts)-1].healLocked()
+	}
+	c.blocked = make(map[linkKey]int)
+	c.manual = make(map[linkKey]bool)
 }
 
 // AddNode registers a node built by factory; the factory runs once per
@@ -96,6 +243,18 @@ func (c *Cluster) AddNode(factory func() env.Node) env.NodeID {
 	peers := append(append([]env.NodeID(nil), oldPeers...), id)
 	c.nodes.Store(&nodes)
 	c.peers.Store(&peers)
+	// Active partitions extend to the newcomer (majority side) so a node
+	// booted by a live rebalance cannot straddle an isolated set.
+	c.linkMu.Lock()
+	for _, h := range c.parts {
+		if h.side[id] {
+			continue
+		}
+		for a := range h.side {
+			h.blockPairLocked(a, id)
+		}
+	}
+	c.linkMu.Unlock()
 	return id
 }
 
@@ -259,6 +418,9 @@ func (e *liveEnv) Send(to env.NodeID, msg env.Message) {
 	c := e.n.c
 	target := c.node(to)
 	if target == nil {
+		return
+	}
+	if c.linkBlocked(e.n.id, to) {
 		return
 	}
 	if c.cfg.DropRate > 0 && rand.Float64() < c.cfg.DropRate {

@@ -235,6 +235,193 @@ func TestLiveQueueTotalOrder(t *testing.T) {
 	}
 }
 
+// pingNode records everything it receives (for the link-filter tests).
+type pingNode struct {
+	mu  sync.Mutex
+	e   env.Env
+	got []env.Message
+}
+
+func (n *pingNode) Start(e env.Env) {
+	n.mu.Lock()
+	n.e = e
+	n.mu.Unlock()
+}
+
+func (n *pingNode) Receive(from env.NodeID, msg env.Message) {
+	n.mu.Lock()
+	n.got = append(n.got, msg)
+	n.mu.Unlock()
+}
+
+func (n *pingNode) env() env.Env {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.e
+}
+
+func (n *pingNode) count() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.got)
+}
+
+func pingCluster(t *testing.T, n int) (*Cluster, []*pingNode) {
+	t.Helper()
+	c := New(Config{Latency: 50 * time.Microsecond, Seed: 11})
+	nodes := make([]*pingNode, n)
+	for i := 0; i < n; i++ {
+		p := &pingNode{}
+		nodes[i] = p
+		c.AddNode(func() env.Node { return p })
+	}
+	c.StartAll()
+	t.Cleanup(c.Close)
+	deadline := time.Now().Add(5 * time.Second)
+	for _, p := range nodes {
+		for p.env() == nil && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+		if p.env() == nil {
+			t.Fatal("node never started")
+		}
+	}
+	return c, nodes
+}
+
+// settle gives in-flight deliveries time to land.
+func settle() { time.Sleep(20 * time.Millisecond) }
+
+func TestLinkFilterBlocksDirectedTraffic(t *testing.T) {
+	c, nodes := pingCluster(t, 2)
+	c.SetLink(0, 1, true)
+	nodes[0].env().Send(1, "dropped")
+	nodes[1].env().Send(0, "delivered") // reverse direction stays open
+	settle()
+	if nodes[1].count() != 0 {
+		t.Fatalf("blocked link delivered %d messages", nodes[1].count())
+	}
+	if nodes[0].count() != 1 {
+		t.Fatalf("open reverse link delivered %d messages, want 1", nodes[0].count())
+	}
+	c.SetLink(0, 1, false)
+	nodes[0].env().Send(1, "now delivered")
+	settle()
+	if nodes[1].count() != 1 {
+		t.Fatalf("unblocked link delivered %d messages, want 1", nodes[1].count())
+	}
+}
+
+// TestPartitionHandlesCompose: two overlapping partitions; healing one
+// must leave the other's blocks in place (the regression the sim fixed).
+func TestPartitionHandlesCompose(t *testing.T) {
+	c, nodes := pingCluster(t, 3)
+	h1 := c.Partition(1)
+	h2 := c.Partition(2)
+	h1.Heal()
+	nodes[0].env().Send(1, "a") // healed: flows
+	nodes[0].env().Send(2, "b") // still partitioned: dropped
+	settle()
+	if nodes[1].count() != 1 {
+		t.Fatalf("healed node got %d messages, want 1", nodes[1].count())
+	}
+	if nodes[2].count() != 0 {
+		t.Fatalf("partitioned node got %d messages, want 0", nodes[2].count())
+	}
+	h2.Heal()
+	nodes[0].env().Send(2, "c")
+	settle()
+	if nodes[2].count() != 1 {
+		t.Fatalf("node 2 got %d messages after heal, want 1", nodes[2].count())
+	}
+}
+
+// TestPartitionOneWay: outbound-only loss lets the victim hear but not
+// answer.
+func TestPartitionOneWay(t *testing.T) {
+	c, nodes := pingCluster(t, 2)
+	h := c.PartitionDir(env.LinkOutboundOnly, 1)
+	nodes[0].env().Send(1, "heard")
+	settle()
+	nodes[1].env().Send(0, "lost")
+	settle()
+	if nodes[1].count() != 1 {
+		t.Fatalf("victim heard %d messages, want 1", nodes[1].count())
+	}
+	if nodes[0].count() != 0 {
+		t.Fatalf("victim's reply arrived (%d messages), one-way loss broken", nodes[0].count())
+	}
+	h.Heal()
+	nodes[1].env().Send(0, "answered")
+	settle()
+	if nodes[0].count() != 1 {
+		t.Fatalf("after heal got %d messages, want 1", nodes[0].count())
+	}
+}
+
+// TestPartitionExtendsToLateNodes: a node added during a partition joins
+// the majority side instead of straddling it.
+func TestPartitionExtendsToLateNodes(t *testing.T) {
+	c, nodes := pingCluster(t, 2)
+	h := c.Partition(1)
+	late := &pingNode{}
+	id := c.AddNode(func() env.Node { return late })
+	c.Restart(id)
+	deadline := time.Now().Add(5 * time.Second)
+	for late.env() == nil && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	late.env().Send(1, "must not cross")
+	nodes[1].env().Send(id, "must not cross either")
+	late.env().Send(0, "majority side flows")
+	settle()
+	if nodes[1].count() != 0 || late.count() != 0 {
+		t.Fatalf("late node straddles the partition: victim got %d, late got %d",
+			nodes[1].count(), late.count())
+	}
+	if nodes[0].count() != 1 {
+		t.Fatalf("majority-side delivery failed: got %d, want 1", nodes[0].count())
+	}
+	h.Heal()
+	late.env().Send(1, "healed")
+	settle()
+	if nodes[1].count() != 1 {
+		t.Fatalf("after heal victim got %d, want 1", nodes[1].count())
+	}
+}
+
+// TestLivePartitionedReplicaCatchesUp: the replication stack under the
+// filter — a partitioned minority member makes no progress, and converges
+// after heal.
+func TestLivePartitionedReplicaCatchesUp(t *testing.T) {
+	c, sl := buildCluster(t, 3)
+	waitReady(t, sl.replica(0))
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	var want int64
+	add := func(from int, d int64) {
+		t.Helper()
+		if _, err := sl.replica(from).Execute(ctx, d); err != nil {
+			t.Fatalf("execute: %v", err)
+		}
+		want += d
+	}
+	add(0, 5)
+	h := c.Partition(2)
+	add(0, 11) // majority keeps committing
+	add(1, 13)
+	h.Heal()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if sl.counterValue(2) == want {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("partitioned replica at %d after heal, want %d", sl.counterValue(2), want)
+}
+
 func waitReady(t *testing.T, r *core.Replica) {
 	t.Helper()
 	deadline := time.Now().Add(30 * time.Second)

@@ -232,6 +232,15 @@ type GroupReport struct {
 	Recoveries      int
 	MeanRecoverySec float64
 	Perf            Performability
+
+	// The correlated-fault windows, beside the crash/recovery ones: how
+	// long this group spent (partly) network-partitioned and how long any
+	// of its members ran on a degraded disk. Open windows extend to run
+	// end.
+	Partitions   int
+	PartitionSec float64
+	Degradations int
+	DegradedSec  float64
 }
 
 // AggregateGroups folds per-group reports into one deployment-wide row:
@@ -252,6 +261,14 @@ func AggregateGroups(groups []GroupReport, total time.Duration) GroupReport {
 		out.Recoveries += g.Recoveries
 		durSum += g.MeanRecoverySec * float64(g.Recoveries)
 		awipsSum += g.AWIPS
+		out.Partitions += g.Partitions
+		out.Degradations += g.Degradations
+		if g.PartitionSec > out.PartitionSec {
+			out.PartitionSec = g.PartitionSec
+		}
+		if g.DegradedSec > out.DegradedSec {
+			out.DegradedSec = g.DegradedSec
+		}
 	}
 	out.AWIPS = awipsSum
 	out.Availability = Availability(out.Downtime, total)
@@ -259,6 +276,19 @@ func AggregateGroups(groups []GroupReport, total time.Duration) GroupReport {
 		out.MeanRecoverySec = durSum / float64(out.Recoveries)
 	}
 	return out
+}
+
+// FaultWindow is one non-crash fault-injection window on the run's
+// x-axis: the interval one group spent network-partitioned or running on
+// a degraded disk. An event hitting several groups emits one window per
+// group, so per-group reports aggregate without cross-referencing.
+type FaultWindow struct {
+	Kind    string  // "partition" | "slowdisk"
+	Group   int     // affected group
+	Dir     string  // blocked direction for partitions ("both"/"outbound"/"inbound")
+	Factor  float64 // disk degradation factor for slowdisk windows
+	FromSec float64 // window open, seconds from run start
+	ToSec   float64 // window close; < 0 when never healed (open at run end)
 }
 
 // MigrationReport carries a live rebalance's measures alongside the

@@ -117,8 +117,18 @@ func (en *Engine) onFastPropose(from env.NodeID, m fastProposeMsg) {
 		return
 	}
 	fb := en.fastBallot
-	if fb.Seq < 0 || fb.Less(en.promised) {
-		return // no live fast round here; the proposer will retry
+	if fb.Seq < 0 {
+		return // no fast round opened here yet; the proposer will retry
+	}
+	if fb.Less(en.promised) {
+		// The fast round was superseded by a higher promise. Unlike the
+		// classic phase-2 path there is no per-message nack here, so a
+		// coordinator whose round died this way would never learn it —
+		// tell it, so it stands down and a live ballot can emerge.
+		if c := en.owner(fb); c >= 0 && c != en.me {
+			en.e.Send(c, nackMsg{Promised: en.promised})
+		}
+		return
 	}
 	if en.isDelivered(m.V.ID) {
 		return // already applied everywhere we know of

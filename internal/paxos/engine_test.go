@@ -275,3 +275,71 @@ func TestConcurrentCrashesConsistency(t *testing.T) {
 		}
 	})
 }
+
+// TestStaleLeaderRejoinLiveness is the regression test for the
+// partition-heal livelock the correlated faultloads exposed: the
+// established leader is partitioned away under load, the majority elects
+// a successor (fast mode — FastQuorum(5)=4 exactly covers the surviving
+// acceptors), and on heal the stale ex-leader bids with a ballot above
+// everything. Pre-fix, the old leader's next heartbeat (at its lower,
+// long-superseded ballot) made the bidder adopt that stale leadership
+// and abandon its own bid — after every acceptor had already promised
+// the bid — leaving the cluster promised to a ballot nobody owned:
+// every fast proposal was silently dropped, forever. The fix is
+// two-sided: a bidder counts its own bid as the highest leadership
+// ballot seen, and acceptors nack the coordinator of a superseded fast
+// round instead of dropping its proposals silently.
+//
+// The seeds are chosen so the heal-time race (the rejoiner's sweep bid
+// firing before the sitting leader's first heartbeat lands) actually
+// occurs: each of these wedged the pre-fix engine.
+func TestStaleLeaderRejoinLiveness(t *testing.T) {
+	for _, seed := range []uint64{6, 37, 54, 60} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			c := newCluster(t, 5, true, seed, sim.NetConfig{})
+			c.submit(10*time.Millisecond, 0, "boot")
+			c.s.RunFor(time.Second)
+			lead := -1
+			for i, en := range c.engines {
+				if en.IsLeader() {
+					lead = i
+				}
+			}
+			if lead < 0 {
+				t.Fatal("no leader established")
+			}
+
+			h := c.s.Partition(env.NodeID(lead))
+			// Load through the partition keeps the majority committing
+			// (and its ballot state moving) without the old leader.
+			n := 0
+			for d := 100 * time.Millisecond; d < 4*time.Second; d += 50 * time.Millisecond {
+				n++
+				c.submit(d, (lead+1)%c.n, fmt.Sprintf("cmd%d", n))
+			}
+			c.s.RunFor(5 * time.Second)
+			if got := len(c.delivered[(lead+1)%c.n]); got < n {
+				t.Fatalf("majority delivered %d of %d during the partition", got, n)
+			}
+
+			h.Heal()
+			c.s.RunFor(2 * time.Second)
+
+			// THE regression: values submitted after the heal must still
+			// commit, on every node including the rejoined ex-leader.
+			const post = 10
+			for i := 1; i <= post; i++ {
+				c.submit(time.Duration(i)*100*time.Millisecond, (lead+2)%c.n, fmt.Sprintf("post%d", i))
+			}
+			c.s.RunFor(10 * time.Second)
+			c.checkConsistency()
+			for id := 0; id < c.n; id++ {
+				if got := len(c.delivered[id]); got != 1+n+post {
+					t.Fatalf("node %d delivered %d commands after heal, want %d (post-heal liveness lost)",
+						id, got, 1+n+post)
+				}
+			}
+		})
+	}
+}

@@ -86,6 +86,14 @@ func (en *Engine) startPrepare() {
 	fast := en.cfg.FastEnabled && en.aliveCount() >= FastQuorum(en.n)
 	b := Ballot{Seq: seq, Fast: fast}
 	en.noteBallot(b)
+	// Our own bid is the highest leadership ballot we have seen: claim it
+	// locally. Without this, a heartbeat from the OLD leader — at a
+	// ballot between our stale curBallot and our bid — would "adopt" that
+	// older leadership and nil the bid just as the acceptors promise it,
+	// leaving the cluster promised to a ballot nobody owns (the
+	// stale-leader-rejoin livelock the partition faultloads exposed:
+	// every fast proposal is then silently dropped forever).
+	en.curBallot = b
 	en.leader = &leaderState{
 		b:          b,
 		startedAt:  en.e.Now(),

@@ -1,0 +1,268 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"robuststore/internal/core"
+	"robuststore/internal/env"
+	"robuststore/internal/livenet"
+	"robuststore/internal/paxos"
+	"robuststore/internal/sim"
+)
+
+// TestPartitionDuringRebalance: a live rebalance boots a new group while
+// one member of a source group sits behind a network partition. The nodes
+// AddNode registers mid-partition must join the majority side (not
+// straddle it — the bug the sim fixed), the migration must complete over
+// the surviving quorum, and after the heal every member converges to the
+// zero-loss audit.
+func TestPartitionDuringRebalance(t *testing.T) {
+	const keys, actions = 40, 600
+	s := sim.New(sim.Config{Seed: 29})
+	store := New(s, Config{
+		Shards:  2,
+		Machine: func(int) core.StateMachine { return newKVMachine() },
+		Core:    core.Config{CheckpointInterval: 2 * time.Second},
+	})
+	s.StartAll()
+
+	acked := map[string]int64{}
+	for i := 0; i < actions; i++ {
+		key := fmt.Sprintf("key/%d", i%keys)
+		at := time.Second + time.Duration(i*10)*time.Millisecond
+		s.At(s.Now().Add(at), func() {
+			store.Submit(key, kvAction{Key: key}, func(result any, err error) {
+				if err == nil {
+					acked[key]++
+				}
+			})
+		})
+	}
+
+	// Partition one member of source group 0 (quorum survives), then
+	// rebalance while the split is open; heal well after the cutover.
+	var h *sim.BlockHandle
+	rebalanced := false
+	s.At(s.Now().Add(2*time.Second), func() {
+		h = s.Partition(store.Group(0).Members()[2])
+	})
+	s.At(s.Now().Add(2500*time.Millisecond), func() {
+		store.Rebalance(RebalanceOptions{Done: func(err error) { rebalanced = err == nil }})
+	})
+	s.At(s.Now().Add(15*time.Second), func() { h.Heal() })
+	s.RunFor(40 * time.Second)
+
+	if !rebalanced || store.Shards() != 3 {
+		t.Fatalf("rebalance under partition incomplete: done=%v shards=%d phase=%s",
+			rebalanced, store.Shards(), store.Migration().Phase)
+	}
+	auditKV(t, store, acked)
+}
+
+// TestCorrelatedFaultScenariosLivenet runs the four correlated fault
+// scenarios — leader isolation, minority split, whole-group isolation and
+// asymmetric one-way loss — against a 2-group store on the live runtime,
+// through livenet's message-filter layer, and reports per-group
+// availability for each window. The invariants: the untouched group
+// serves through every window (availability 1), a quorum-preserving
+// split leaves the victim group serving, a whole-group isolation is a
+// full outage for its slice only, and liveness always resumes after the
+// heal.
+func TestCorrelatedFaultScenariosLivenet(t *testing.T) {
+	cluster := livenet.New(livenet.Config{Latency: 100 * time.Microsecond})
+	defer cluster.Close()
+	store := New(cluster, Config{
+		Shards:  2,
+		Machine: func(int) core.StateMachine { return newKVMachine() },
+		Core: core.Config{
+			CheckpointInterval: time.Second,
+			Paxos: paxos.Config{
+				HeartbeatInterval: 20 * time.Millisecond,
+				LeaderTimeout:     150 * time.Millisecond,
+				SweepInterval:     10 * time.Millisecond,
+				BatchDelay:        time.Millisecond,
+			},
+		},
+	})
+	cluster.StartAll()
+
+	// One key per group, so each exec probes exactly one group's slice.
+	keyOf := make([]string, 2)
+	for g := range keyOf {
+		for i := 0; keyOf[g] == ""; i++ {
+			if key := fmt.Sprintf("probe/%d", i); store.Table().Group(key) == g {
+				keyOf[g] = key
+			}
+		}
+	}
+	exec := func(g int, timeout time.Duration) error {
+		ctx, cancel := context.WithTimeout(context.Background(), timeout)
+		defer cancel()
+		_, err := store.Execute(ctx, keyOf[g], kvAction{Key: keyOf[g]})
+		return err
+	}
+	// Boot: both groups must serve before any fault is injected.
+	for g := 0; g < 2; g++ {
+		if err := exec(g, 20*time.Second); err != nil {
+			t.Fatalf("group %d never became ready: %v", g, err)
+		}
+	}
+	leaderOf := func(g int) int {
+		deadline := time.Now().Add(10 * time.Second)
+		for time.Now().Before(deadline) {
+			if l := store.Status()[g].Leader; l >= 0 {
+				return l
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		t.Fatalf("group %d never elected a leader", g)
+		return -1
+	}
+
+	// nonLeader returns a group-0 member that does not currently lead —
+	// the largest quorum-preserving minority of a 3-group is 1 member,
+	// and picking a non-leader keeps the submission path on the healthy
+	// majority.
+	nonLeader := func() env.NodeID {
+		l := leaderOf(0)
+		for m, id := range store.Group(0).Members() {
+			if m != l {
+				return id
+			}
+		}
+		return -1
+	}
+	scenarios := []struct {
+		name string
+		// open installs the scenario's partitions (possibly several
+		// composing handles) and returns them for the heal.
+		open func() []env.PartitionHandle
+		// fullOutage: the victim group's slice must FAIL during the
+		// window; otherwise it must keep serving (quorum preserved).
+		fullOutage bool
+	}{
+		{
+			name: "leader-isolation",
+			open: func() []env.PartitionHandle {
+				return []env.PartitionHandle{
+					cluster.Partition(store.Group(0).Members()[leaderOf(0)]),
+				}
+			},
+			// The group re-elects and keeps quorum, but the stale
+			// ex-leader can absorb submissions until it demotes; only the
+			// post-heal invariant is asserted.
+			fullOutage: false,
+		},
+		{
+			name: "minority-split",
+			open: func() []env.PartitionHandle {
+				return []env.PartitionHandle{cluster.Partition(nonLeader())}
+			},
+			fullOutage: false,
+		},
+		{
+			// On the store path there is no proxy hop to sever — clients
+			// submit straight into the group — so the observable
+			// whole-group outage shatters the group's internal links
+			// instead: two members isolated under separate (composing)
+			// handles leaves no pair that can form a quorum. The
+			// proxy-path whole-group isolation runs in exp's
+			// GroupIsolation scenario on the simulator.
+			name: "group-isolation",
+			open: func() []env.PartitionHandle {
+				members := store.Group(0).Members()
+				return []env.PartitionHandle{
+					cluster.Partition(members[0]),
+					cluster.Partition(members[1]),
+				}
+			},
+			fullOutage: true,
+		},
+		{
+			name: "asymmetric-loss",
+			open: func() []env.PartitionHandle {
+				return []env.PartitionHandle{
+					cluster.PartitionDir(env.LinkOutboundOnly, nonLeader()),
+				}
+			},
+			fullOutage: false,
+		},
+	}
+
+	for _, sc := range scenarios {
+		handles := sc.open()
+
+		// The untouched group's availability through the window: every
+		// probe must succeed.
+		att1, ok1 := 0, 0
+		for i := 0; i < 5; i++ {
+			att1++
+			if err := exec(1, 5*time.Second); err == nil {
+				ok1++
+			}
+		}
+		att0, ok0 := 0, 0
+		if sc.fullOutage {
+			// The whole group is unreachable: a bounded probe must fail.
+			att0++
+			if err := exec(0, 700*time.Millisecond); err == nil {
+				ok0++
+				t.Errorf("%s: isolated group served during the window", sc.name)
+			}
+		} else if sc.name != "leader-isolation" {
+			// Quorum preserved around a healthy leader: the slice keeps
+			// serving inside the window. Individual attempts may still
+			// black-hole — Execute can route a submission through the
+			// silent victim, whose forward to the leader is lost (the
+			// gray failure one-way loss models) — so the requirement is
+			// that service is reachable, not that every entry point is.
+			for i := 0; i < 3; i++ {
+				att0++
+				if err := exec(0, 5*time.Second); err == nil {
+					ok0++
+				}
+			}
+			if ok0 == 0 {
+				t.Errorf("%s: quorum-preserving split never served its slice in-window", sc.name)
+			}
+		}
+		if ok1 != att1 {
+			t.Errorf("%s: untouched group availability %d/%d, want full", sc.name, ok1, att1)
+		}
+		t.Logf("%s window: group0 %d/%d, group1 %d/%d", sc.name, ok0, att0, ok1, att1)
+
+		for _, h := range handles {
+			h.Heal()
+		}
+		// Liveness resumes after the heal, for both slices.
+		if err := exec(0, 20*time.Second); err != nil {
+			t.Fatalf("%s: group 0 did not recover after heal: %v", sc.name, err)
+		}
+		if err := exec(1, 10*time.Second); err != nil {
+			t.Fatalf("%s: group 1 broken after heal: %v", sc.name, err)
+		}
+	}
+
+	// Agreement: every member of each group converges on the probe keys.
+	time.Sleep(500 * time.Millisecond)
+	for g := 0; g < 2; g++ {
+		want := int64(-1)
+		for m := 0; m < 3; m++ {
+			got := make(chan int64, 1)
+			if !store.Group(g).Replica(m).Inspect(func(sm core.StateMachine) {
+				got <- sm.(counted).countsMap()[keyOf[g]]
+			}) {
+				t.Fatalf("group %d member %d not inspectable", g, m)
+			}
+			v := <-got
+			if want < 0 {
+				want = v
+			} else if v != want {
+				t.Fatalf("group %d member %d diverged: %d vs %d", g, m, v, want)
+			}
+		}
+	}
+}

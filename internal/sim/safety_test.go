@@ -169,11 +169,40 @@ func runCrashSchedule(t *testing.T, seed uint64) {
 		c.s.At(c.s.Now().Add(upAt), func() { c.s.Restart(victim) })
 	}
 
+	// Partition schedule, interleaved with the crashes: random
+	// quorum-preserving minorities isolated for a few seconds, possibly
+	// overlapping each other (handles compose) and the crash windows.
+	// Agreement must hold across every split; liveness must resume after
+	// the heals.
+	parts := 1 + rng.Intn(3)
+	for p := 0; p < parts; p++ {
+		m := 1 + rng.Intn((n+1)/2) // 1..(n-1)/2 victims, quorum survives
+		if max := (n - 1) / 2; m > max {
+			m = max
+		}
+		perm := rng.Perm(n)
+		victims := make([]env.NodeID, m)
+		for i := 0; i < m; i++ {
+			victims[i] = c.ids[perm[i]]
+		}
+		at := 2*time.Second + time.Duration(rng.Intn(30000))*time.Millisecond
+		healAt := at + time.Second + time.Duration(rng.Intn(8000))*time.Millisecond
+		var h *sim.BlockHandle
+		c.s.At(c.s.Now().Add(at), func() { h = c.s.Partition(victims...) })
+		c.s.At(c.s.Now().Add(healAt), func() {
+			if h != nil {
+				h.Heal()
+			}
+		})
+	}
+
 	c.s.RunFor(40 * time.Second)
 	c.checkAgreement(t, "active phase")
 
-	// Heal: restart everything, let catch-up finish, then require full
-	// convergence, not just prefix agreement.
+	// Heal: remove any leftover link blocks, restart everything, let
+	// catch-up finish, then require full convergence, not just prefix
+	// agreement.
+	c.s.Heal()
 	for _, id := range c.ids {
 		c.s.Restart(id)
 	}

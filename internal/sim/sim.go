@@ -49,7 +49,9 @@ type Sim struct {
 	nodes   []*simNode
 	peers   []env.NodeID
 	started bool
-	blocked map[linkKey]bool // partitioned directed links
+	blocked map[linkKey]int  // refcount of active blocks per directed link
+	manual  map[linkKey]bool // SetLink's direct toggles, outside any handle
+	parts   []*BlockHandle   // active partitions (extended by AddNode)
 }
 
 type linkKey struct{ from, to env.NodeID }
@@ -89,7 +91,8 @@ func New(cfg Config) *Sim {
 		cfg:     cfg,
 		now:     time.Unix(0, 0).UTC(),
 		rng:     xrand.New(cfg.Seed*0x9e3779b97f4a7c15 + 1),
-		blocked: make(map[linkKey]bool),
+		blocked: make(map[linkKey]int),
+		manual:  make(map[linkKey]bool),
 	}
 }
 
@@ -132,7 +135,11 @@ func (s *Sim) RunUntil(t time.Time) {
 			continue
 		}
 		s.now = time.Unix(0, e.at).UTC()
-		e.fn()
+		// Clear fn before invoking: a fired event must look spent, so a
+		// later Timer.Stop cannot claim it prevented this callback.
+		fn := e.fn
+		e.fn = nil
+		fn()
 	}
 	if s.now.Before(t) {
 		s.now = t
@@ -156,7 +163,9 @@ func (s *Sim) RunUntilIdle(maxEvents int) bool {
 			continue
 		}
 		s.now = time.Unix(0, e.at).UTC()
-		e.fn()
+		fn := e.fn
+		e.fn = nil // see RunUntil: a fired event must look spent to Stop
+		fn()
 	}
 	return len(s.queue) == 0
 }
@@ -190,6 +199,18 @@ func (s *Sim) AddNode(factory func() env.Node) env.NodeID {
 	n.storage = newDiskStorage(s, n, s.cfg.Disk)
 	s.nodes = append(s.nodes, n)
 	s.peers = append(s.peers, id)
+	// Active partitions extend to the newcomer: it joins on the majority
+	// side, so it must not straddle an isolated set (a node booted by a
+	// live rebalance during a partition would otherwise leak traffic
+	// across it).
+	for _, h := range s.parts {
+		if h.side[id] {
+			continue
+		}
+		for a := range h.side {
+			h.blockPair(a, id)
+		}
+	}
 	return id
 }
 
@@ -249,33 +270,134 @@ func (s *Sim) Alive(id env.NodeID) bool { return s.nodes[id].alive }
 // for tests and experiment setup (pre-populating state).
 func (s *Sim) Storage(id env.NodeID) env.Storage { return s.nodes[id].storage }
 
-// SetLink blocks or unblocks the directed network link from → to.
+// SetDiskSlowdown degrades (or restores) node id's disk live: seek time is
+// multiplied by factor and both bandwidths divided by it, modeling a
+// failing drive in constant retry — the straggler that drags the WAL
+// group-commit quorum and checkpoint writes. factor 1 restores the
+// configured disk; factors < 1 are clamped to 1. The degradation belongs
+// to the hardware, so it survives Crash/Restart of the node, and transfers
+// already queued feel it from their next chunk.
+func (s *Sim) SetDiskSlowdown(id env.NodeID, factor float64) {
+	s.nodes[id].storage.setSlowdown(factor)
+}
+
+// DiskSlowdown returns node id's current disk degradation factor (1 when
+// healthy).
+func (s *Sim) DiskSlowdown(id env.NodeID) float64 {
+	return s.nodes[id].storage.slowdown()
+}
+
+// SetLink blocks or unblocks the directed network link from → to. It is a
+// direct toggle independent of the handle-based partitions: unblocking a
+// link here does not disturb a partition that also covers it.
 func (s *Sim) SetLink(from, to env.NodeID, blocked bool) {
 	if blocked {
-		s.blocked[linkKey{from, to}] = true
+		s.manual[linkKey{from, to}] = true
 	} else {
-		delete(s.blocked, linkKey{from, to})
+		delete(s.manual, linkKey{from, to})
 	}
 }
 
-// Partition isolates the given nodes from the rest of the cluster in both
-// directions.
-func (s *Sim) Partition(isolated ...env.NodeID) {
-	side := make(map[env.NodeID]bool, len(isolated))
-	for _, id := range isolated {
-		side[id] = true
+// linkBlocked reports whether the directed link from → to drops traffic.
+func (s *Sim) linkBlocked(from, to env.NodeID) bool {
+	k := linkKey{from, to}
+	return s.blocked[k] > 0 || s.manual[k]
+}
+
+// block/unblock maintain the refcounted directed-block map handles use.
+func (s *Sim) block(k linkKey) { s.blocked[k]++ }
+func (s *Sim) unblock(k linkKey) {
+	if s.blocked[k] <= 1 {
+		delete(s.blocked, k)
+	} else {
+		s.blocked[k]--
 	}
-	for _, a := range s.peers {
-		for _, b := range s.peers {
-			if side[a] != side[b] {
-				s.SetLink(a, b, true)
-			}
+}
+
+// BlockHandle is one composable set of directed link blocks (one
+// partition). Healing it removes exactly the blocks it installed — two
+// overlapping partitions compose, and healing one leaves the other intact.
+type BlockHandle struct {
+	s      *Sim
+	links  []linkKey
+	side   map[env.NodeID]bool // isolated set; nil once healed
+	dir    env.LinkDir
+	healed bool
+}
+
+var _ env.PartitionHandle = (*BlockHandle)(nil)
+
+// Heal removes this handle's blocks. Idempotent.
+func (h *BlockHandle) Heal() {
+	if h.healed {
+		return
+	}
+	h.healed = true
+	for _, k := range h.links {
+		h.s.unblock(k)
+	}
+	h.links = nil
+	for i, p := range h.s.parts {
+		if p == h {
+			h.s.parts = append(h.s.parts[:i], h.s.parts[i+1:]...)
+			break
 		}
 	}
 }
 
-// Heal removes all link blocks.
-func (s *Sim) Heal() { s.blocked = make(map[linkKey]bool) }
+// blockPair installs the handle's directed blocks between isolated node a
+// and outside node b, honoring the handle's direction.
+func (h *BlockHandle) blockPair(a, b env.NodeID) {
+	if h.dir == env.LinkBothWays || h.dir == env.LinkOutboundOnly {
+		k := linkKey{a, b}
+		h.s.block(k)
+		h.links = append(h.links, k)
+	}
+	if h.dir == env.LinkBothWays || h.dir == env.LinkInboundOnly {
+		k := linkKey{b, a}
+		h.s.block(k)
+		h.links = append(h.links, k)
+	}
+}
+
+// Partition isolates the given nodes from the rest of the cluster in both
+// directions and returns the handle that heals exactly this partition.
+// The partition set is persistent: a node added later (live scale-out)
+// joins on the majority side with its links to the isolated set blocked,
+// rather than straddling the partition.
+func (s *Sim) Partition(isolated ...env.NodeID) *BlockHandle {
+	return s.PartitionDir(env.LinkBothWays, isolated...)
+}
+
+// PartitionDir is Partition with an explicit direction: LinkOutboundOnly
+// and LinkInboundOnly model asymmetric one-way loss relative to the
+// isolated set.
+func (s *Sim) PartitionDir(dir env.LinkDir, isolated ...env.NodeID) *BlockHandle {
+	h := &BlockHandle{s: s, dir: dir, side: make(map[env.NodeID]bool, len(isolated))}
+	for _, id := range isolated {
+		h.side[id] = true
+	}
+	for _, b := range s.peers {
+		if h.side[b] {
+			continue
+		}
+		for a := range h.side {
+			h.blockPair(a, b)
+		}
+	}
+	s.parts = append(s.parts, h)
+	return h
+}
+
+// Heal removes all link blocks: every active partition handle is healed
+// and every SetLink toggle cleared.
+func (s *Sim) Heal() {
+	for len(s.parts) > 0 {
+		s.parts[len(s.parts)-1].Heal()
+	}
+	s.blocked = make(map[linkKey]int)
+	s.manual = make(map[linkKey]bool)
+}
 
 // nodeEnv is the env.Env for a single incarnation of a node. Callbacks are
 // delivered only while the incarnation is current.
@@ -348,7 +470,7 @@ func (s *Sim) send(from *simNode, to env.NodeID, msg env.Message) {
 	if int(to) < 0 || int(to) >= len(s.nodes) {
 		return
 	}
-	if s.blocked[linkKey{from.id, to}] {
+	if s.linkBlocked(from.id, to) {
 		return
 	}
 	nc := s.cfg.Net

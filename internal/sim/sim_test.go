@@ -349,3 +349,195 @@ func TestRunUntilIdle(t *testing.T) {
 		t.Fatalf("ran %d events", count)
 	}
 }
+
+// TestTimerStopAfterFireReportsFalse: the env.Timer contract — Stop
+// reports whether the callback was prevented. The event loop used to pop
+// events without clearing fn, so Stop on an already-fired timer claimed
+// it prevented a callback that had already run.
+func TestTimerStopAfterFireReportsFalse(t *testing.T) {
+	s, a, _ := twoNodes(t, Config{Seed: 20})
+	var tm env.Timer
+	fired := false
+	s.At(s.Now(), func() {
+		tm = a.n.e.After(5*time.Millisecond, func() { fired = true })
+	})
+	s.RunFor(20 * time.Millisecond)
+	if !fired {
+		t.Fatal("timer never fired")
+	}
+	if tm.Stop() {
+		t.Fatal("Stop claimed it prevented a callback that already ran")
+	}
+
+	// The counterpart: stopping before the fire prevents it and reports
+	// true; a second Stop is a no-op reporting false.
+	fired = false
+	s.At(s.Now(), func() {
+		tm = a.n.e.After(5*time.Millisecond, func() { fired = true })
+	})
+	s.RunFor(time.Millisecond)
+	if !tm.Stop() {
+		t.Fatal("Stop before the fire must report true")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop must report false")
+	}
+	s.RunFor(20 * time.Millisecond)
+	if fired {
+		t.Fatal("stopped timer fired anyway")
+	}
+}
+
+func threeNodes(t *testing.T, cfg Config) (*Sim, []*holder) {
+	t.Helper()
+	s := New(cfg)
+	hs := make([]*holder, 3)
+	for i := range hs {
+		h := &holder{}
+		hs[i] = h
+		s.AddNode(func() env.Node { h.n = &echoNode{}; return h.n })
+	}
+	s.StartAll()
+	s.RunFor(time.Millisecond)
+	return s, hs
+}
+
+// TestOverlappingPartitionsCompose: Heal used to clear the whole blocked
+// map, so healing one partition destroyed every other link block. Handles
+// must heal only their own blocks.
+func TestOverlappingPartitionsCompose(t *testing.T) {
+	s, hs := threeNodes(t, Config{Seed: 21})
+	h1 := s.Partition(1)
+	h2 := s.Partition(2)
+	h1.Heal()
+	s.At(s.Now(), func() {
+		hs[0].n.e.Send(1, "to-healed")
+		hs[0].n.e.Send(2, "to-partitioned")
+	})
+	s.RunFor(10 * time.Millisecond)
+	if len(hs[1].n.received) != 1 {
+		t.Fatalf("healed node received %v, want the message", hs[1].n.received)
+	}
+	if len(hs[2].n.received) != 0 {
+		t.Fatalf("healing partition 1 leaked traffic through partition 2: %v", hs[2].n.received)
+	}
+	// SetLink toggles survive a handle heal too.
+	s.SetLink(0, 1, true)
+	h3 := s.Partition(1)
+	h3.Heal()
+	s.At(s.Now(), func() { hs[0].n.e.Send(1, "still-blocked") })
+	s.RunFor(10 * time.Millisecond)
+	if len(hs[1].n.received) != 1 {
+		t.Fatalf("handle heal cleared a SetLink block: %v", hs[1].n.received)
+	}
+	h2.Heal()
+	s.SetLink(0, 1, false)
+	s.At(s.Now(), func() { hs[0].n.e.Send(2, "open-again") })
+	s.RunFor(10 * time.Millisecond)
+	if len(hs[2].n.received) != 1 {
+		t.Fatalf("after healing its own handle node 2 received %v", hs[2].n.received)
+	}
+}
+
+// TestPartitionAppliesToLateAddedNodes: Partition used to snapshot peers
+// at call time, so a node added afterwards (live rebalance booting a new
+// group) straddled the partition with open links to both sides.
+func TestPartitionAppliesToLateAddedNodes(t *testing.T) {
+	s, hs := threeNodes(t, Config{Seed: 22})
+	h := s.Partition(1)
+	late := &holder{}
+	id := s.AddNode(func() env.Node { late.n = &echoNode{}; return late.n })
+	s.Restart(id)
+	s.RunFor(time.Millisecond)
+	s.At(s.Now(), func() {
+		late.n.e.Send(1, "must-not-cross")
+		hs[1].n.e.Send(id, "must-not-cross-either")
+		late.n.e.Send(0, "majority-flows")
+	})
+	s.RunFor(10 * time.Millisecond)
+	if len(hs[1].n.received) != 0 || len(late.n.received) != 0 {
+		t.Fatalf("late node straddles the partition: victim %v, late %v",
+			hs[1].n.received, late.n.received)
+	}
+	if len(hs[0].n.received) != 1 {
+		t.Fatalf("majority-side delivery failed: %v", hs[0].n.received)
+	}
+	h.Heal()
+	s.At(s.Now(), func() { late.n.e.Send(1, "healed") })
+	s.RunFor(10 * time.Millisecond)
+	if len(hs[1].n.received) != 1 {
+		t.Fatalf("after heal the victim received %v", hs[1].n.received)
+	}
+}
+
+// TestPartitionOneWaySim: asymmetric loss — the victim hears the cluster
+// but its answers vanish (outbound), or the reverse (inbound).
+func TestPartitionOneWaySim(t *testing.T) {
+	s, a, b := twoNodes(t, Config{Seed: 23})
+	h := s.PartitionDir(env.LinkOutboundOnly, 1)
+	s.At(s.Now(), func() { a.n.e.Send(1, "ping") })
+	s.RunFor(10 * time.Millisecond)
+	if len(b.n.received) != 1 {
+		t.Fatalf("victim should hear inbound traffic: %v", b.n.received)
+	}
+	if len(a.n.received) != 0 {
+		t.Fatalf("victim's pong crossed an outbound-only partition: %v", a.n.received)
+	}
+	h.Heal()
+	s.PartitionDir(env.LinkInboundOnly, 1)
+	s.At(s.Now(), func() {
+		a.n.e.Send(1, "dropped")
+		b.n.e.Send(0, "heard")
+	})
+	s.RunFor(10 * time.Millisecond)
+	if len(b.n.received) != 1 {
+		t.Fatalf("inbound-only partition leaked traffic in: %v", b.n.received)
+	}
+	if len(a.n.received) != 1 {
+		t.Fatalf("victim's outbound traffic should flow: %v", a.n.received)
+	}
+}
+
+// TestDiskSlowdownStretchesWrites: SetDiskSlowdown retunes a node's disk
+// live — appends take factor× longer — and restoring factor 1 returns to
+// the configured timing. The degradation survives a crash/restart (it
+// belongs to the hardware, not the incarnation).
+func TestDiskSlowdownStretchesWrites(t *testing.T) {
+	appendTime := func(s *Sim, st env.Storage) time.Duration {
+		start := s.Now()
+		var done time.Time
+		st.Append(env.Record{Kind: "w", Size: 1 << 20}, func(error) { done = s.Now() })
+		s.RunFor(time.Second)
+		if done.IsZero() {
+			t.Fatal("append never completed")
+		}
+		return done.Sub(start)
+	}
+	s, _, _ := twoNodes(t, Config{Seed: 24})
+	base := appendTime(s, s.Storage(0))
+	s.SetDiskSlowdown(0, 8)
+	if got := s.DiskSlowdown(0); got != 8 {
+		t.Fatalf("DiskSlowdown = %v, want 8", got)
+	}
+	slow := appendTime(s, s.Storage(0))
+	if slow < 7*base {
+		t.Fatalf("8x-degraded append took %v, healthy %v — not stretched", slow, base)
+	}
+	// Survives crash/restart.
+	s.Crash(0)
+	s.RunFor(time.Second)
+	s.Restart(0)
+	s.RunFor(time.Second)
+	if got := s.DiskSlowdown(0); got != 8 {
+		t.Fatalf("slowdown did not survive restart: %v", got)
+	}
+	stillSlow := appendTime(s, s.Storage(0))
+	if stillSlow < 7*base {
+		t.Fatalf("post-restart degraded append took %v, healthy %v", stillSlow, base)
+	}
+	s.SetDiskSlowdown(0, 1)
+	restored := appendTime(s, s.Storage(0))
+	if restored > 2*base {
+		t.Fatalf("restored append took %v, healthy %v — not restored", restored, base)
+	}
+}

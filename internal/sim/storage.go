@@ -67,6 +67,13 @@ type diskStorage struct {
 	busyUntil time.Time
 	pending   []pendingAppend
 	flushing  bool
+
+	// slow is the live degradation factor of a failing drive (see
+	// Sim.SetDiskSlowdown): seek latency multiplies by it, bandwidth
+	// divides by it. Zero means unset, i.e. healthy (factor 1). It is a
+	// property of the hardware, not of an incarnation, so it survives
+	// crashes and restarts.
+	slow float64
 }
 
 type pendingAppend struct {
@@ -87,6 +94,33 @@ func (d *diskStorage) onCrash() {
 	d.flushing = false
 	// The disk itself keeps spinning; busyUntil is retained so a very
 	// fast restart still queues behind the in-progress physical write.
+}
+
+// setSlowdown retunes the drive's degradation factor live (clamped ≥ 1).
+func (d *diskStorage) setSlowdown(f float64) {
+	if f < 1 {
+		f = 1
+	}
+	d.slow = f
+}
+
+// slowdown returns the current degradation factor (1 when healthy).
+func (d *diskStorage) slowdown() float64 {
+	if d.slow == 0 {
+		return 1
+	}
+	return d.slow
+}
+
+// seekLatency is one seek + rotational delay under the current slowdown.
+func (d *diskStorage) seekLatency() time.Duration {
+	return time.Duration(float64(d.cfg.SyncLatency) * d.slowdown())
+}
+
+// xferTime is the transfer time of bytes at the given healthy bandwidth,
+// stretched by the current slowdown.
+func (d *diskStorage) xferTime(bytes int64, bandwidth float64) time.Duration {
+	return time.Duration(float64(bytes) / bandwidth * d.slowdown() * float64(time.Second))
 }
 
 // reserve allocates disk time of length dur starting no earlier than now
@@ -122,7 +156,7 @@ func (d *diskStorage) flush() {
 	for _, p := range batch {
 		bytes += p.rec.Size
 	}
-	dur := d.syncDuration() + time.Duration(float64(bytes)/d.cfg.WriteBandwidth*float64(time.Second))
+	dur := d.syncDuration() + d.xferTime(bytes, d.cfg.WriteBandwidth)
 	doneAt := d.reserve(dur)
 	d.sim.schedule(doneAt, func() {
 		// Durability point: the batch is on disk now.
@@ -139,7 +173,7 @@ func (d *diskStorage) flush() {
 // syncDuration draws one flush latency from the (possibly heavy-tailed)
 // sync distribution.
 func (d *diskStorage) syncDuration() time.Duration {
-	base := d.cfg.SyncLatency
+	base := d.seekLatency()
 	j := d.cfg.SyncJitter
 	if j <= 0 {
 		return base
@@ -162,8 +196,9 @@ func (d *diskStorage) chunked(bytes int64, bandwidth float64, done func()) {
 		if remaining < n {
 			n = remaining
 		}
-		dur := time.Duration(float64(n) / bandwidth * float64(time.Second))
-		doneAt := d.reserve(dur)
+		// Bandwidth is re-derated per chunk, so a slowdown applied (or
+		// lifted) mid-transfer shapes the remainder of the stream.
+		doneAt := d.reserve(d.xferTime(n, bandwidth))
 		d.sim.schedule(doneAt, func() {
 			if remaining-n > 0 {
 				step(remaining - n)
@@ -174,7 +209,7 @@ func (d *diskStorage) chunked(bytes int64, bandwidth float64, done func()) {
 			}
 		})
 	}
-	doneAt := d.reserve(d.cfg.SyncLatency)
+	doneAt := d.reserve(d.seekLatency())
 	d.sim.schedule(doneAt, func() { step(bytes) })
 }
 
@@ -203,7 +238,7 @@ func (d *diskStorage) Truncate(firstKept int64, done func(error)) {
 		d.firstIndex += drop
 	}
 	// Truncation is metadata only: charge one sync.
-	doneAt := d.reserve(d.cfg.SyncLatency)
+	doneAt := d.reserve(d.seekLatency())
 	inc := d.node.incarnation
 	d.sim.schedule(doneAt, func() {
 		if done != nil && d.node.alive && d.node.incarnation == inc {
@@ -228,7 +263,7 @@ func (d *diskStorage) SaveSnapshot(name string, snap env.Snapshot, done func(err
 
 func (d *diskStorage) DeleteSnapshot(name string, done func(error)) {
 	// Deletion is metadata only: charge one sync, like Truncate.
-	doneAt := d.reserve(d.cfg.SyncLatency)
+	doneAt := d.reserve(d.seekLatency())
 	inc := d.node.incarnation
 	d.sim.schedule(doneAt, func() {
 		delete(d.snapshots, name)

@@ -1,6 +1,7 @@
 package webtier
 
 import (
+	"io"
 	"time"
 
 	"robuststore/internal/core"
@@ -58,6 +59,10 @@ type Config struct {
 	Seed uint64
 	Net  sim.NetConfig
 	Disk sim.DiskConfig
+
+	// DebugLog, when non-nil, receives node Logf output (protocol-level
+	// election/recovery tracing; see sim.Config.DebugLog).
+	DebugLog io.Writer
 
 	// WatchdogInterval is how often each node's watchdog checks its
 	// application server (paper §5.1: restart "as soon as it detects
@@ -133,7 +138,7 @@ func NewCluster(cfg Config) *Cluster {
 		auto:      make([]bool, total),
 		crashedAt: make([]time.Time, total),
 	}
-	c.sim = sim.New(sim.Config{Seed: cfg.Seed, Net: cfg.Net, Disk: cfg.Disk})
+	c.sim = sim.New(sim.Config{Seed: cfg.Seed, Net: cfg.Net, Disk: cfg.Disk, DebugLog: cfg.DebugLog})
 	for i := 0; i < total; i++ {
 		idx, group := i, i/cfg.Servers
 		c.auto[i] = true
@@ -215,6 +220,59 @@ func (c *Cluster) Crash(i int) {
 
 // SetAutoRestart enables or disables the watchdog for server i.
 func (c *Cluster) SetAutoRestart(i int, auto bool) { c.auto[i] = auto }
+
+// PartitionServers isolates the given servers (flat indices) from the
+// rest of the cluster — the proxy included, so isolating a whole group
+// severs its client slice's path entirely. dir selects symmetric
+// isolation or one-way loss relative to the victims. The returned handle
+// heals exactly this partition; overlapping partitions compose. Counts
+// one injected fault.
+func (c *Cluster) PartitionServers(dir env.LinkDir, servers ...int) *sim.BlockHandle {
+	ids := make([]env.NodeID, len(servers))
+	for k, i := range servers {
+		ids[k] = c.serverIDs[i]
+	}
+	c.faults++
+	return c.sim.PartitionDir(dir, ids...)
+}
+
+// DegradeDisk slows server i's disk live by factor (seek × factor,
+// bandwidth ÷ factor) — the failing-disk straggler. The degradation
+// survives crash/restart of the server until RestoreDisk. Counts one
+// injected fault.
+func (c *Cluster) DegradeDisk(i int, factor float64) {
+	c.faults++
+	c.sim.SetDiskSlowdown(c.serverIDs[i], factor)
+}
+
+// SetDiskFactor retunes server i's disk factor without counting a fault —
+// the bookkeeping half of composing overlapping degradations (the fault
+// was counted when its event fired).
+func (c *Cluster) SetDiskFactor(i int, factor float64) {
+	c.sim.SetDiskSlowdown(c.serverIDs[i], factor)
+}
+
+// RestoreDisk returns server i's disk to its configured performance.
+func (c *Cluster) RestoreDisk(i int) {
+	c.sim.SetDiskSlowdown(c.serverIDs[i], 1)
+}
+
+// LeaderOf returns the flat index of the server currently leading group
+// g's consensus, or -1 while the group has no live leader. Call from
+// simulator context (the leader is executor-confined state).
+func (c *Cluster) LeaderOf(g int) int {
+	for m := 0; m < c.cfg.Servers; m++ {
+		i := g*c.cfg.Servers + m
+		if !c.sim.Alive(c.serverIDs[i]) {
+			continue
+		}
+		s := c.servers[i]
+		if s != nil && s.replica != nil && s.replica.IsLeader() {
+			return i
+		}
+	}
+	return -1
+}
 
 // ManualRecover restarts server i by operator intervention (the delayed
 // recovery of §5.6) and counts it against autonomy.

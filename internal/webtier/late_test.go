@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"robuststore/internal/env"
 	"robuststore/internal/rbe"
 )
 
@@ -29,9 +30,11 @@ func lateHarness(t *testing.T, c *Cluster, kind rbe.Interaction, done func(rbe.R
 	return nil, 0
 }
 
-// TestLateResponseAfterExpiryIsIgnored: a response arriving after the
-// request timed out must be dropped — the client already got its error;
-// finishing again would call done twice.
+// TestLateResponseAfterExpiryIsIgnored: a read whose reply never returns
+// (a silent server — one-way loss) is redispatched once on its first
+// timeout; the second timeout fails the client, and responses trailing in
+// after either attempt must be dropped — finishing again would call done
+// twice.
 func TestLateResponseAfterExpiryIsIgnored(t *testing.T) {
 	c := testCluster(t, 3, nil)
 	s := c.Sim()
@@ -39,19 +42,74 @@ func TestLateResponseAfterExpiryIsIgnored(t *testing.T) {
 	var last rbe.Response
 	s.At(s.Now(), func() {
 		r, id := lateHarness(t, c, rbe.Home, func(resp rbe.Response) { finishes++; last = resp })
-		_ = r
 		p := c.proxy
+		// First expiry of a read: redispatched away from the silent
+		// server, not failed — outstanding again under a fresh ID.
 		p.expire(id)
+		if r.finished || finishes != 0 {
+			t.Fatalf("first read expiry must redispatch, not finish: finishes=%d", finishes)
+		}
+		var retryID int64
+		for nid, v := range p.outstanding {
+			if v == r {
+				retryID = nid
+			}
+		}
+		if retryID == 0 || retryID == id {
+			t.Fatalf("read not redispatched under a fresh ID after expiry (got %d)", retryID)
+		}
+		// The expired attempt's answer trails in: superseded, ignored.
+		p.onResponse(respMsg{ID: id, Resp: rbe.Response{}})
+		if finishes != 0 {
+			t.Fatal("stale response to the expired attempt finished the request")
+		}
+		// The second expiry exhausts the retry budget: the client gets
+		// the error, exactly once.
+		p.expire(retryID)
 		if finishes != 1 || !last.Err {
 			t.Fatalf("expiry must finish the request with an error: finishes=%d resp=%+v", finishes, last)
 		}
 		// The server's answer arrives late: must be ignored entirely.
-		p.onResponse(respMsg{ID: id, Resp: rbe.Response{}})
-		p.onResponse(respMsg{ID: id, Resp: rbe.Response{}}) // and again
+		p.onResponse(respMsg{ID: retryID, Resp: rbe.Response{}})
+		p.onResponse(respMsg{ID: retryID, Resp: rbe.Response{}}) // and again
 	})
 	s.RunFor(time.Second)
 	if finishes != 1 {
 		t.Fatalf("done ran %d times, want exactly once", finishes)
+	}
+	if st := c.ProxyStats(); st.ErrTimeout != 1 || st.Redispatched != 1 {
+		t.Fatalf("expected one timeout and one redispatch in stats, got %+v", st)
+	}
+}
+
+// TestRetryWithLostReplyStillTimesOut: a server-error retry re-registers
+// the request under a fresh outstanding ID; the end-to-end timer must
+// follow it there. If the retry's reply is then lost (the retry landed
+// on a server silenced by one-way loss), the client must get a timeout
+// error — not hang forever with a timer keyed to the dead first attempt.
+func TestRetryWithLostReplyStillTimesOut(t *testing.T) {
+	c := testCluster(t, 3, nil)
+	s := c.Sim()
+	finishes := 0
+	var last rbe.Response
+	s.At(s.Now(), func() {
+		// Every server goes silent: requests arrive, replies vanish.
+		c.PartitionServers(env.LinkOutboundOnly, 0, 1, 2)
+		p := c.proxy
+		r, firstID := lateHarness(t, c, rbe.Home, func(resp rbe.Response) { finishes++; last = resp })
+		// Server-side error: the read is transparently retried under a
+		// fresh ID. Its reply never arrives (the retry's server is
+		// silent too).
+		p.onResponse(respMsg{ID: firstID, Resp: rbe.Response{Err: true}})
+		if r.finished || r.curID == firstID {
+			t.Fatalf("retry not re-registered: finished=%v curID=%d", r.finished, r.curID)
+		}
+	})
+	// Run past the end-to-end request timeout: the timer must expire the
+	// retried attempt and fail the client exactly once.
+	s.RunFor(c.cfg.Cal.ReqTimeout + 2*time.Second)
+	if finishes != 1 || !last.Err {
+		t.Fatalf("retried request with lost reply never timed out: finishes=%d resp=%+v", finishes, last)
 	}
 	if st := c.ProxyStats(); st.ErrTimeout != 1 {
 		t.Fatalf("expected one timeout in stats, got %+v", st)

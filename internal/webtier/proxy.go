@@ -20,7 +20,12 @@ import (
 //     client as an error (the closed connection), while requests to a dead
 //     server that were not yet sent are transparently redispatched
 //     (connection refused → next server); idempotent reads interrupted
-//     mid-flight are also redispatched once, writes are not.
+//     mid-flight are also redispatched once, writes are not;
+//   - a read whose reply never returns — a server gone silent under
+//     one-way loss or a partition, where no connection reset ever arrives
+//     — is redispatched once on timeout, away from the silent server;
+//     timed-out writes still surface as client errors (they may have
+//     executed server-side).
 type Proxy struct {
 	c *Cluster
 	e env.Env
@@ -69,7 +74,8 @@ type ProxyStats struct {
 type outReq struct {
 	req       rbe.Request
 	done      func(rbe.Response)
-	server    int // index into cluster servers
+	server    int   // index into cluster servers
+	curID     int64 // outstanding key of the current attempt
 	attempts  int
 	redirects int  // WrongEpoch re-routes (not balance retries)
 	requeued  bool // was held by a migration freeze (counted once)
@@ -159,9 +165,18 @@ func (p *Proxy) dispatch(r *outReq) {
 	p.nextID++
 	id := p.nextID
 	p.outstanding[id] = r
+	r.curID = id
 	if r.timer == nil {
+		// The timer follows the request across response-driven
+		// redispatches: it expires whichever attempt is current (curID),
+		// so a retry registered under a fresh ID after a server-side
+		// error or epoch redirect keeps its timeout — without this, a
+		// retry whose reply is lost (one-way loss) would hang forever.
+		// Only the expire-path redispatch arms a fresh timer (it nils
+		// r.timer first), so the worst-case client wait is 2×ReqTimeout:
+		// one full timeout on the silent attempt plus one on its retry.
 		r.timer = p.e.After(p.c.cfg.Cal.ReqTimeout, func() {
-			p.expire(id)
+			p.expire(r.curID)
 		})
 	}
 	p.e.Send(p.c.serverIDs[r.server], reqMsg{ID: id, Req: r.req})
@@ -231,6 +246,17 @@ func (p *Proxy) expire(id int64) {
 		return
 	}
 	delete(p.outstanding, id)
+	if !r.req.Kind.IsWrite() && r.attempts < 2 {
+		// The reply never came — a silent server (one-way loss: it heard
+		// the request but its answer is lost) or a wedged one. Idempotent
+		// reads get one redispatch with a fresh timer, away from the
+		// server that went silent; writes may have executed there, so
+		// they must surface as errors, which accuracy counts.
+		r.timer = nil
+		p.Stats.Redispatched++
+		p.dispatch(r)
+		return
+	}
 	p.Stats.ErrTimeout++
 	p.finish(r, rbe.Response{Err: true})
 }

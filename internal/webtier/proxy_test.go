@@ -4,8 +4,35 @@ import (
 	"testing"
 	"time"
 
+	"robuststore/internal/env"
 	"robuststore/internal/rbe"
 )
+
+// TestOneWayLossEvictsAndServiceContinues: a server under outbound-only
+// loss hears everything but its answers vanish — no connection reset ever
+// arrives. Its probe responses time out, the proxy evicts it after the
+// threshold, service continues on the survivors, and after the heal a
+// succeeding probe re-admits it.
+func TestOneWayLossEvictsAndServiceContinues(t *testing.T) {
+	c := testCluster(t, 3, nil)
+	s := c.Sim()
+	h := c.PartitionServers(env.LinkOutboundOnly, 1)
+	s.RunFor(8 * time.Second) // enough probe timeouts to cross the threshold
+	if c.proxy.up[1] {
+		t.Fatal("silent server still in rotation after the eviction threshold")
+	}
+	if resp, got := do(c, rbe.Request{Client: 7, Kind: rbe.Home, Item: 1}); !got || resp.Err {
+		t.Fatalf("read against the surviving servers failed: %+v got=%v", resp, got)
+	}
+	h.Heal()
+	s.RunFor(3 * time.Second)
+	if !c.proxy.up[1] {
+		t.Fatal("healed server was not re-admitted by a succeeding probe")
+	}
+	if c.Faults() != 1 {
+		t.Fatalf("one-way loss must count as one injected fault, got %d", c.Faults())
+	}
+}
 
 // TestRetryAvoidsFailingServer: a server-side error on a read triggers
 // one transparent retry, and that retry must not re-land on the server
