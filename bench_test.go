@@ -356,3 +356,40 @@ func BenchmarkAblationBatching(b *testing.B) {
 	b.ReportMetric(batched.WIRTms, "batched_WIRT_ms")
 	b.ReportMetric(unbatched.WIRTms, "unbatched_WIRT_ms")
 }
+
+// BenchmarkBatching tracks the WAL group-commit matrix: committed
+// actions/s against SyncMode × consensus pipeline depth on the default
+// simulated disk, at 1 and 4 shards, with the pre-group-commit engine
+// (reference pipeline, one Storage.Append per WAL record) as the baseline
+// row. Results are written to BENCH_batching.json; the headline metric is
+// the best single-group speedup over that baseline.
+func BenchmarkBatching(b *testing.B) {
+	var r exp.BatchingResult
+	for i := 0; i < b.N; i++ {
+		r = exp.Batching(exp.BatchingConfig{Seed: benchSeed})
+	}
+	exp.PrintBatching(os.Stdout, r)
+	report := struct {
+		Points             []exp.BatchingPoint `json:"points"`
+		SingleGroupSpeedup float64             `json:"single_group_speedup"`
+	}{r.Points, r.SingleGroupSpeedup()}
+	if data, err := json.MarshalIndent(report, "", "  "); err == nil {
+		if err := os.WriteFile("BENCH_batching.json", append(data, '\n'), 0o644); err != nil {
+			b.Logf("BENCH_batching.json not written: %v", err)
+		}
+	}
+	var base1, best1 float64
+	for _, pt := range r.Points {
+		if pt.Shards != 1 {
+			continue
+		}
+		if pt.Baseline {
+			base1 = pt.PerSec
+		} else if pt.PerSec > best1 {
+			best1 = pt.PerSec
+		}
+	}
+	b.ReportMetric(base1, "aps_1shard_base")
+	b.ReportMetric(best1, "aps_1shard_best")
+	b.ReportMetric(r.SingleGroupSpeedup(), "speedup_1shard")
+}

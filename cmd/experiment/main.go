@@ -14,6 +14,11 @@
 //	experiment -run checkpoint -short
 //	experiment -run partition -shards 2 -short
 //	experiment -run slowdisk
+//	experiment -run batching -short
+//
+// The batching mode prints the WAL group-commit matrix: committed
+// actions/s against SyncMode × consensus pipeline depth, with the
+// pre-group-commit engine as the baseline row.
 //
 // The partition mode runs the correlated network faultloads (leader
 // isolation, minority split, whole-group isolation, asymmetric one-way
@@ -42,7 +47,7 @@ import (
 
 func main() {
 	var (
-		which   = flag.String("run", "all", "experiment: speedup | scaleup | one-crash | two-crashes | delayed | recovery-times | ablations | sharded | sharded-recovery | rebalance | checkpoint | partition | slowdisk | all")
+		which   = flag.String("run", "all", "experiment: speedup | scaleup | one-crash | two-crashes | delayed | recovery-times | batching | ablations | sharded | sharded-recovery | rebalance | checkpoint | partition | slowdisk | all")
 		seed    = flag.Uint64("seed", 1, "root seed (runs are deterministic per seed)")
 		servers = flag.Int("servers", 5, "replication degree for single-run modes")
 		profile = flag.String("profile", "shopping", "workload profile for single-run modes: browsing | shopping | ordering")
@@ -182,10 +187,21 @@ func run(which string, seed uint64, servers int, profileName string, shards int,
 		exp.PrintDependability(out, "Delayed recovery: availability/autonomy", m)
 	case "recovery-times":
 		exp.PrintRecoveryTimes(out, exp.RecoveryTimes(seed))
+	case "batching":
+		// WAL group commit: ordered actions/s vs SyncMode × pipeline
+		// depth on the same simulated disk, against the pre-group-commit
+		// engine baseline (ROADMAP item 2).
+		cfg := exp.BatchingConfig{Seed: seed}
+		if short {
+			cfg.Shards = []int{1}
+			cfg.Warmup = time.Second
+			cfg.Measure = 2 * time.Second
+		}
+		exp.PrintBatching(out, exp.Batching(cfg))
 	case "ablations":
 		exp.PrintAblation(out, exp.AblationFastPaxos(seed))
 	case "all":
-		for _, w := range []string{"speedup", "scaleup", "one-crash", "two-crashes", "delayed", "recovery-times", "sharded", "sharded-recovery", "rebalance", "checkpoint", "partition", "slowdisk", "ablations"} {
+		for _, w := range []string{"speedup", "scaleup", "one-crash", "two-crashes", "delayed", "recovery-times", "batching", "sharded", "sharded-recovery", "rebalance", "checkpoint", "partition", "slowdisk", "ablations"} {
 			fmt.Fprintln(out)
 			if err := run(w, seed, servers, profileName, shards, short); err != nil {
 				return err

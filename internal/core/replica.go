@@ -292,6 +292,7 @@ type Replica struct {
 	pubHasLeader   atomic.Bool
 	pubIsLeader    atomic.Bool
 	pubBacklog     atomic.Int64
+	pubAdmission   atomic.Int32
 	pubLastApplied atomic.Int64
 	pubApplied     atomic.Int64
 	pubEnv         atomic.Value // env.Env, set once at Start
@@ -536,6 +537,7 @@ func (r *Replica) publishLoop() {
 		r.pubHasLeader.Store(r.en.CurrentBallot().Seq >= 0)
 		r.pubIsLeader.Store(r.en.IsLeader())
 		r.pubBacklog.Store(r.en.Backlog())
+		r.pubAdmission.Store(int32(r.en.AdmissionState()))
 	}
 	r.e.After(100*time.Millisecond, r.publishLoop)
 }
@@ -851,6 +853,24 @@ func (r *Replica) LeaderHint() bool { return r.pubIsLeader.Load() }
 // last publish tick (≤100 ms stale; safe from any goroutine). Use
 // Backlog for the loop-confined exact answer.
 func (r *Replica) BacklogHint() int64 { return r.pubBacklog.Load() }
+
+// AdmissionHint returns the proposer's write-admission grade at the last
+// publish tick (≤100 ms stale; safe from any goroutine). The web tier
+// uses it to pace or hold incoming writes while the local command queue
+// is deep, so overload shows up as queueing latency instead of consensus
+// retry timeouts. Use AdmissionState for the loop-confined exact answer.
+func (r *Replica) AdmissionHint() paxos.AdmissionState {
+	return paxos.AdmissionState(r.pubAdmission.Load())
+}
+
+// AdmissionState returns the proposer's current write-admission grade.
+// Loop-confined.
+func (r *Replica) AdmissionState() paxos.AdmissionState {
+	if r.en == nil {
+		return paxos.AdmissionClear
+	}
+	return r.en.AdmissionState()
+}
 
 // Machine exposes the local state machine for read-only queries. Reads
 // are served locally without total ordering, as in RobustStore where 95 %

@@ -142,6 +142,16 @@ type Storage interface {
 	// allowed.
 	Append(rec Record, done func(error))
 
+	// AppendBatch durably appends several records as one group commit:
+	// the whole batch shares a single flush (the simulator charges one
+	// sync latency plus the summed transfer time; the live runtime
+	// performs one write), and done runs once, after every record in the
+	// batch is durable. Record order within the batch is preserved, and
+	// batches complete in order relative to other Append/AppendBatch
+	// calls. The WAL sync coalescing of internal/paxos (SyncBatch mode)
+	// is built on this call. A nil done is allowed.
+	AppendBatch(recs []Record, done func(error))
+
 	// ReadRecords asynchronously reads the whole retained log, oldest
 	// first, and calls done on the node's executor. It is used during
 	// Start (recovery); the simulator charges modeled disk-read time

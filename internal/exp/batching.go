@@ -1,0 +1,158 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"robuststore/internal/paxos"
+	"robuststore/internal/shard"
+)
+
+// This file is the WAL group-commit experiment behind ROADMAP item 2: on
+// the same simulated disk, how far do sync coalescing (SyncMode) and a
+// deeper consensus pipeline (MaxInFlight) move one group's ordered
+// throughput, and does the gain survive sharding? The baseline row
+// reproduces the pre-group-commit engine — the shard-scaling reference
+// pipeline (batch 8, 4 in flight) with one Storage.Append per WAL record
+// — so the speedup column reads directly as "× over the old engine".
+
+// BatchingConfig parameterizes the batching matrix.
+type BatchingConfig struct {
+	// Shards lists the deployments swept. Default {1, 4}.
+	Shards []int
+
+	// OfferedPerShard is the offered load per group in actions/second,
+	// high enough to saturate one pipeline. Default 50000.
+	OfferedPerShard int
+
+	// Warmup and Measure are per-cell simulation intervals. Defaults
+	// 2 s and 5 s.
+	Warmup  time.Duration
+	Measure time.Duration
+
+	// Seed fixes every cell's simulation.
+	Seed uint64
+}
+
+func (c BatchingConfig) withDefaults() BatchingConfig {
+	if c.Shards == nil {
+		c.Shards = []int{1, 4}
+	}
+	if c.OfferedPerShard == 0 {
+		c.OfferedPerShard = 50000
+	}
+	if c.Warmup == 0 {
+		c.Warmup = 2 * time.Second
+	}
+	if c.Measure == 0 {
+		c.Measure = 5 * time.Second
+	}
+	return c
+}
+
+// BatchingPoint is one cell of the SyncMode × MaxInFlight matrix.
+type BatchingPoint struct {
+	Shards      int
+	Sync        string // WAL sync policy (paxos.SyncMode)
+	MaxInFlight int    // consensus pipeline depth
+	MaxBatch    int    // commands per proposed value
+	Offered     int    // aggregate offered actions/second
+	PerSec      float64
+	Baseline    bool    // the pre-group-commit reference engine
+	Speedup     float64 // PerSec over the same-shard baseline
+}
+
+// BatchingResult is the data behind BENCH_batching.json.
+type BatchingResult struct {
+	Points []BatchingPoint
+}
+
+// Batching runs the matrix: for each shard count, the pre-group-commit
+// baseline, then SyncMode {immediate, batch, none} × MaxInFlight {4, 32}
+// with the wider group-commit batch.
+func Batching(cfg BatchingConfig) BatchingResult {
+	cfg = cfg.withDefaults()
+	var out BatchingResult
+	measure := func(shards int, p paxos.Config, baseline bool, basePerSec float64) BatchingPoint {
+		r := shard.MeasureThroughput(shard.ThroughputConfig{
+			Shards:  shards,
+			Offered: cfg.OfferedPerShard * shards,
+			Warmup:  cfg.Warmup,
+			Measure: cfg.Measure,
+			Seed:    cfg.Seed,
+			Paxos:   p,
+		})
+		pt := BatchingPoint{
+			Shards:      shards,
+			Sync:        p.Sync.String(),
+			MaxInFlight: p.MaxInFlight,
+			MaxBatch:    p.MaxBatchCmds,
+			Offered:     r.Offered,
+			PerSec:      r.PerSec,
+			Baseline:    baseline,
+		}
+		if basePerSec > 0 {
+			pt.Speedup = pt.PerSec / basePerSec
+		}
+		return pt
+	}
+	for _, shards := range cfg.Shards {
+		base := measure(shards, referencePipeline(), true, 0)
+		base.Speedup = 1
+		out.Points = append(out.Points, base)
+		for _, mode := range []paxos.SyncMode{paxos.SyncImmediate, paxos.SyncBatch, paxos.SyncNone} {
+			for _, inflight := range []int{4, 32} {
+				p := paxos.Config{
+					BatchDelay:   time.Millisecond,
+					MaxBatchCmds: 64,
+					MaxInFlight:  inflight,
+					Sync:         mode,
+				}
+				out.Points = append(out.Points, measure(shards, p, false, base.PerSec))
+			}
+		}
+	}
+	return out
+}
+
+// referencePipeline is the pre-group-commit engine shape: the
+// shard-scaling reference proposer window with one synchronous
+// Storage.Append per WAL record.
+func referencePipeline() paxos.Config {
+	return paxos.Config{
+		BatchDelay:   time.Millisecond,
+		MaxBatchCmds: 8,
+		MaxInFlight:  4,
+		Sync:         paxos.SyncImmediate,
+	}
+}
+
+// SingleGroupSpeedup returns the best non-baseline single-group speedup in
+// the result — the acceptance number for the group-commit work.
+func (r BatchingResult) SingleGroupSpeedup() float64 {
+	best := 0.0
+	for _, pt := range r.Points {
+		if pt.Shards == 1 && !pt.Baseline && pt.Speedup > best {
+			best = pt.Speedup
+		}
+	}
+	return best
+}
+
+// PrintBatching renders the matrix grouped by shard count.
+func PrintBatching(w io.Writer, r BatchingResult) {
+	fmt.Fprintln(w, "Batching — committed actions/s vs SyncMode × MaxInFlight")
+	fmt.Fprintf(w, "%-8s%-18s%10s%8s%12s%12s%10s\n",
+		"shards", "sync", "inflight", "batch", "offered/s", "actions/s", "speedup")
+	for _, pt := range r.Points {
+		name := pt.Sync
+		if pt.Baseline {
+			name += " (base)"
+		}
+		fmt.Fprintf(w, "%-8d%-18s%10d%8d%12d%12.0f%10.2f\n",
+			pt.Shards, name, pt.MaxInFlight, pt.MaxBatch, pt.Offered, pt.PerSec, pt.Speedup)
+	}
+	fmt.Fprintf(w, "best single-group speedup vs pre-group-commit engine: %.2f×\n",
+		r.SingleGroupSpeedup())
+}

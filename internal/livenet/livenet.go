@@ -61,6 +61,7 @@ type Cluster struct {
 	linkMu  sync.RWMutex
 	blocked map[linkKey]int
 	manual  map[linkKey]bool
+	loss    map[linkKey]float64
 	parts   []*BlockHandle
 }
 
@@ -93,7 +94,29 @@ func New(cfg Config) *Cluster {
 		rng:     xrand.New(cfg.Seed*0x9e3779b97f4a7c15 + 3),
 		blocked: make(map[linkKey]int),
 		manual:  make(map[linkKey]bool),
+		loss:    make(map[linkKey]float64),
 	}
+}
+
+// SetLinkLoss sets a per-link message loss rate on the directed link
+// from → to (0 clears it). It sits alongside the link-block layer: a lossy
+// link composes with partitions and SetLink toggles covering the same
+// pair, and healing a partition never clears a loss rate.
+func (c *Cluster) SetLinkLoss(from, to env.NodeID, rate float64) {
+	c.linkMu.Lock()
+	defer c.linkMu.Unlock()
+	if rate <= 0 {
+		delete(c.loss, linkKey{from, to})
+	} else {
+		c.loss[linkKey{from, to}] = rate
+	}
+}
+
+// linkLoss returns the loss rate of the directed link from → to.
+func (c *Cluster) linkLoss(from, to env.NodeID) float64 {
+	c.linkMu.RLock()
+	defer c.linkMu.RUnlock()
+	return c.loss[linkKey{from, to}]
 }
 
 // SetLink blocks or unblocks the directed network link from → to. It is a
@@ -426,6 +449,9 @@ func (e *liveEnv) Send(to env.NodeID, msg env.Message) {
 	if c.cfg.DropRate > 0 && rand.Float64() < c.cfg.DropRate {
 		return
 	}
+	if r := c.linkLoss(e.n.id, to); r > 0 && rand.Float64() < r {
+		return
+	}
 	from := e.n.id
 	delay := c.cfg.Latency
 	if c.cfg.Jitter > 0 {
@@ -483,6 +509,16 @@ func (s *storageView) Append(rec env.Record, done func(error)) {
 	st := s.n.storage
 	st.mu.Lock()
 	st.records = append(st.records, rec)
+	st.mu.Unlock()
+	if done != nil {
+		s.done(func() { done(nil) })
+	}
+}
+
+func (s *storageView) AppendBatch(recs []env.Record, done func(error)) {
+	st := s.n.storage
+	st.mu.Lock()
+	st.records = append(st.records, recs...)
 	st.mu.Unlock()
 	if done != nil {
 		s.done(func() { done(nil) })

@@ -1,0 +1,114 @@
+package paxos
+
+// AdmissionConfig parameterizes the proposer's write-admission controller
+// (rockyardkv write_controller idiom: graded slowdown/stop triggers keyed
+// on backlog depth). The controller watches the local command queue — the
+// commands waiting behind the MaxInFlight window — and grades the
+// proposer's health so the layer above (internal/webtier) can shed or
+// delay writes before they reach the retry-timeout cliff: overload then
+// degrades to queueing latency instead of timeouts.
+//
+// Zero thresholds take defaults derived from the proposer window
+// W = MaxInFlight × MaxBatchCmds (the number of commands the pipeline
+// absorbs per round trip): SlowdownCmds = 8·W, StopCmds = 32·W, and the
+// byte thresholds scale those by the default command size.
+type AdmissionConfig struct {
+	// SlowdownCmds is the queued-command depth at which the controller
+	// reports AdmissionSlowdown.
+	SlowdownCmds int
+
+	// StopCmds is the queued-command depth at which the controller
+	// reports AdmissionStop.
+	StopCmds int
+
+	// SlowdownBytes and StopBytes are the equivalent thresholds on
+	// queued bytes; whichever trigger (count or bytes) fires first wins.
+	SlowdownBytes int64
+	StopBytes     int64
+}
+
+func (a AdmissionConfig) withDefaults(window int, cmdSize int64) AdmissionConfig {
+	if a.SlowdownCmds == 0 {
+		a.SlowdownCmds = 8 * window
+	}
+	if a.StopCmds == 0 {
+		a.StopCmds = 32 * window
+	}
+	if a.SlowdownBytes == 0 {
+		a.SlowdownBytes = int64(a.SlowdownCmds) * cmdSize
+	}
+	if a.StopBytes == 0 {
+		a.StopBytes = int64(a.StopCmds) * cmdSize
+	}
+	return a
+}
+
+// AdmissionState is the proposer's current write-admission grade.
+type AdmissionState int
+
+const (
+	// AdmissionClear admits writes at full rate.
+	AdmissionClear AdmissionState = iota
+
+	// AdmissionSlowdown signals that the backlog passed the slowdown
+	// trigger: callers should pace new writes (the web tier stretches
+	// its submit path) but nothing is refused.
+	AdmissionSlowdown
+
+	// AdmissionStop signals that the backlog passed the stop trigger:
+	// callers must hold new writes until the state clears.
+	AdmissionStop
+)
+
+// String implements fmt.Stringer.
+func (s AdmissionState) String() string {
+	switch s {
+	case AdmissionClear:
+		return "clear"
+	case AdmissionSlowdown:
+		return "slowdown"
+	case AdmissionStop:
+		return "stop"
+	default:
+		return "unknown"
+	}
+}
+
+// admissionController grades queue pressure with hysteresis: a state
+// escalates as soon as a trigger is crossed but de-escalates only once
+// the backlog falls below half that trigger, so the grade does not
+// flap at the threshold while the queue oscillates around it.
+type admissionController struct {
+	cfg   AdmissionConfig
+	state AdmissionState
+}
+
+// update re-grades from the current queue depth and bytes and reports the
+// (possibly unchanged) state.
+func (a *admissionController) update(cmds int, bytes int64) AdmissionState {
+	stop := cmds >= a.cfg.StopCmds || bytes >= a.cfg.StopBytes
+	slow := cmds >= a.cfg.SlowdownCmds || bytes >= a.cfg.SlowdownBytes
+	switch a.state {
+	case AdmissionStop:
+		if cmds < a.cfg.StopCmds/2 && bytes < a.cfg.StopBytes/2 {
+			if slow {
+				a.state = AdmissionSlowdown
+			} else {
+				a.state = AdmissionClear
+			}
+		}
+	case AdmissionSlowdown:
+		if stop {
+			a.state = AdmissionStop
+		} else if cmds < a.cfg.SlowdownCmds/2 && bytes < a.cfg.SlowdownBytes/2 {
+			a.state = AdmissionClear
+		}
+	default:
+		if stop {
+			a.state = AdmissionStop
+		} else if slow {
+			a.state = AdmissionSlowdown
+		}
+	}
+	return a.state
+}

@@ -24,10 +24,35 @@ type Config struct {
 	MaxBatchCmds int
 
 	// MaxInFlight bounds the number of proposed-but-undelivered batches
-	// per node; further commands queue locally and are packed into
-	// larger batches (backpressure grows the group-commit size under
-	// load). Default 5.
+	// per node — the consensus pipeline depth. Proposals stream into
+	// consecutive instance slots without waiting for earlier batches to
+	// be learned; once the window is full, further commands queue
+	// locally and are packed into full batches as slots free up
+	// (backpressure grows the group-commit size under load). The bound
+	// is enforced uniformly: no proposal path — size-triggered,
+	// timer-triggered, or queue drain — may overshoot it. Default 5.
 	MaxInFlight int
+
+	// Sync selects the WAL flush policy (see SyncMode). The default,
+	// SyncBatch, coalesces concurrently pending WAL records into one
+	// group commit per flush.
+	Sync SyncMode
+
+	// SyncBytes flushes a pending WAL group early once it holds this
+	// many bytes (SyncBatch only). Default 256 KiB.
+	SyncBytes int64
+
+	// SyncDelay bounds how long a pending WAL group may wait for more
+	// records before flushing (SyncBatch only). The default, 0, flushes
+	// at the next executor step: coalescing then comes only from records
+	// that pile up behind an in-flight flush, which adds no latency at
+	// low concurrency and converges to full group commit under load.
+	SyncDelay time.Duration
+
+	// Admission parameterizes the proposer's write-admission controller
+	// (see AdmissionConfig). Zero fields take defaults derived from the
+	// MaxInFlight × MaxBatchCmds window.
+	Admission AdmissionConfig
 
 	// HeartbeatInterval is the failure-detector ping period. Default
 	// 100 ms.
@@ -110,6 +135,10 @@ func (c Config) withDefaults() Config {
 	if c.CmdSize == nil {
 		c.CmdSize = func(any) int64 { return 128 }
 	}
+	if c.SyncBytes == 0 {
+		c.SyncBytes = 256 << 10
+	}
+	c.Admission = c.Admission.withDefaults(c.MaxInFlight*c.MaxBatchCmds, 128)
 	return c
 }
 
@@ -128,14 +157,18 @@ type Engine struct {
 	started time.Time
 	epoch   int64 // incarnation identifier embedded in ValueIDs
 
-	// Proposer.
+	// Proposer. cmdQueue is a FIFO ring: qHead indexes the next command
+	// to propose and the consumed prefix is reclaimed in place, so deep
+	// backlogs drain in O(n) total instead of reallocating the remainder
+	// per batch.
 	nextSeq     int64
-	batch       []any
-	batchBytes  int64
 	batchTimer  env.Timer
 	outstanding map[int64]*pendingValue // keyed by ValueID.Seq
 	cmdQueue    []any
+	qHead       int
 	queueBytes  int64
+	wal         *walWriter
+	adm         admissionController
 
 	// Acceptor (durable; rebuilt from the WAL on boot).
 	promised     Ballot
@@ -176,6 +209,7 @@ func New(cfg Config) *Engine {
 	}
 	return &Engine{
 		cfg:          cfg,
+		adm:          admissionController{cfg: cfg.Admission},
 		outstanding:  make(map[int64]*pendingValue),
 		instPromised: make(map[InstanceID]Ballot),
 		accepted:     make(map[InstanceID]acceptedInfo),
@@ -196,6 +230,7 @@ func New(cfg Config) *Engine {
 // ready, if non-nil, runs once the WAL has been replayed.
 func (en *Engine) Boot(e env.Env, deliverFloor InstanceID, ready func()) {
 	en.e = e
+	en.wal = newWALWriter(e, en.cfg.Sync, en.cfg.SyncBytes, en.cfg.SyncDelay)
 	en.me = e.ID()
 	en.members = en.cfg.Members
 	if en.members == nil {
@@ -346,46 +381,95 @@ func (en *Engine) aliveCount() int {
 
 // Submit proposes one application command for total ordering. Commands
 // are batched (group commit) and delivered through Config.Deliver on every
-// replica. Submit never blocks; flow control is by MaxInFlight batching.
+// replica. Submit never blocks; flow control is by MaxInFlight batching,
+// with queue pressure graded through AdmissionState.
 func (en *Engine) Submit(cmd any) {
-	if len(en.outstanding) >= en.cfg.MaxInFlight {
-		en.cmdQueue = append(en.cmdQueue, cmd)
-		en.queueBytes += en.cfg.CmdSize(cmd)
-		return
-	}
-	en.batch = append(en.batch, cmd)
-	en.batchBytes += en.cfg.CmdSize(cmd)
-	if len(en.batch) >= en.cfg.MaxBatchCmds {
-		en.flushBatch()
-		return
-	}
-	if en.batchTimer == nil {
-		en.batchTimer = en.e.After(en.cfg.BatchDelay, func() {
-			en.batchTimer = nil
-			en.flushBatch()
-		})
-	}
+	en.cmdQueue = append(en.cmdQueue, cmd)
+	en.queueBytes += en.cfg.CmdSize(cmd)
+	en.pump()
 }
 
-func (en *Engine) flushBatch() {
-	if en.batchTimer != nil {
-		en.batchTimer.Stop()
-		en.batchTimer = nil
+// queueLen is the number of commands waiting to be proposed.
+func (en *Engine) queueLen() int { return len(en.cmdQueue) - en.qHead }
+
+// pump streams queued commands into the proposal pipeline: full batches
+// go out while MaxInFlight slots are free, and a leftover partial batch
+// is held for up to BatchDelay to give it a chance to fill. Every path
+// into the pipeline runs through here, so the in-flight cap is uniform —
+// a timer-driven flush can never overshoot the window.
+func (en *Engine) pump() {
+	for en.queueLen() >= en.cfg.MaxBatchCmds && len(en.outstanding) < en.cfg.MaxInFlight {
+		en.proposeNext(en.cfg.MaxBatchCmds)
 	}
-	if len(en.batch) == 0 {
-		return
+	if en.queueLen() > 0 && len(en.outstanding) < en.cfg.MaxInFlight && en.batchTimer == nil {
+		en.batchTimer = en.e.After(en.cfg.BatchDelay, func() {
+			en.batchTimer = nil
+			if n := en.queueLen(); n > 0 && len(en.outstanding) < en.cfg.MaxInFlight {
+				if n > en.cfg.MaxBatchCmds {
+					n = en.cfg.MaxBatchCmds
+				}
+				en.proposeNext(n)
+			}
+			en.pump()
+		})
 	}
+	en.compactQueue()
+	en.adm.update(en.queueLen(), en.queueBytes)
+}
+
+// proposeNext packs the next n queued commands into one value and
+// proposes it. The commands are copied out so the ring slots can be
+// reclaimed.
+func (en *Engine) proposeNext(n int) {
+	cmds := make([]any, n)
+	copy(cmds, en.cmdQueue[en.qHead:en.qHead+n])
+	for i := en.qHead; i < en.qHead+n; i++ {
+		en.cmdQueue[i] = nil // release for GC
+	}
+	en.qHead += n
+	var bytes int64
+	for _, c := range cmds {
+		bytes += en.cfg.CmdSize(c)
+	}
+	en.queueBytes -= bytes
 	en.nextSeq++
 	v := Value{
 		ID:   ValueID{Node: en.me, Epoch: en.epoch, Seq: en.nextSeq},
-		Cmds: en.batch,
-		Size: en.batchBytes + 64,
+		Cmds: cmds,
+		Size: bytes + 64,
 	}
-	en.batch = nil
-	en.batchBytes = 0
 	en.outstanding[v.ID.Seq] = &pendingValue{v: v, lastSent: en.e.Now()}
 	en.propose(v)
 }
+
+// compactQueue reclaims the consumed queue prefix: a drained queue resets
+// in place, and a large consumed prefix slides the live suffix down —
+// amortized O(1) per command, never O(queue) per batch.
+func (en *Engine) compactQueue() {
+	switch {
+	case en.qHead == 0:
+	case en.qHead == len(en.cmdQueue):
+		en.cmdQueue = en.cmdQueue[:0]
+		en.qHead = 0
+	case en.qHead > 1024 && en.qHead > len(en.cmdQueue)/2:
+		n := copy(en.cmdQueue, en.cmdQueue[en.qHead:])
+		tail := en.cmdQueue[n:]
+		for i := range tail {
+			tail[i] = nil
+		}
+		en.cmdQueue = en.cmdQueue[:n]
+		en.qHead = 0
+	}
+}
+
+// AdmissionState returns the proposer's current write-admission grade.
+// Callers upstream of Submit use it to pace or hold new writes while the
+// local backlog is deep.
+func (en *Engine) AdmissionState() AdmissionState { return en.adm.state }
+
+// QueueDepth returns the number of commands waiting behind the
+// MaxInFlight window (not yet proposed).
+func (en *Engine) QueueDepth() int { return en.queueLen() }
 
 // propose routes a value into the protocol according to the current mode.
 func (en *Engine) propose(v Value) {
@@ -405,32 +489,6 @@ func (en *Engine) propose(v Value) {
 		}
 		// With no leader the value stays outstanding and the retry
 		// sweep re-proposes it once a leader emerges.
-	}
-}
-
-// drainQueue moves queued commands into batches as in-flight slots free
-// up.
-func (en *Engine) drainQueue() {
-	for len(en.cmdQueue) > 0 && len(en.outstanding) < en.cfg.MaxInFlight {
-		n := en.cfg.MaxBatchCmds
-		if n > len(en.cmdQueue) {
-			n = len(en.cmdQueue)
-		}
-		cmds := en.cmdQueue[:n]
-		en.cmdQueue = append([]any(nil), en.cmdQueue[n:]...)
-		var bytes int64
-		for _, c := range cmds {
-			bytes += en.cfg.CmdSize(c)
-		}
-		en.queueBytes -= bytes
-		en.nextSeq++
-		v := Value{
-			ID:   ValueID{Node: en.me, Epoch: en.epoch, Seq: en.nextSeq},
-			Cmds: cmds,
-			Size: bytes + 64,
-		}
-		en.outstanding[v.ID.Seq] = &pendingValue{v: v, lastSent: en.e.Now()}
-		en.propose(v)
 	}
 }
 
@@ -556,7 +614,7 @@ func (en *Engine) advance() {
 			en.cfg.Deliver(inst, v)
 		}
 	}
-	en.drainQueue()
+	en.pump()
 }
 
 // markDelivered records a value id and reports whether it was fresh.
@@ -769,10 +827,11 @@ func (en *Engine) Compact(through InstanceID) {
 	})
 }
 
-// appendRecord writes a durable record and tracks the global record index.
+// appendRecord writes a durable record through the WAL writer (which
+// applies the configured SyncMode) and tracks the global record index.
 func (en *Engine) appendRecord(rec env.Record, done func(error)) {
 	en.records++
-	en.e.Storage().Append(rec, done)
+	en.wal.append(rec, done)
 }
 
 // --- Housekeeping ------------------------------------------------------

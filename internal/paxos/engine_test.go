@@ -55,11 +55,20 @@ func (n *engineNode) Receive(from env.NodeID, msg env.Message) {
 
 var testFast bool
 
+// testTune, when non-nil, adjusts every engine's Config before New —
+// flow-control tests use it to shrink windows and thresholds. Tests that
+// set it must clear it on exit (defer func() { testTune = nil }()).
+var testTune func(*Config)
+
 func (c *testCluster) baseConfig() Config {
-	return Config{
+	cfg := Config{
 		FastEnabled: testFast,
 		BatchDelay:  2 * time.Millisecond,
 	}
+	if testTune != nil {
+		testTune(&cfg)
+	}
+	return cfg
 }
 
 func newCluster(t *testing.T, n int, fast bool, seed uint64, net sim.NetConfig) *testCluster {

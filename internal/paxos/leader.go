@@ -175,12 +175,20 @@ func (en *Engine) establish() {
 		en.broadcast(anyMsg{B: ls.b, From: ls.nextInstance})
 	}
 
-	// Re-propose our own outstanding values and drain the local queue.
-	for _, pv := range en.outstanding {
+	// Re-propose our own outstanding values — in submission order, not
+	// map order, so values that have never reached an instance yet are
+	// assigned consecutive slots FIFO — and drain the local queue.
+	seqs := make([]int64, 0, len(en.outstanding))
+	for seq := range en.outstanding {
+		seqs = append(seqs, seq)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	for _, seq := range seqs {
+		pv := en.outstanding[seq]
 		pv.lastSent = en.e.Now()
 		en.propose(pv.v)
 	}
-	en.drainQueue()
+	en.pump()
 }
 
 // selectValue applies the phase-1 value-selection rule to the reports a

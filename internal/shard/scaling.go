@@ -41,6 +41,16 @@ type ThroughputConfig struct {
 
 	// Seed fixes the simulation.
 	Seed uint64
+
+	// Paxos, when non-zero (detected by MaxBatchCmds ≠ 0), overrides the
+	// per-group ordering pipeline — batch window, pipeline depth, WAL
+	// SyncMode — so experiments can sweep proposer configurations
+	// (internal/exp's batching curve). Zero keeps the reference pipeline
+	// used by the shard-scaling benchmark.
+	Paxos paxos.Config
+
+	// Disk, when non-zero, overrides the simulated disk of every node.
+	Disk sim.DiskConfig
 }
 
 func (c ThroughputConfig) withDefaults() ThroughputConfig {
@@ -92,7 +102,20 @@ type throughputAction struct {
 // cluster and returns the committed-actions/sec it sustained.
 func MeasureThroughput(cfg ThroughputConfig) ThroughputResult {
 	cfg = cfg.withDefaults()
-	s := sim.New(sim.Config{Seed: cfg.Seed})
+	pcfg := cfg.Paxos
+	if pcfg.MaxBatchCmds == 0 {
+		// The reference per-group ordering pipeline: a short batch window
+		// with bounded batch size and in-flight values, so one group's
+		// throughput is governed by its WAL flush rate rather than
+		// unbounded batching. The batching experiment overrides this via
+		// ThroughputConfig.Paxos to sweep SyncMode × pipeline depth.
+		pcfg = paxos.Config{
+			BatchDelay:   time.Millisecond,
+			MaxBatchCmds: 8,
+			MaxInFlight:  4,
+		}
+	}
+	s := sim.New(sim.Config{Seed: cfg.Seed, Disk: cfg.Disk})
 	store := New(s, Config{
 		Shards:   cfg.Shards,
 		Replicas: cfg.Replicas,
@@ -101,15 +124,7 @@ func MeasureThroughput(cfg ThroughputConfig) ThroughputResult {
 			// Checkpoints off the measurement path.
 			CheckpointInterval: time.Hour,
 			ActionSize:         func(any) int64 { return 160 },
-			// The per-group ordering pipeline under test: a short batch
-			// window with bounded batch size and in-flight values, so
-			// one group's throughput is governed by its WAL flush rate
-			// rather than unbounded batching.
-			Paxos: paxos.Config{
-				BatchDelay:   time.Millisecond,
-				MaxBatchCmds: 8,
-				MaxInFlight:  4,
-			},
+			Paxos:              pcfg,
 		},
 	})
 	s.StartAll()

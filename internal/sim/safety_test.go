@@ -52,7 +52,10 @@ type safetyCluster struct {
 	machines []*recMachine   // current incarnation's state machine
 }
 
-func newSafetyCluster(t *testing.T, n int, seed uint64) *safetyCluster {
+// newSafetyCluster builds n core.Replica nodes; tune, if non-nil,
+// adjusts each node's core.Config (the pipelined variant deepens the
+// proposer window).
+func newSafetyCluster(t *testing.T, n int, seed uint64, tune func(*core.Config)) *safetyCluster {
 	t.Helper()
 	c := &safetyCluster{
 		s:        sim.New(sim.Config{Seed: seed}),
@@ -63,7 +66,7 @@ func newSafetyCluster(t *testing.T, n int, seed uint64) *safetyCluster {
 	for i := 0; i < n; i++ {
 		idx := i
 		id := c.s.AddNode(func() env.Node {
-			r := core.NewReplica(core.Config{
+			cfg := core.Config{
 				Machine: func() core.StateMachine {
 					m := &recMachine{}
 					c.machines[idx] = m
@@ -74,7 +77,11 @@ func newSafetyCluster(t *testing.T, n int, seed uint64) *safetyCluster {
 				// suffix-replay path rather than pure log replay.
 				CheckpointInterval: 2 * time.Second,
 				RetainInstances:    64,
-			})
+			}
+			if tune != nil {
+				tune(&cfg)
+			}
+			r := core.NewReplica(cfg)
 			c.replicas[idx] = r
 			return r
 		})
@@ -139,16 +146,38 @@ func TestPaxosSafetyUnderCrashSchedules(t *testing.T) {
 	}
 	for seed := 0; seed < seeds; seed++ {
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
-			runCrashSchedule(t, uint64(seed))
+			runCrashSchedule(t, uint64(seed), nil)
 		})
 	}
 }
 
-func runCrashSchedule(t *testing.T, seed uint64) {
+// TestPaxosSafetyPipelined re-runs the crash schedules with the deep
+// consensus pipeline of the group-commit configuration — MaxInFlight 32 ×
+// MaxBatchCmds 64 streaming into consecutive instances — plus per-link
+// loss windows on top of the crashes and partitions. Agreement and
+// convergence must be insensitive to pipeline depth and flaky links.
+func TestPaxosSafetyPipelined(t *testing.T) {
+	seeds := 8
+	if testing.Short() {
+		seeds = 3
+	}
+	tune := func(cfg *core.Config) {
+		cfg.Paxos.MaxBatchCmds = 64
+		cfg.Paxos.MaxInFlight = 32
+		cfg.Paxos.BatchDelay = time.Millisecond
+	}
+	for seed := 0; seed < seeds; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			runCrashSchedule(t, uint64(seed)+100, tune)
+		})
+	}
+}
+
+func runCrashSchedule(t *testing.T, seed uint64, tune func(*core.Config)) {
 	t.Helper()
 	rng := xrand.New(seed*0x9e3779b97f4a7c15 + 7)
 	n := 3 + rng.Intn(2)*2 // 3 or 5 replicas
-	c := newSafetyCluster(t, n, seed+1000)
+	c := newSafetyCluster(t, n, seed+1000, tune)
 	c.s.StartAll()
 
 	// Workload: one action every 25 ms over the 40 s active phase.
@@ -196,6 +225,21 @@ func runCrashSchedule(t *testing.T, seed uint64) {
 		})
 	}
 
+	// The pipelined variant adds per-link loss windows: flaky directed
+	// links (not severed ones) composing with the crash and partition
+	// schedules above.
+	if tune != nil {
+		for l := 0; l < 2+rng.Intn(3); l++ {
+			from := c.ids[rng.Intn(n)]
+			to := c.ids[rng.Intn(n)]
+			rate := 0.2 + 0.6*rng.Float64()
+			at := 2*time.Second + time.Duration(rng.Intn(30000))*time.Millisecond
+			clearAt := at + time.Second + time.Duration(rng.Intn(8000))*time.Millisecond
+			c.s.At(c.s.Now().Add(at), func() { c.s.SetLinkLoss(from, to, rate) })
+			c.s.At(c.s.Now().Add(clearAt), func() { c.s.SetLinkLoss(from, to, 0) })
+		}
+	}
+
 	c.s.RunFor(40 * time.Second)
 	c.checkAgreement(t, "active phase")
 
@@ -225,7 +269,7 @@ func runCrashSchedule(t *testing.T, seed uint64) {
 // replica had before crashing — replay through checkpoint + WAL suffix
 // is idempotent.
 func TestWALReplayIdempotence(t *testing.T) {
-	c := newSafetyCluster(t, 3, 42)
+	c := newSafetyCluster(t, 3, 42, nil)
 	c.s.StartAll()
 	var next int64
 	for at := time.Second; at < 10*time.Second; at += 20 * time.Millisecond {

@@ -49,9 +49,10 @@ type Sim struct {
 	nodes   []*simNode
 	peers   []env.NodeID
 	started bool
-	blocked map[linkKey]int  // refcount of active blocks per directed link
-	manual  map[linkKey]bool // SetLink's direct toggles, outside any handle
-	parts   []*BlockHandle   // active partitions (extended by AddNode)
+	blocked map[linkKey]int     // refcount of active blocks per directed link
+	manual  map[linkKey]bool    // SetLink's direct toggles, outside any handle
+	loss    map[linkKey]float64 // per-link message loss rates (SetLinkLoss)
+	parts   []*BlockHandle      // active partitions (extended by AddNode)
 }
 
 type linkKey struct{ from, to env.NodeID }
@@ -93,6 +94,7 @@ func New(cfg Config) *Sim {
 		rng:     xrand.New(cfg.Seed*0x9e3779b97f4a7c15 + 1),
 		blocked: make(map[linkKey]int),
 		manual:  make(map[linkKey]bool),
+		loss:    make(map[linkKey]float64),
 	}
 }
 
@@ -298,6 +300,26 @@ func (s *Sim) SetLink(from, to env.NodeID, blocked bool) {
 	}
 }
 
+// SetLinkLoss sets a per-link message loss rate on the directed link
+// from → to (0 clears it), modeling a flaky path rather than a severed
+// one — NetConfig.DropRate stays the cluster-wide floor. The rate sits
+// alongside the link-block layer: a loss window composes with partitions
+// and SetLink toggles covering the same pair, and healing a partition
+// never clears a loss rate. Rates above 1 saturate to certain loss.
+func (s *Sim) SetLinkLoss(from, to env.NodeID, rate float64) {
+	if rate <= 0 {
+		delete(s.loss, linkKey{from, to})
+	} else {
+		s.loss[linkKey{from, to}] = rate
+	}
+}
+
+// LinkLoss returns the loss rate of the directed link from → to (0 when
+// healthy).
+func (s *Sim) LinkLoss(from, to env.NodeID) float64 {
+	return s.loss[linkKey{from, to}]
+}
+
 // linkBlocked reports whether the directed link from → to drops traffic.
 func (s *Sim) linkBlocked(from, to env.NodeID) bool {
 	k := linkKey{from, to}
@@ -475,6 +497,11 @@ func (s *Sim) send(from *simNode, to env.NodeID, msg env.Message) {
 	}
 	nc := s.cfg.Net
 	if nc.DropRate > 0 && s.rng.Float64() < nc.DropRate {
+		return
+	}
+	// Per-link loss draws only when a rate is set, so runs without loss
+	// windows consume the same random stream as before.
+	if r := s.loss[linkKey{from.id, to}]; r > 0 && s.rng.Float64() < r {
 		return
 	}
 	size := nc.sizeOf(msg)

@@ -541,3 +541,145 @@ func TestDiskSlowdownStretchesWrites(t *testing.T) {
 		t.Fatalf("restored append took %v, healthy %v — not restored", restored, base)
 	}
 }
+
+// TestAppendBatchOneFlush: a batch of records must be made durable by a
+// single group commit — one sync latency plus the summed transfer time —
+// not one flush per record, and the done callback must fire once, after
+// the whole batch.
+func TestAppendBatchOneFlush(t *testing.T) {
+	const sync = 10 * time.Millisecond
+	s, _, b := twoNodes(t, Config{Seed: 21, Disk: DiskConfig{SyncLatency: sync}})
+	start := s.Now()
+	var doneAt time.Time
+	var calls int
+	s.At(s.Now(), func() {
+		recs := make([]env.Record, 16)
+		for i := range recs {
+			recs[i] = env.Record{Kind: "r", Data: i, Size: 64}
+		}
+		b.n.e.Storage().AppendBatch(recs, func(error) {
+			calls++
+			doneAt = s.Now()
+		})
+	})
+	s.RunFor(time.Second)
+	if calls != 1 {
+		t.Fatalf("done ran %d times, want once", calls)
+	}
+	// One flush: well under two sync latencies. Sixteen separate flushes
+	// would cost ≥ 16 × sync.
+	if el := doneAt.Sub(start); el >= 2*sync {
+		t.Fatalf("batch took %v, want < %v (one group commit)", el, 2*sync)
+	}
+	var got []env.Record
+	s.At(s.Now(), func() {
+		b.n.e.Storage().ReadRecords(func(recs []env.Record, err error) { got = recs })
+	})
+	s.RunFor(time.Second)
+	if len(got) != 16 {
+		t.Fatalf("read back %d records, want 16", len(got))
+	}
+	for i, r := range got {
+		if r.Data != i {
+			t.Fatalf("record %d holds %v: batch order not preserved", i, r.Data)
+		}
+	}
+}
+
+// TestAppendBatchInterleavesInOrder: records from Append and AppendBatch
+// calls must land on disk in issue order even when they share flushes.
+func TestAppendBatchInterleavesInOrder(t *testing.T) {
+	s, _, b := twoNodes(t, Config{Seed: 22})
+	s.At(s.Now(), func() {
+		st := b.n.e.Storage()
+		st.Append(env.Record{Kind: "r", Data: 0, Size: 8}, nil)
+		st.AppendBatch([]env.Record{
+			{Kind: "r", Data: 1, Size: 8},
+			{Kind: "r", Data: 2, Size: 8},
+		}, nil)
+		st.Append(env.Record{Kind: "r", Data: 3, Size: 8}, nil)
+	})
+	s.RunFor(time.Second)
+	var got []env.Record
+	s.At(s.Now(), func() {
+		b.n.e.Storage().ReadRecords(func(recs []env.Record, err error) { got = recs })
+	})
+	s.RunFor(time.Second)
+	if len(got) != 4 {
+		t.Fatalf("read back %d records, want 4", len(got))
+	}
+	for i, r := range got {
+		if r.Data != i {
+			t.Fatalf("record %d holds %v: order not preserved", i, r.Data)
+		}
+	}
+}
+
+// TestPerLinkLoss: SetLinkLoss drops traffic on exactly the configured
+// directed link, leaving the reverse direction and other links untouched.
+func TestPerLinkLoss(t *testing.T) {
+	s, a, b := twoNodes(t, Config{Seed: 23})
+	s.SetLinkLoss(0, 1, 1.0)
+	s.At(s.Now(), func() { a.n.e.Send(1, "ping") })
+	s.RunFor(10 * time.Millisecond)
+	if len(b.n.received) != 0 {
+		t.Fatalf("lossy link delivered %v", b.n.received)
+	}
+	// Reverse direction unaffected.
+	s.At(s.Now(), func() { b.n.e.Send(0, "hello") })
+	s.RunFor(10 * time.Millisecond)
+	if len(a.n.received) != 1 || a.n.received[0] != "hello" {
+		t.Fatalf("reverse direction received %v", a.n.received)
+	}
+	// Clearing the rate restores delivery.
+	s.SetLinkLoss(0, 1, 0)
+	s.At(s.Now(), func() { a.n.e.Send(1, "ping") })
+	s.RunFor(10 * time.Millisecond)
+	if len(b.n.received) != 1 {
+		t.Fatalf("healed link received %v", b.n.received)
+	}
+}
+
+// TestPerLinkLossPartial: a fractional per-link rate loses roughly that
+// share of traffic on the configured link only.
+func TestPerLinkLossPartial(t *testing.T) {
+	s, a, b := twoNodes(t, Config{Seed: 24})
+	s.SetLinkLoss(0, 1, 0.5)
+	const sent = 2000
+	s.At(s.Now(), func() {
+		for i := 0; i < sent; i++ {
+			a.n.e.Send(1, "m")
+		}
+	})
+	s.RunFor(time.Second)
+	got := len(b.n.received)
+	if got < sent*35/100 || got > sent*65/100 {
+		t.Fatalf("with 50%% per-link loss, %d/%d delivered", got, sent)
+	}
+}
+
+// TestPerLinkLossComposesWithPartition: a loss window and a partition on
+// the same pair compose — healing the partition must not clear the loss
+// rate, and clearing the rate must not heal the partition.
+func TestPerLinkLossComposesWithPartition(t *testing.T) {
+	s, a, b := twoNodes(t, Config{Seed: 25})
+	s.SetLinkLoss(0, 1, 1.0)
+	h := s.Partition(1)
+	s.At(s.Now(), func() { a.n.e.Send(1, "x") })
+	s.RunFor(10 * time.Millisecond)
+	if len(b.n.received) != 0 {
+		t.Fatalf("blocked+lossy link delivered %v", b.n.received)
+	}
+	h.Heal()
+	s.At(s.Now(), func() { a.n.e.Send(1, "x") })
+	s.RunFor(10 * time.Millisecond)
+	if len(b.n.received) != 0 {
+		t.Fatalf("loss survived partition heal, but delivered %v", b.n.received)
+	}
+	s.SetLinkLoss(0, 1, 0)
+	s.At(s.Now(), func() { a.n.e.Send(1, "x") })
+	s.RunFor(10 * time.Millisecond)
+	if len(b.n.received) != 1 {
+		t.Fatalf("fully healed link received %v", b.n.received)
+	}
+}

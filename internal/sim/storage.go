@@ -144,6 +144,35 @@ func (d *diskStorage) Append(rec env.Record, done func(error)) {
 	}
 }
 
+// AppendBatch appends a pre-coalesced batch: every record joins the same
+// pending group, so the whole batch (plus anything else pending) is made
+// durable by one flush — one sync latency plus the summed transfer time —
+// and done fires once, after the last record of the batch.
+func (d *diskStorage) AppendBatch(recs []env.Record, done func(error)) {
+	if len(recs) == 0 {
+		if done != nil {
+			inc := d.node.incarnation
+			d.sim.schedule(d.sim.now, func() {
+				if d.node.alive && d.node.incarnation == inc {
+					done(nil)
+				}
+			})
+		}
+		return
+	}
+	for i, rec := range recs {
+		var cb func(error)
+		if i == len(recs)-1 {
+			cb = done
+		}
+		d.pending = append(d.pending, pendingAppend{rec: rec, done: cb, inc: d.node.incarnation})
+	}
+	if !d.flushing {
+		d.flushing = true
+		d.sim.schedule(d.sim.now, d.flush)
+	}
+}
+
 func (d *diskStorage) flush() {
 	if len(d.pending) == 0 {
 		d.flushing = false

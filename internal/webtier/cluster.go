@@ -108,6 +108,14 @@ type Cluster struct {
 	ckptWrites int64
 	ckptBytes  int64
 
+	// Write-admission accounting across all servers (sim-loop confined):
+	// writes paced by an AdmissionSlowdown grade, hold steps spent at
+	// the tier boundary under AdmissionStop, and holds that exhausted
+	// their deadline and were shed.
+	admSlowed  int64
+	admHeld    int64
+	admDropped int64
+
 	mig *clusterMigration // non-nil once Rebalance has been called
 }
 
@@ -295,6 +303,13 @@ func (c *Cluster) Interventions() int { return c.interventions }
 // pipeline shrinks). Read it outside the simulation loop's execution.
 func (c *Cluster) CheckpointIO() (writes, bytes int64) {
 	return c.ckptWrites, c.ckptBytes
+}
+
+// AdmissionStats returns cumulative write-admission activity: writes
+// paced under slowdown, writes held under stop, and holds shed at the
+// deadline. Read it outside the simulation loop's execution.
+func (c *Cluster) AdmissionStats() (slowed, held, dropped int64) {
+	return c.admSlowed, c.admHeld, c.admDropped
 }
 
 // ProxyStats returns error-cause diagnostics.

@@ -12,6 +12,7 @@ import (
 
 	"robuststore/internal/core"
 	"robuststore/internal/env"
+	"robuststore/internal/paxos"
 	"robuststore/internal/rbe"
 	"robuststore/internal/sim"
 	"robuststore/internal/tpcw"
@@ -245,9 +246,46 @@ func (s *Server) handleRequest(proxy env.NodeID, m reqMsg) {
 		})
 		return
 	}
-	s.cpu.Acquire(cal.WriteParse, func() {
-		s.performWrite(proxy, m)
+	s.admitWrite(s.e.Now().Add(admitHoldDeadline), func() {
+		s.cpu.Acquire(cal.WriteParse, func() {
+			s.performWrite(proxy, m)
+		})
+	}, func() {
+		s.e.Send(proxy, respMsg{ID: m.ID, Resp: rbe.Response{Err: true}})
 	})
+}
+
+// Admission pacing: the step a slowed or held write waits before
+// (re)entering, and how long a write may be held under AdmissionStop
+// before it is shed. The deadline is far below the proxy's request
+// timeout, so a shed write fails fast instead of timing out.
+const (
+	admitPace         = 2 * time.Millisecond
+	admitHoldDeadline = 500 * time.Millisecond
+)
+
+// admitWrite gates one write behind the replica's admission controller.
+// AdmissionSlowdown delays the write one pacing step; AdmissionStop holds
+// it at the tier boundary — re-checking every step until the proposer
+// backlog drains — and sheds it via drop once the deadline passes.
+// Overload thus degrades to queueing latency at the tier boundary instead
+// of consensus retry-timeout storms.
+func (s *Server) admitWrite(deadline time.Time, run, drop func()) {
+	switch s.replica.AdmissionState() {
+	case paxos.AdmissionStop:
+		if !s.e.Now().Before(deadline) {
+			s.c.admDropped++
+			drop()
+			return
+		}
+		s.c.admHeld++
+		s.e.After(admitPace, func() { s.admitWrite(deadline, run, drop) })
+	case paxos.AdmissionSlowdown:
+		s.c.admSlowed++
+		s.e.After(admitPace, run)
+	default:
+		run()
+	}
 }
 
 // reply sends a write result back through a render slot.
