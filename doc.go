@@ -99,7 +99,31 @@
 // (metrics.FaultWindow, GroupReport.PartitionSec/DegradedSec;
 // cmd/experiment -run partition | slowdisk), and
 // BenchmarkPartitionRecovery writes BENCH_partition.json with
-// detection/failover and post-heal reabsorption times.
+// detection/failover and post-heal reabsorption times. Between the severed
+// and the healthy link sits the flaky one: OpLinkLoss/OpLinkRestore (the
+// FlakyLink scenario) schedule probabilistic per-link message loss over
+// sim.SetLinkLoss / livenet.SetLinkLoss — the gray network failure that
+// never trips partition detection — reported as linkloss windows
+// (GroupReport.LossSec).
+//
+// The codebase enforces its own invariants statically: internal/analysis
+// is a stdlib-only go/analysis-style suite run by cmd/analyze (standalone
+// over ./... or as a go vet -vettool), wired into CI. Four passes guard
+// the bug classes this repo actually shipped: detorder flags map
+// iteration that reaches an order-sensitive sink (message sends,
+// proposals, WAL appends, fold-order-dependent results) inside the
+// deterministic packages — the exact shape of the leader-election
+// replay-divergence bug — with internal/detsort.Keys as the sanctioned
+// collect-and-sort idiom; walltime forbids wall-clock time and global
+// math/rand there (virtual clocks and seeded internal/xrand streams
+// only); walpath confines env.Storage.Append/AppendBatch to the
+// group-commit walWriter in paxos/wal.go and proves every storage
+// implementation completes its done callback on all control-flow paths;
+// guarded checks `// guarded by <mu>` field annotations against the locks
+// actually taken. Deliberate exceptions are annotated in place —
+// //detorder:sorted, //walltime:live, //walpath:direct, //walpath:drops,
+// //guarded:held — each with a reason, so the suite stays at zero
+// findings and every suppression is a documented decision.
 //
 // See README.md for the layout, DESIGN.md for the system inventory and
 // per-experiment index, and EXPERIMENTS.md for paper-vs-measured results.

@@ -1,0 +1,203 @@
+// Package analysistest runs an analyzer over GOPATH-style fixture
+// packages under a testdata directory and checks its diagnostics against
+// "// want" comments, mirroring golang.org/x/tools/go/analysis/analysistest
+// on the standard library only.
+//
+// Layout: testdata/src/<pkg>/*.go, where <pkg> is the fixture's import
+// path. Fixture packages may import each other (by that path) and the
+// standard library. A line expecting diagnostics carries one or more
+// quoted regular expressions:
+//
+//	for k := range m { send(k) } // want `range over map`
+//
+// Every diagnostic must be matched by a want on its line and every want
+// must match a diagnostic; anything else fails the test.
+package analysistest
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"robuststore/internal/analysis"
+)
+
+// Run loads each fixture package from testdata/src and applies the
+// analyzer, reporting mismatches through t.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	l := &loader{
+		src:  filepath.Join(testdata, "src"),
+		fset: token.NewFileSet(),
+		pkgs: map[string]*analysis.Package{},
+	}
+	for _, path := range pkgPaths {
+		pkg, err := l.load(path)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", path, err)
+		}
+		diags, err := analysis.Run(a, pkg)
+		if err != nil {
+			t.Fatalf("running %s on %s: %v", a.Name, path, err)
+		}
+		check(t, l.fset, pkg, diags)
+	}
+}
+
+type loader struct {
+	src  string
+	fset *token.FileSet
+	pkgs map[string]*analysis.Package
+	std  map[string]string // std import path -> export data file
+}
+
+// load parses and type-checks one fixture package, loading fixture
+// dependencies recursively and standard-library dependencies from export
+// data.
+func (l *loader) load(path string) (*analysis.Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	dir := filepath.Join(l.src, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, filepath.Join(dir, e.Name()))
+		}
+	}
+	sort.Strings(files)
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+
+	// Resolve imports: sibling fixture directories are fixture packages,
+	// everything else is standard library.
+	var stdImports []string
+	fixtures := map[string]*types.Package{}
+	for _, f := range files {
+		af, err := parser.ParseFile(l.fset, f, nil, parser.ImportsOnly)
+		if err != nil {
+			return nil, err
+		}
+		for _, imp := range af.Imports {
+			ip := strings.Trim(imp.Path.Value, `"`)
+			if _, err := os.Stat(filepath.Join(l.src, filepath.FromSlash(ip))); err == nil {
+				dep, err := l.load(ip)
+				if err != nil {
+					return nil, err
+				}
+				fixtures[ip] = dep.Types
+			} else {
+				stdImports = append(stdImports, ip)
+			}
+		}
+	}
+	if l.std == nil {
+		l.std = map[string]string{}
+	}
+	var missing []string
+	for _, ip := range stdImports {
+		if _, ok := l.std[ip]; !ok {
+			missing = append(missing, ip)
+		}
+	}
+	if len(missing) > 0 {
+		exp, err := analysis.StdExports(missing...)
+		if err != nil {
+			return nil, err
+		}
+		for k, v := range exp {
+			l.std[k] = v
+		}
+	}
+	imp := &combinedImporter{
+		fixtures: fixtures,
+		std:      analysis.ExportImporter(l.fset, l.std),
+	}
+	pkg, err := analysis.Typecheck(l.fset, imp, path, dir, files)
+	if err != nil {
+		return nil, err
+	}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+type combinedImporter struct {
+	fixtures map[string]*types.Package
+	std      types.Importer
+}
+
+func (c *combinedImporter) Import(path string) (*types.Package, error) {
+	if p, ok := c.fixtures[path]; ok {
+		return p, nil
+	}
+	return c.std.Import(path)
+}
+
+// wantRE extracts the quoted regular expressions of a want comment.
+var wantRE = regexp.MustCompile("`([^`]*)`|\"([^\"]*)\"")
+
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+func check(t *testing.T, fset *token.FileSet, pkg *analysis.Package, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*want
+	for _, f := range pkg.Syntax {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, m := range wantRE.FindAllStringSubmatch(text[len("want "):], -1) {
+					src := m[1]
+					if src == "" {
+						src = m[2]
+					}
+					re, err := regexp.Compile(src)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, src, err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		ok := false
+		for _, w := range wants {
+			if !w.matched && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re)
+		}
+	}
+}

@@ -1,0 +1,291 @@
+// Package detorder flags iteration over Go maps that can leak the
+// runtime's randomized map order into replica-visible behaviour. The
+// deterministic packages (internal/paxos, core, sim, shard, tpcw) are
+// replicated state machines: two replicas folding the same inputs must
+// produce byte-identical outputs, and a `range` over a map that sends
+// messages, appends WAL records, proposes values or accumulates an
+// ordered slice breaks that silently. PR 6 shipped exactly this bug —
+// establish() re-proposed outstanding values in map order on leader
+// change, breaking cross-leader FIFO — and the type system cannot see it.
+//
+// A loop is flagged when its body reaches an order-sensitive sink:
+//
+//   - a call whose name is known to emit in order (Send, Broadcast,
+//     propose, Submit, Append, appendRecord, Write, Encode, Hash, ...);
+//   - a built-in append onto a slice declared outside the loop, unless
+//     the slice is sorted afterwards in the same function (the sanctioned
+//     collect-then-sort idiom, e.g. via detsort.Keys);
+//   - a return whose value depends on the loop variables (first match in
+//     map order wins).
+//
+// Pure folds — counters, min/max, building another map — are not flagged.
+// Suppress a provably order-insensitive loop with a //detorder:sorted
+// comment on (or immediately above) the range statement.
+package detorder
+
+import (
+	"go/ast"
+	"go/types"
+
+	"robuststore/internal/analysis"
+)
+
+// Analyzer is the detorder pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "detorder",
+	Doc:  "flag order-sensitive iteration over maps in deterministic replica code",
+	Run:  run,
+}
+
+// sinkNames are callee names that emit their arguments in call order:
+// message sends, proposals, WAL writes, ordered encodes and hashes.
+var sinkNames = map[string]bool{
+	"Send": true, "send": true, "Broadcast": true, "broadcast": true,
+	"Propose": true, "propose": true, "Submit": true, "SubmitFrom": true,
+	"Append": true, "AppendBatch": true, "appendRecord": true,
+	"Write": true, "WriteString": true, "WriteByte": true,
+	"Encode": true, "Marshal": true, "MarshalBinary": true,
+	"Sum": true, "Sum32": true, "Sum64": true, "Hash": true,
+	"Fprintf": true,
+}
+
+// sortNames are the sort entry points that sanction the collect-then-sort
+// idiom when applied to a slice the loop appended to.
+var sortNames = map[string]bool{
+	"Sort": true, "SortFunc": true, "SortStableFunc": true, "Stable": true,
+	"Slice": true, "SliceStable": true, "Ints": true, "Strings": true,
+	"Float64s": true,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.DeterministicPkg(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			if rng, ok := n.(*ast.RangeStmt); ok {
+				checkRange(pass, file, rng, enclosingBody(file, rng))
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// enclosingBody returns the statement list of the innermost block that
+// directly contains stmt, used to look for a sanctioning sort call after
+// the loop.
+func enclosingBody(file *ast.File, stmt ast.Stmt) []ast.Stmt {
+	var out []ast.Stmt
+	ast.Inspect(file, func(n ast.Node) bool {
+		if n == nil || out != nil {
+			return false
+		}
+		if b, ok := n.(*ast.BlockStmt); ok {
+			for _, s := range b.List {
+				if s == stmt {
+					out = b.List
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func checkRange(pass *analysis.Pass, file *ast.File, rng *ast.RangeStmt, siblings []ast.Stmt) {
+	tv, ok := pass.TypesInfo.Types[rng.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	if analysis.Suppressed(pass.Fset, file, rng.For, "detorder") {
+		return
+	}
+	loopVars := rangeVars(pass, rng)
+
+	var sink string
+	var inspect func(n ast.Node, inFuncLit bool)
+	inspect = func(n ast.Node, inFuncLit bool) {
+		ast.Inspect(n, func(n ast.Node) bool {
+			if sink != "" || n == nil {
+				return false
+			}
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				// A closure's returns are not the loop's returns (sort
+				// comparators return out of their own frame), but calls
+				// it makes are still executed per iteration often enough
+				// (executor Post, deferred sends) to stay sinks.
+				inspect(n.Body, true)
+				return false
+			case *ast.CallExpr:
+				if name, ok := calleeName(n); ok && sinkNames[name] {
+					sink = "call to " + name
+					return false
+				}
+				if isBuiltinAppend(pass, n) && len(n.Args) > 0 {
+					root := rootIdent(n.Args[0])
+					if root != nil && declaredOutside(pass, root, rng) &&
+						!sortedAfter(pass, siblings, rng, root.Name) {
+						sink = "append to outer slice " + root.Name
+						return false
+					}
+				}
+			case *ast.ReturnStmt:
+				if inFuncLit {
+					return true
+				}
+				for _, res := range n.Results {
+					if usesAny(pass, res, loopVars) {
+						sink = "return of a map-order-dependent value"
+						return false
+					}
+				}
+			}
+			return true
+		})
+	}
+	inspect(rng.Body, false)
+	if sink != "" {
+		pass.Report(rng.For,
+			"range over map %s reaches order-sensitive %s; iterate sorted keys (detsort.Keys) or annotate //detorder:sorted",
+			types.ExprString(rng.X), sink)
+	}
+}
+
+// rangeVars collects the objects bound by the range clause (key/value).
+func rangeVars(pass *analysis.Pass, rng *ast.RangeStmt) map[types.Object]bool {
+	vars := map[types.Object]bool{}
+	for _, e := range []ast.Expr{rng.Key, rng.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := pass.TypesInfo.ObjectOf(id); obj != nil {
+				vars[obj] = true
+			}
+		}
+	}
+	return vars
+}
+
+func usesAny(pass *analysis.Pass, e ast.Expr, vars map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && !found {
+			if obj := pass.TypesInfo.ObjectOf(id); obj != nil && vars[obj] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// calleeName extracts the called function or method name.
+func calleeName(call *ast.CallExpr) (string, bool) {
+	switch fn := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		return fn.Sel.Name, true
+	case *ast.Ident:
+		return fn.Name, true
+	}
+	return "", false
+}
+
+func isBuiltinAppend(pass *analysis.Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	_, isBuiltin := pass.TypesInfo.ObjectOf(id).(*types.Builtin)
+	return isBuiltin
+}
+
+// rootIdent unwraps selectors and index expressions to the base
+// identifier: reply.Accepted -> reply, m[k].xs -> m.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// declaredOutside reports whether id's object is declared outside the
+// range statement (an accumulator that outlives the loop).
+func declaredOutside(pass *analysis.Pass, id *ast.Ident, rng *ast.RangeStmt) bool {
+	obj := pass.TypesInfo.ObjectOf(id)
+	if obj == nil {
+		return false
+	}
+	return obj.Pos() < rng.Pos() || obj.Pos() > rng.End()
+}
+
+// sortedAfter reports whether a sort.* / slices.Sort* call mentioning
+// name appears after the range statement among its sibling statements —
+// the collect-then-sort idiom that makes the append order irrelevant.
+func sortedAfter(pass *analysis.Pass, siblings []ast.Stmt, rng *ast.RangeStmt, name string) bool {
+	after := false
+	for _, s := range siblings {
+		if s == ast.Stmt(rng) {
+			after = true
+			continue
+		}
+		if !after {
+			continue
+		}
+		found := false
+		ast.Inspect(s, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || found {
+				return !found
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !sortNames[sel.Sel.Name] {
+				return true
+			}
+			pkg, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if pn, ok := pass.TypesInfo.ObjectOf(pkg).(*types.PkgName); !ok ||
+				(pn.Imported().Path() != "sort" && pn.Imported().Path() != "slices") {
+				return true
+			}
+			for _, arg := range call.Args {
+				if mentions(arg, name) {
+					found = true
+				}
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+func mentions(e ast.Expr, name string) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id.Name == name {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

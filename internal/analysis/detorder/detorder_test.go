@@ -1,0 +1,12 @@
+package detorder_test
+
+import (
+	"testing"
+
+	"robuststore/internal/analysis/analysistest"
+	"robuststore/internal/analysis/detorder"
+)
+
+func TestDetorder(t *testing.T) {
+	analysistest.Run(t, "testdata", detorder.Analyzer, "paxos", "other")
+}

@@ -1,0 +1,13 @@
+// Package other is outside the deterministic replica packages: the same
+// shapes that detorder flags in paxos are legal here.
+package other
+
+type emitter struct{ out []string }
+
+func (e *emitter) Send(v string) { e.out = append(e.out, v) }
+
+func (e *emitter) flushAll(m map[int]string) {
+	for _, v := range m { // not deterministic code: no diagnostic
+		e.Send(v)
+	}
+}

@@ -1,0 +1,82 @@
+// Package paxos is a detorder fixture reproducing the exact shape of the
+// PR-6 establish() bug: on leader change, the new leader re-proposed the
+// outstanding values it had buffered — iterating its map in runtime
+// order, so the FIFO the clients observed depended on which replica won
+// the election and on the run's map seed.
+package paxos
+
+import "sort"
+
+type seq int64
+
+type engine struct {
+	outstanding map[seq]string
+	proposals   []string
+}
+
+func (e *engine) propose(v string) { e.proposals = append(e.proposals, v) }
+
+// establish is the PR-6 regression: re-propose in map order.
+func (e *engine) establish() {
+	for _, v := range e.outstanding { // want `range over map e\.outstanding reaches order-sensitive call to propose`
+		e.propose(v)
+	}
+}
+
+// establishSorted is the fix: collect, sort, then propose in seq order.
+// Neither loop is flagged — the first is the sanctioned collect-then-sort
+// idiom, the second ranges a slice.
+func (e *engine) establishSorted() {
+	var seqs []seq
+	for s := range e.outstanding {
+		seqs = append(seqs, s)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	for _, s := range seqs {
+		e.propose(e.outstanding[s])
+	}
+}
+
+// firstMatch leaks map order through its return value.
+func firstMatch(m map[string]int) string {
+	for k, v := range m { // want `range over map m reaches order-sensitive return of a map-order-dependent value`
+		if v > 0 {
+			return k
+		}
+	}
+	return ""
+}
+
+// countVotes is a pure fold: not flagged.
+func countVotes(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// invert builds another map: order-insensitive, not flagged.
+func invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// comparatorReturns: returns inside a nested closure are the closure's,
+// not the loop's — not flagged.
+func comparatorReturns(m map[string][]int) {
+	for _, vs := range m {
+		sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+	}
+}
+
+// suppressed is annotated as provably order-insensitive.
+func (e *engine) suppressed() {
+	//detorder:sorted — every value is the same no-op marker
+	for _, v := range e.outstanding {
+		e.propose(v)
+	}
+}

@@ -1,0 +1,12 @@
+package guarded_test
+
+import (
+	"testing"
+
+	"robuststore/internal/analysis/analysistest"
+	"robuststore/internal/analysis/guarded"
+)
+
+func TestGuarded(t *testing.T) {
+	analysistest.Run(t, "testdata", guarded.Analyzer, "core")
+}

@@ -1,0 +1,58 @@
+// Package core is a guarded fixture: fields annotated `guarded by <mu>`
+// must be accessed under that mutex.
+package core
+
+import "sync"
+
+type replica struct {
+	mu      sync.Mutex
+	applied int64  // guarded by mu
+	backlog []int  // guarded by mu; decided-but-undelivered
+	name    string // immutable after construction
+}
+
+// good locks before touching guarded state.
+func (r *replica) good() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.backlog = r.backlog[:0]
+	return r.applied
+}
+
+// bad reads guarded state without the lock: flagged.
+func (r *replica) bad() int64 {
+	return r.applied // want `access to replica\.applied \(guarded by mu\) without locking mu`
+}
+
+// badWrite mutates guarded state without the lock: flagged.
+func (r *replica) badWrite(n int) {
+	r.backlog = append(r.backlog, n) // want `access to replica\.backlog \(guarded by mu\) without locking mu`
+}
+
+// appliedLocked holds the lock by naming contract.
+func (r *replica) appliedLocked() int64 {
+	return r.applied
+}
+
+// held inherits the lock non-syntactically and says so.
+func (r *replica) held() int64 {
+	return r.applied //guarded:held — only called from good()
+}
+
+// unguarded fields are free.
+func (r *replica) title() string {
+	return r.name
+}
+
+// outsideAccess locks through another path's mutex name: an RLock of the
+// right mutex also counts.
+type table struct {
+	rw    sync.RWMutex
+	slots []int // guarded by rw
+}
+
+func (t *table) read(i int) int {
+	t.rw.RLock()
+	defer t.rw.RUnlock()
+	return t.slots[i]
+}

@@ -1,0 +1,189 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one loaded, parsed and type-checked package — the subset of
+// golang.org/x/tools/go/packages.Package the analyzers need.
+type Package struct {
+	PkgPath   string
+	Dir       string
+	GoFiles   []string
+	Fset      *token.FileSet
+	Syntax    []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// listPkg is the slice of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	Match      []string
+}
+
+// Load resolves the given package patterns (e.g. "./...") with the go
+// command and returns the matched packages parsed and type-checked.
+// Dependencies are imported from compiler export data (`go list -export`),
+// so loading works offline and needs no third-party driver.
+func Load(patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-export", "-deps",
+		"-json=ImportPath,Dir,Export,GoFiles,Standard,Match"}, patterns...)
+	cmd := exec.Command("go", args...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+
+	exports := map[string]string{}
+	var targets []listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %v", err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if len(p.Match) > 0 && !p.Standard && len(p.GoFiles) > 0 {
+			targets = append(targets, p)
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := ExportImporter(fset, exports)
+	var pkgs []*Package
+	for _, t := range targets {
+		pkg, err := typecheck(fset, imp, t.ImportPath, t.Dir, absFiles(t.Dir, t.GoFiles))
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// ExportImporter returns a types.Importer that resolves import paths
+// through compiler export data files (as produced by `go list -export`).
+func ExportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+}
+
+// StdExports runs `go list -export -deps` over the given (standard
+// library) import paths and returns path → export-data file for them and
+// all their dependencies. The analysistest harness uses it to type-check
+// fixture packages that import the standard library.
+func StdExports(paths ...string) (map[string]string, error) {
+	exports := map[string]string{}
+	if len(paths) == 0 {
+		return exports, nil
+	}
+	args := append([]string{"list", "-export", "-deps", "-json=ImportPath,Export"}, paths...)
+	cmd := exec.Command("go", args...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(paths, " "), err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, err
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	return exports, nil
+}
+
+// Typecheck parses and type-checks one package from explicit file paths,
+// resolving imports through imp. It backs both the pattern loader and the
+// vettool (unitchecker) entry point of cmd/analyze.
+func Typecheck(fset *token.FileSet, imp types.Importer, pkgPath, dir string, files []string) (*Package, error) {
+	return typecheck(fset, imp, pkgPath, dir, files)
+}
+
+func typecheck(fset *token.FileSet, imp types.Importer, pkgPath, dir string, files []string) (*Package, error) {
+	var syntax []*ast.File
+	for _, f := range files {
+		af, err := parser.ParseFile(fset, f, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		syntax = append(syntax, af)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	conf := types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor("gc", build.Default.GOARCH),
+	}
+	tpkg, err := conf.Check(pkgPath, fset, syntax, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %v", pkgPath, err)
+	}
+	return &Package{
+		PkgPath:   pkgPath,
+		Dir:       dir,
+		GoFiles:   files,
+		Fset:      fset,
+		Syntax:    syntax,
+		Types:     tpkg,
+		TypesInfo: info,
+	}, nil
+}
+
+func absFiles(dir string, names []string) []string {
+	out := make([]string, len(names))
+	for i, n := range names {
+		if filepath.IsAbs(n) {
+			out[i] = n
+		} else {
+			out[i] = filepath.Join(dir, n)
+		}
+	}
+	return out
+}

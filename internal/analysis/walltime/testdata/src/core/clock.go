@@ -1,0 +1,35 @@
+// Package core is a walltime fixture: wall-clock reads and global
+// randomness inside a deterministic package.
+package core
+
+import (
+	"math/rand"
+	"time"
+)
+
+func bad() time.Time {
+	time.Sleep(time.Millisecond)    // want `wall-clock call time\.Sleep in deterministic package`
+	<-time.After(time.Millisecond)  // want `wall-clock call time\.After in deterministic package`
+	tm := time.NewTimer(time.Hour)  // want `wall-clock call time\.NewTimer in deterministic package`
+	tm.Stop()                       // methods on a Timer value are fine
+	_ = rand.Intn(4)                // want `global-randomness call rand\.Intn in deterministic package`
+	_ = rand.Float64()              // want `global-randomness call rand\.Float64 in deterministic package`
+	_ = time.Since(time.Unix(0, 0)) // want `wall-clock call time\.Since in deterministic package`
+	return time.Now()               // want `wall-clock call time\.Now in deterministic package`
+}
+
+// live is a deliberate live-runtime-only wait, suppressed.
+func live() {
+	time.Sleep(time.Millisecond) //walltime:live — cross-goroutine poll loop
+}
+
+// construction of times and durations never reads the ambient clock.
+func pureTimeMath(d time.Duration, t time.Time) time.Time {
+	return t.Add(d * 2).Truncate(time.Second)
+}
+
+// seededStream: methods on an explicit *rand.Rand are someone's seeded
+// stream (xrand wraps one) and stay legal.
+func seededStream(r *rand.Rand) int {
+	return r.Intn(10)
+}

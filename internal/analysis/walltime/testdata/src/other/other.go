@@ -1,0 +1,9 @@
+// Package other is outside the deterministic set: the wall clock is its
+// business (livenet, experiment drivers).
+package other
+
+import "time"
+
+func uptime(start time.Time) time.Duration {
+	return time.Since(start) // not deterministic code: no diagnostic
+}

@@ -1,0 +1,111 @@
+// Package walltime forbids wall-clock and global-randomness reads in the
+// deterministic replica packages. A replica state machine that calls
+// time.Now produces different behaviour on every run of the same seed:
+// the simulator runs on virtual time (sim.Sim.Now, env.Env.Now/After),
+// and any code shared between the simulator and the live runtime must
+// draw its time from those clocks and its randomness from internal/xrand
+// streams (which are seeded and replayable). PR 3 shipped a migration
+// driver that stamped phase transitions with time.Now — harmless on
+// livenet, a nondeterminism leak in every sim run.
+//
+// Flagged in deterministic packages (internal/paxos, core, sim, shard,
+// tpcw):
+//
+//   - time.Now, time.Since, time.Until — wall-clock reads;
+//   - time.Sleep, time.After, time.Tick, time.NewTimer, time.AfterFunc,
+//     time.NewTicker — wall-clock waits that bypass the virtual scheduler;
+//   - the global math/rand and math/rand/v2 functions (rand.Int,
+//     rand.Float64, ...) — process-global randomness outside the seeded
+//     xrand streams.
+//
+// Constructing durations and times (time.Duration arithmetic, time.Unix,
+// t.Add, t.Sub) is fine — only reading the ambient clock or scheduler is
+// not. A deliberate live-runtime-only wait (e.g. a cross-goroutine poll
+// loop that never runs on the simulated executor) is suppressed with a
+// //walltime:live comment on (or immediately above) the call's line.
+package walltime
+
+import (
+	"go/ast"
+	"go/types"
+
+	"robuststore/internal/analysis"
+)
+
+// Analyzer is the walltime pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "walltime",
+	Doc:  "forbid wall-clock time and global randomness in deterministic replica code",
+	Run:  run,
+}
+
+// banned maps package path -> function names whose call reads the
+// ambient wall clock, scheduler or global randomness.
+var banned = map[string]map[string]bool{
+	"time": {
+		"Now": true, "Since": true, "Until": true,
+		"Sleep": true, "After": true, "Tick": true,
+		"NewTimer": true, "AfterFunc": true, "NewTicker": true,
+	},
+	// The global top-level functions of both math/rand generations. Any
+	// method call on an explicit *rand.Rand is someone's seeded stream
+	// and stays legal (xrand wraps one).
+	"math/rand": {
+		"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+		"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+		"Float32": true, "Float64": true, "ExpFloat64": true,
+		"NormFloat64": true, "Perm": true, "Shuffle": true, "Seed": true,
+	},
+	"math/rand/v2": {
+		"Int": true, "IntN": true, "Int32": true, "Int32N": true,
+		"Int64": true, "Int64N": true, "Uint32": true, "Uint32N": true,
+		"Uint64": true, "Uint64N": true, "Float32": true, "Float64": true,
+		"ExpFloat64": true, "NormFloat64": true, "Perm": true,
+		"Shuffle": true, "N": true,
+	},
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.DeterministicPkg(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkgIdent, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := pass.TypesInfo.ObjectOf(pkgIdent).(*types.PkgName)
+			if !ok {
+				return true
+			}
+			path := pn.Imported().Path()
+			names, ok := banned[path]
+			if !ok || !names[sel.Sel.Name] {
+				return true
+			}
+			if analysis.Suppressed(pass.Fset, file, call.Pos(), "walltime") {
+				return true
+			}
+			what := "wall-clock"
+			want := "the env/sim clock (env.Env.Now/After)"
+			if path != "time" {
+				what = "global-randomness"
+				want = "a seeded internal/xrand stream"
+			}
+			pass.Report(call.Pos(),
+				"%s call %s.%s in deterministic package %s; use %s or annotate //walltime:live",
+				what, pkgIdent.Name, sel.Sel.Name, pass.Pkg.Path(), want)
+			return true
+		})
+	}
+	return nil
+}

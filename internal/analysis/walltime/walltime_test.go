@@ -1,0 +1,12 @@
+package walltime_test
+
+import (
+	"testing"
+
+	"robuststore/internal/analysis/analysistest"
+	"robuststore/internal/analysis/walltime"
+)
+
+func TestWalltime(t *testing.T) {
+	analysistest.Run(t, "testdata", walltime.Analyzer, "core", "other")
+}

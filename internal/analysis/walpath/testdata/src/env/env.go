@@ -1,0 +1,14 @@
+// Package env is a fixture stand-in for internal/env: the Storage
+// interface whose Append/AppendBatch the walpath analyzer confines to
+// paxos/wal.go.
+package env
+
+type Record struct {
+	Kind string
+	Size int64
+}
+
+type Storage interface {
+	Append(rec Record, done func(error))
+	AppendBatch(recs []Record, done func(error))
+}

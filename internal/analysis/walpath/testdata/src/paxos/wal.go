@@ -1,0 +1,20 @@
+// wal.go is the one file allowed to call env.Storage.Append directly:
+// the walWriter here is the single flush authority.
+package paxos
+
+import "env"
+
+type walWriter struct {
+	s   env.Storage
+	buf []env.Record
+}
+
+func (w *walWriter) flushOne(rec env.Record, done func(error)) {
+	w.s.Append(rec, done) // allowed: this is paxos/wal.go
+}
+
+func (w *walWriter) flushGroup(done func(error)) {
+	recs := w.buf
+	w.buf = nil
+	w.s.AppendBatch(recs, done) // allowed: this is paxos/wal.go
+}

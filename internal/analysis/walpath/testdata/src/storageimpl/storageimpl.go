@@ -1,0 +1,64 @@
+// Package storageimpl is a walpath fixture for the callback-completeness
+// rule: every implementation of Append/AppendBatch must invoke or forward
+// its done callback on all control-flow paths.
+package storageimpl
+
+import "env"
+
+type disk struct {
+	pending []env.Record
+	dones   []func(error)
+	full    bool
+}
+
+// Append drops done on the early error path: flagged there.
+func (d *disk) Append(rec env.Record, done func(error)) {
+	if d.full {
+		return // want `return without completing the done callback`
+	}
+	d.pending = append(d.pending, rec)
+	done(nil)
+}
+
+// AppendBatch forwards done correctly on every path: the nil-guarded
+// empty case, and the attach-to-last-record loop.
+func (d *disk) AppendBatch(recs []env.Record, done func(error)) {
+	if len(recs) == 0 {
+		if done != nil {
+			done(nil)
+		}
+		return
+	}
+	for i, rec := range recs {
+		var cb func(error)
+		if i == len(recs)-1 {
+			cb = done
+		}
+		d.pending = append(d.pending, rec)
+		d.dones = append(d.dones, cb)
+	}
+}
+
+type null struct{}
+
+// Append never touches done at all: flagged at the fall-off end.
+func (null) Append(rec env.Record, done func(error)) {
+	_ = rec
+} // want `Append can fall off the end without completing its done callback`
+
+// AppendBatch buffers the callback (forwarding into a field counts).
+func (d *disk) buffer(recs []env.Record, done func(error)) func(error) {
+	return done
+}
+
+type crashy struct{ alive bool }
+
+// Append deliberately drops completions of a dead incarnation.
+//
+//walpath:drops — completions die with the crashed incarnation
+func (c *crashy) Append(rec env.Record, done func(error)) {
+	if !c.alive {
+		return
+	}
+	done(nil)
+}

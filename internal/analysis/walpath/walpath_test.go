@@ -1,0 +1,12 @@
+package walpath_test
+
+import (
+	"testing"
+
+	"robuststore/internal/analysis/analysistest"
+	"robuststore/internal/analysis/walpath"
+)
+
+func TestWalpath(t *testing.T) {
+	analysistest.Run(t, "testdata", walpath.Analyzer, "paxos", "storageimpl")
+}

@@ -27,7 +27,7 @@ type Queue struct {
 	r *Replica
 
 	mu      sync.Mutex
-	pending []any
+	pending []any // guarded by mu
 	signal  chan struct{}
 }
 
@@ -124,7 +124,7 @@ func (q *Queue) Dequeue(ctx context.Context) (any, error) {
 		case <-q.signal:
 		case <-ctx.Done():
 			return nil, ctx.Err()
-		case <-time.After(50 * time.Millisecond):
+		case <-time.After(50 * time.Millisecond): //walltime:live — consumer-goroutine poll, never runs on the sim executor
 			// Re-check: a concurrent consumer may have raced the
 			// signal.
 		}

@@ -17,9 +17,11 @@ import (
 //
 // Beyond crashes — the paper's "other fault types" future work — the DSL
 // schedules correlated fault operations: network partitions
-// (OpPartition/OpHeal, symmetric or one-way, composable via handles) and
+// (OpPartition/OpHeal, symmetric or one-way, composable via handles),
 // disk degradations (OpDiskSlow/OpDiskRestore, the failing-disk straggler
-// that drags the group-commit pipeline and checkpoint writes).
+// that drags the group-commit pipeline and checkpoint writes), and flaky
+// links (OpLinkLoss/OpLinkRestore, probabilistic per-link message loss —
+// the gray network failure that never trips partition detection).
 
 // FaultOp is what a fault event does to its victims.
 type FaultOp int
@@ -61,6 +63,19 @@ const (
 	// OpDiskRestore returns the victims' disks to their configured
 	// performance (the drive was swapped).
 	OpDiskRestore
+
+	// OpLinkLoss makes every link between the victims and the rest of the
+	// cluster flaky: each message crossing it is dropped with probability
+	// Factor (0 → DefaultLossRate), in the directions Dir selects. Unlike
+	// OpPartition nothing is severed — traffic limps through retries and
+	// timeouts, the gray failure partition detection cannot see. A second
+	// OpLinkLoss on the same selector supersedes the first.
+	OpLinkLoss
+
+	// OpLinkRestore clears the loss opened by the OpLinkLoss event with
+	// the same selector (the flaky path stabilizes on its own; no operator
+	// action, so it does not count against autonomy).
+	OpLinkRestore
 )
 
 // String implements fmt.Stringer.
@@ -80,6 +95,10 @@ func (o FaultOp) String() string {
 		return "disk-slow"
 	case OpDiskRestore:
 		return "disk-restore"
+	case OpLinkLoss:
+		return "link-loss"
+	case OpLinkRestore:
+		return "link-restore"
 	default:
 		return "unknown"
 	}
@@ -179,14 +198,15 @@ type FaultEvent struct {
 	Op     FaultOp
 	Select Selector
 
-	// Dir selects the blocked direction of an OpPartition relative to
-	// the victims (default LinkBothWays — symmetric isolation). Ignored
+	// Dir selects the affected direction of an OpPartition or OpLinkLoss
+	// relative to the victims (default LinkBothWays — symmetric). Ignored
 	// by every other op.
 	Dir env.LinkDir
 
 	// Factor is OpDiskSlow's degradation multiple (seek × Factor,
-	// bandwidth ÷ Factor); 0 means DefaultSlowFactor. Ignored by every
-	// other op.
+	// bandwidth ÷ Factor; 0 means DefaultSlowFactor) and OpLinkLoss's
+	// per-message drop probability (0 means DefaultLossRate). Ignored by
+	// every other op.
 	Factor float64
 }
 
@@ -194,6 +214,11 @@ type FaultEvent struct {
 // Factor zero: an 8× slower disk, the failing-but-not-dead drive whose
 // group-commit flushes drag the whole phase-2 quorum.
 const DefaultSlowFactor = 8
+
+// DefaultLossRate is OpLinkLoss's drop probability when the event leaves
+// Factor zero: 30% loss, well past what retries hide but short of the
+// certain loss a partition would be.
+const DefaultLossRate = 0.3
 
 // Faultload is a composable crash/recovery schedule: the generalization
 // of the paper's FaultKind enum to victim selectors × event times.
@@ -221,6 +246,9 @@ func (f Faultload) key() string {
 		f := ev.Factor
 		if ev.Op == OpDiskSlow && f == 0 {
 			f = DefaultSlowFactor
+		}
+		if ev.Op == OpLinkLoss && f == 0 {
+			f = DefaultLossRate
 		}
 		if f != 0 {
 			k += fmt.Sprintf(":x%g", f)
@@ -379,6 +407,20 @@ func SlowDiskStraggler(group int, factor float64, atSec, restoreSec float64) Fau
 	}}
 }
 
+// FlakyLink degrades every link between one member of one group (the
+// rotation's slot-0 victim) and the rest of the cluster from atSec to
+// healSec: each crossing message drops with probability rate (0 →
+// DefaultLossRate). Consensus keeps limping through per-message retries —
+// prepare/accept rounds stall and resume, the proxy's dispatches time out
+// intermittently — without the clean failover a severed link would
+// trigger.
+func FlakyLink(group int, rate float64, atSec, healSec float64) Faultload {
+	return Faultload{Name: "flaky-link", Events: []FaultEvent{
+		{AtSec: atSec, Op: OpLinkLoss, Select: Member(group, 0), Factor: rate},
+		{AtSec: healSec, Op: OpLinkRestore, Select: Member(group, 0)},
+	}}
+}
+
 // --- Resolution --------------------------------------------------------
 
 // resolvedEvent is a fault event with its victims bound to flat server
@@ -424,6 +466,9 @@ func (f Faultload) resolve(cfg RunConfig) []resolvedEvent {
 		}
 		if re.op == OpDiskSlow && re.factor == 0 {
 			re.factor = DefaultSlowFactor
+		}
+		if re.op == OpLinkLoss && re.factor == 0 {
+			re.factor = DefaultLossRate
 		}
 		sel := ev.Select
 		switch sel.Scope {

@@ -383,3 +383,73 @@ func TestOverlappingDiskSlowWindowsCompose(t *testing.T) {
 		t.Fatalf("group report = %+v, want 3 degradation windows", g)
 	}
 }
+
+// TestFlakyLinkResolveAndKey: OpLinkLoss resolves with the default rate
+// normalized (Factor 0 and an explicit DefaultLossRate memoize as the
+// same run), restores pair with their loss events by selector key, and a
+// different rate gets a different key.
+func TestFlakyLinkResolveAndKey(t *testing.T) {
+	cfg := RunConfig{Servers: 3, Shards: 1, Seed: 1, Profile: rbe.Shopping}
+
+	fl := FlakyLink(0, 0, 60, 90).resolve(cfg)
+	if len(fl) != 2 || fl[0].op != OpLinkLoss || fl[1].op != OpLinkRestore {
+		t.Fatalf("flaky link resolved to %+v", fl)
+	}
+	if fl[0].factor != DefaultLossRate {
+		t.Fatalf("default loss rate not applied: %+v", fl[0])
+	}
+	if fl[1].selKey != fl[0].selKey {
+		t.Fatalf("restore not paired with its loss: %q vs %q", fl[1].selKey, fl[0].selKey)
+	}
+
+	a := FlakyLink(0, 0, 60, 90).key()
+	b := FlakyLink(0, DefaultLossRate, 60, 90).key()
+	if a != b {
+		t.Fatalf("default-rate keys differ: %q vs %q", a, b)
+	}
+	if c := FlakyLink(0, 0.5, 60, 90).key(); c == a {
+		t.Fatalf("a 50%%-loss run must not share the default-rate key %q", a)
+	}
+}
+
+// TestFlakyLinkScenarioRun: the flaky-link run end to end on the
+// simulator — one closed linkloss window carrying its rate, the loss
+// time accounted in the group report, no crashes (the gray failure never
+// trips crash detection), one injected fault, and the loss actually
+// cleared after the restore.
+func TestFlakyLinkScenarioRun(t *testing.T) {
+	fl := FlakyLink(0, 0.2, 60, 90)
+	r := Run(RunConfig{
+		Profile: rbe.Shopping, Servers: 3, StateMB: 300,
+		Faultload: &fl, Browsers: 200, Measure: 120 * time.Second, Seed: 6,
+	})
+	if len(r.CrashSec) != 0 {
+		t.Fatalf("flaky-link run recorded crashes: %v", r.CrashSec)
+	}
+	if len(r.FaultWindows) != 1 {
+		t.Fatalf("fault windows = %+v, want one", r.FaultWindows)
+	}
+	w := r.FaultWindows[0]
+	if w.Kind != "linkloss" || w.Group != 0 {
+		t.Fatalf("window = %+v", w)
+	}
+	if w.Factor != 0.2 {
+		t.Fatalf("window rate = %v, want 0.2", w.Factor)
+	}
+	if w.ToSec <= w.FromSec {
+		t.Fatalf("window never closed: %+v", w)
+	}
+	if want := 30.0 * 120 / 540; w.ToSec-w.FromSec < want-1 || w.ToSec-w.FromSec > want+1 {
+		t.Fatalf("window width %.1f s, want ≈%.1f (scaled 30 s)", w.ToSec-w.FromSec, want)
+	}
+	if r.Faults != 1 {
+		t.Fatalf("faults = %d, want 1", r.Faults)
+	}
+	g := r.PerGroup[0]
+	if g.LossWindows != 1 || g.LossSec <= 0 {
+		t.Fatalf("group report missed the loss window: %+v", g)
+	}
+	if g.Crashes != 0 {
+		t.Fatalf("loss must not crash anyone: %+v", g)
+	}
+}

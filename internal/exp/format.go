@@ -264,6 +264,12 @@ func printFaultWindows(w io.Writer, wins []metrics.FaultWindow) {
 		if fw.Kind == "slowdisk" && fw.Factor > 0 {
 			extra = fmt.Sprintf(", %gx slower", fw.Factor)
 		}
+		if fw.Kind == "linkloss" && fw.Factor > 0 {
+			extra = fmt.Sprintf(", %.0f%% loss", fw.Factor*100)
+			if fw.Dir != "" && fw.Dir != "both" {
+				extra += ", one-way " + fw.Dir
+			}
+		}
 		if fw.ToSec < 0 {
 			fmt.Fprintf(w, "  %s window: group %d, t=%.1f s → (never healed)%s\n",
 				fw.Kind, fw.Group, fw.FromSec, extra)

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"robuststore/internal/env"
 	"robuststore/internal/metrics"
 	"robuststore/internal/paxos"
 	"robuststore/internal/rbe"
@@ -335,6 +336,11 @@ func runOnce(cfg RunConfig) RunResult {
 	openParts := map[string]*sim.BlockHandle{}
 	openWins := map[string][]int{} // kind+selKey -> indices into faultWins
 	slowVictims := map[string][]int{}
+	// Flaky links are tracked per selector like degraded disks; a restore
+	// clears its own victims' links. Unlike disk factors, loss rates from
+	// different selectors touching the same victim do not compose — the
+	// later write wins per link (schedule disjoint victims to overlap).
+	lossVictims := map[string][]int{}
 	// diskActive composes overlapping degradations: per victim, the
 	// factors of every open OpDiskSlow touching it. The hardware runs at
 	// the worst active factor; restoring one event re-applies the max of
@@ -454,6 +460,36 @@ func runOnce(cfg RunConfig) RunResult {
 				}
 				delete(slowVictims, ev.selKey)
 				closeWindows("slowdisk", ev)
+			})
+		case OpLinkLoss:
+			s.At(t, func() {
+				victims := ev.victims
+				if ev.leaderOf >= 0 {
+					// Late binding, like OpPartition: degrade whoever leads
+					// the group now.
+					if l := cluster.LeaderOf(ev.leaderOf); l >= 0 {
+						victims = []int{l}
+					}
+				}
+				if len(victims) == 0 {
+					return
+				}
+				if old := lossVictims[ev.selKey]; old != nil {
+					// Re-degrading a selector supersedes its open event.
+					cluster.SetLinkRate(env.LinkBothWays, 0, old...)
+					closeWindows("linkloss", ev)
+				}
+				cluster.DegradeLinks(ev.dir, ev.factor, victims...)
+				lossVictims[ev.selKey] = victims
+				openWindows("linkloss", ev, ev.groups(cfg.Servers))
+			})
+		case OpLinkRestore:
+			s.At(t, func() {
+				if old := lossVictims[ev.selKey]; old != nil {
+					cluster.RestoreLinks(old...)
+					delete(lossVictims, ev.selKey)
+					closeWindows("linkloss", ev)
+				}
 			})
 		}
 	}
@@ -690,6 +726,9 @@ func collect(cfg RunConfig, cluster *webtier.Cluster, srec *metrics.ShardedRecor
 			case "slowdisk":
 				gr.Degradations++
 				gr.DegradedSec += to - fw.FromSec
+			case "linkloss":
+				gr.LossWindows++
+				gr.LossSec += to - fw.FromSec
 			}
 		}
 		if gr.Crashes > 0 {

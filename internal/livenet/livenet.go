@@ -59,10 +59,10 @@ type Cluster struct {
 	// refcounted per handle-based partition; manual holds SetLink's
 	// direct toggles.
 	linkMu  sync.RWMutex
-	blocked map[linkKey]int
-	manual  map[linkKey]bool
-	loss    map[linkKey]float64
-	parts   []*BlockHandle
+	blocked map[linkKey]int     // guarded by linkMu
+	manual  map[linkKey]bool    // guarded by linkMu
+	loss    map[linkKey]float64 // guarded by linkMu
+	parts   []*BlockHandle      // guarded by linkMu
 }
 
 type linkKey struct{ from, to env.NodeID }
@@ -313,6 +313,12 @@ func (c *Cluster) Post(id env.NodeID, fn func()) { c.node(id).post(fn) }
 // After schedules a cluster-level callback on the wall clock, independent
 // of any node incarnation (used by shard.Store's checkpoint sweep).
 func (c *Cluster) After(d time.Duration, fn func()) { time.AfterFunc(d, fn) }
+
+// Now returns the cluster clock — the wall clock on the live runtime. It
+// satisfies shard's nower capability, so deterministic code (the
+// migration driver) takes its timestamps from the runtime instead of
+// calling time.Now itself.
+func (c *Cluster) Now() time.Time { return time.Now() }
 
 // Close crashes every node and waits for their loops to exit.
 func (c *Cluster) Close() {

@@ -234,13 +234,15 @@ type GroupReport struct {
 	Perf            Performability
 
 	// The correlated-fault windows, beside the crash/recovery ones: how
-	// long this group spent (partly) network-partitioned and how long any
-	// of its members ran on a degraded disk. Open windows extend to run
-	// end.
+	// long this group spent (partly) network-partitioned, how long any of
+	// its members ran on a degraded disk, and how long any of its links
+	// were flaky (probabilistic loss). Open windows extend to run end.
 	Partitions   int
 	PartitionSec float64
 	Degradations int
 	DegradedSec  float64
+	LossWindows  int
+	LossSec      float64
 }
 
 // AggregateGroups folds per-group reports into one deployment-wide row:
@@ -268,6 +270,10 @@ func AggregateGroups(groups []GroupReport, total time.Duration) GroupReport {
 		}
 		if g.DegradedSec > out.DegradedSec {
 			out.DegradedSec = g.DegradedSec
+		}
+		out.LossWindows += g.LossWindows
+		if g.LossSec > out.LossSec {
+			out.LossSec = g.LossSec
 		}
 	}
 	out.AWIPS = awipsSum

@@ -1,6 +1,9 @@
 package paxos
 
-import "robuststore/internal/env"
+import (
+	"robuststore/internal/detsort"
+	"robuststore/internal/env"
+)
 
 // This file implements the acceptor role: durable promises and votes.
 // Every state change is persisted to the WAL before the corresponding
@@ -29,9 +32,12 @@ func (en *Engine) onPrepare(from env.NodeID, m prepareMsg) {
 	}
 	en.promised = m.B
 	reply := promiseMsg{B: m.B, From: m.From}
-	for inst, a := range en.accepted {
+	// Sorted export: the promise's accepted list is network-visible, and
+	// map order would make the same acceptor state produce different
+	// message bytes on every run (detorder invariant).
+	for _, inst := range detsort.Keys(en.accepted) {
 		if inst >= m.From {
-			reply.Accepted = append(reply.Accepted, a)
+			reply.Accepted = append(reply.Accepted, en.accepted[inst])
 		}
 	}
 	en.appendRecord(env.Record{Kind: "promise", Data: promiseRec{B: m.B}, Size: 32},

@@ -4,6 +4,7 @@ import (
 	"sort"
 	"time"
 
+	"robuststore/internal/detsort"
 	"robuststore/internal/env"
 )
 
@@ -817,7 +818,11 @@ func (en *Engine) Compact(through InstanceID) {
 		rec.InstPromised[i] = b
 	}
 	var size int64 = 128
-	for _, a := range en.accepted {
+	// Sorted export: the compaction barrier is a WAL record, and its
+	// accepted list must be byte-identical across replays of the same
+	// history (detorder invariant).
+	for _, i := range detsort.Keys(en.accepted) {
+		a := en.accepted[i]
 		rec.Accepted = append(rec.Accepted, a)
 		size += 32 + a.V.Size
 	}

@@ -4,6 +4,7 @@ import (
 	"sort"
 	"time"
 
+	"robuststore/internal/detsort"
 	"robuststore/internal/env"
 )
 
@@ -131,11 +132,14 @@ func (en *Engine) establish() {
 	en.adoptBallot(ls.b)
 	en.e.Logf("established ballot %v", ls.b)
 
-	// Group reports by instance.
+	// Group reports by instance, folding promises in member order: the
+	// per-instance report lists feed selectValue, and map order here is
+	// exactly the PR-6 establish() bug (outstanding values re-proposed in
+	// map order across a leader change, breaking FIFO).
 	byInst := make(map[InstanceID][]acceptedInfo)
 	maxInst := ls.prepFrom - 1
-	for _, pm := range ls.promises {
-		for _, a := range pm.Accepted {
+	for _, from := range detsort.Keys(ls.promises) {
+		for _, a := range ls.promises[from].Accepted {
 			byInst[a.Inst] = append(byInst[a.Inst], a)
 			if a.Inst > maxInst {
 				maxInst = a.Inst
@@ -389,9 +393,11 @@ func (en *Engine) onRecInfo(from env.NodeID, m recInfoMsg) {
 		return
 	}
 	rec.proposed = true
+	// Fold the recovery quorum in member order: selectValue's choice must
+	// not depend on map iteration (detorder invariant).
 	var reports []acceptedInfo
-	for _, r := range rec.replies {
-		if r.Voted {
+	for _, from := range detsort.Keys(rec.replies) {
+		if r := rec.replies[from]; r.Voted {
 			reports = append(reports, acceptedInfo{Inst: r.Inst, B: r.VB, V: r.V})
 		}
 	}

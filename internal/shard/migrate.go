@@ -133,14 +133,14 @@ type migration struct {
 	oldPhase int32         // drain phase in force before the freeze
 
 	mu        sync.Mutex
-	phase     string
-	frozen    map[int]bool // slice → frozen (handoff in progress)
-	queue     []pendingSubmit
-	startedAt time.Time
-	cutoverAt time.Time
-	pendingOp map[string]bool // in-flight ordered ops, by name
-	copied    int             // source groups whose snapshot has imported
-	dropped   int             // source groups whose cleanup has applied
+	phase     string          // guarded by mu
+	frozen    map[int]bool    // guarded by mu; slice → frozen (handoff in progress)
+	queue     []pendingSubmit // guarded by mu
+	startedAt time.Time       // guarded by mu
+	cutoverAt time.Time       // guarded by mu
+	pendingOp map[string]bool // guarded by mu; in-flight ordered ops, by name
+	copied    int             // guarded by mu; source groups whose snapshot has imported
+	dropped   int             // guarded by mu; source groups whose cleanup has applied
 }
 
 // Rebalance adds one Paxos group to the store and live-migrates its share
@@ -157,6 +157,10 @@ func (s *Store) Rebalance(opts RebalanceOptions) {
 	}
 	if _, ok := s.rt.(delayer); !ok {
 		fail(errors.New("shard: Rebalance needs a Runtime with After"))
+		return
+	}
+	if _, ok := s.rt.(nower); !ok {
+		fail(errors.New("shard: Rebalance needs a Runtime with Now"))
 		return
 	}
 	// One migration at a time: the active check, group registration and
@@ -214,10 +218,11 @@ func (m *migration) after(d time.Duration, fn func()) {
 }
 
 func (m *migration) now() time.Time {
-	if n, ok := m.store.rt.(nower); ok {
-		return n.Now()
-	}
-	return time.Now()
+	// Rebalance gates on the nower capability, so the assertion cannot
+	// fail. Falling back to time.Now here would stamp migration phases
+	// with the wall clock inside sim runs — a nondeterminism leak the
+	// walltime analyzer rejects.
+	return m.store.rt.(nower).Now()
 }
 
 func (m *migration) enterPhase(phase string) {

@@ -28,8 +28,10 @@ type delayer interface {
 	After(d time.Duration, fn func())
 }
 
-// nower is the optional clock capability of a Runtime (virtual time on
-// the simulator); runtimes without it run on the wall clock.
+// nower is the clock capability of a Runtime: virtual time on the
+// simulator, the wall clock on livenet. Rebalance requires it — the
+// migration driver stamps its phases exclusively from the runtime clock
+// so sim runs stay deterministic (both runtimes provide it).
 type nower interface {
 	Now() time.Time
 }
@@ -317,7 +319,7 @@ func (s *Store) Execute(ctx context.Context, key string, action any) (any, error
 		select {
 		case <-ctx.Done():
 			return nil, ctx.Err()
-		case <-time.After(5 * time.Millisecond):
+		case <-time.After(5 * time.Millisecond): //walltime:live — client-goroutine retry backoff (Execute), never on the sim executor
 		}
 	}
 }

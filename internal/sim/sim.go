@@ -320,6 +320,15 @@ func (s *Sim) LinkLoss(from, to env.NodeID) float64 {
 	return s.loss[linkKey{from, to}]
 }
 
+// Peers returns the registered node IDs in registration order (a copy),
+// for harnesses that fan a per-link operation — SetLinkLoss, SetLink —
+// across a victim's links the way PartitionDir does internally.
+func (s *Sim) Peers() []env.NodeID {
+	out := make([]env.NodeID, len(s.peers))
+	copy(out, s.peers)
+	return out
+}
+
 // linkBlocked reports whether the directed link from → to drops traffic.
 func (s *Sim) linkBlocked(from, to env.NodeID) bool {
 	k := linkKey{from, to}

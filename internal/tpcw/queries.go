@@ -3,6 +3,8 @@ package tpcw
 import (
 	"sort"
 	"strings"
+
+	"robuststore/internal/detsort"
 )
 
 // This file implements the read-only facade operations behind the TPC-W
@@ -191,8 +193,12 @@ func (s *Store) GetBestSellers(subject string) []BestSeller {
 // list of violations if the state is corrupt. Used by tests and the
 // consistency checks after fault experiments.
 func (s *Store) VerifyConsistency() []string {
+	// Sorted sweeps: the violation list is truncated to 8 entries and
+	// compared across replicas by tests, so its order must not depend on
+	// map iteration (detorder invariant).
 	var bad []string
-	for id, c := range s.customers {
+	for _, id := range detsort.Keys(s.customers) {
+		c := s.customers[id]
 		if c.ID != id {
 			bad = append(bad, "customer id mismatch")
 		}
@@ -203,7 +209,8 @@ func (s *Store) VerifyConsistency() []string {
 			bad = append(bad, "customer with dangling address")
 		}
 	}
-	for id, o := range s.orders {
+	for _, id := range detsort.Keys(s.orders) {
+		o := s.orders[id]
 		if o.ID != id {
 			bad = append(bad, "order id mismatch")
 		}
@@ -218,8 +225,8 @@ func (s *Store) VerifyConsistency() []string {
 			bad = append(bad, "order total mismatch")
 		}
 	}
-	for _, item := range s.items {
-		if item.Stock < 0 {
+	for _, id := range detsort.Keys(s.items) {
+		if s.items[id].Stock < 0 {
 			bad = append(bad, "negative stock")
 		}
 	}

@@ -265,6 +265,46 @@ func (c *Cluster) RestoreDisk(i int) {
 	c.sim.SetDiskSlowdown(c.serverIDs[i], 1)
 }
 
+// DegradeLinks makes every link between the given victim servers (flat
+// indices) and the rest of the cluster — the proxy included, mirroring
+// PartitionServers — flaky: each crossing message drops with probability
+// rate, in the directions dir selects relative to the victims. Counts one
+// injected fault.
+func (c *Cluster) DegradeLinks(dir env.LinkDir, rate float64, servers ...int) {
+	c.faults++
+	c.SetLinkRate(dir, rate, servers...)
+}
+
+// SetLinkRate applies (or, at rate 0, clears) the per-link loss without
+// counting a fault — the bookkeeping half of superseding an open loss
+// window (the fault was counted when its event fired).
+func (c *Cluster) SetLinkRate(dir env.LinkDir, rate float64, servers ...int) {
+	victims := make(map[env.NodeID]bool, len(servers))
+	for _, i := range servers {
+		victims[c.serverIDs[i]] = true
+	}
+	for _, i := range servers {
+		a := c.serverIDs[i]
+		for _, b := range c.sim.Peers() {
+			if victims[b] {
+				continue
+			}
+			if dir == env.LinkBothWays || dir == env.LinkOutboundOnly {
+				c.sim.SetLinkLoss(a, b, rate)
+			}
+			if dir == env.LinkBothWays || dir == env.LinkInboundOnly {
+				c.sim.SetLinkLoss(b, a, rate)
+			}
+		}
+	}
+}
+
+// RestoreLinks clears the loss on every link between the victim servers
+// and the rest of the cluster, in both directions.
+func (c *Cluster) RestoreLinks(servers ...int) {
+	c.SetLinkRate(env.LinkBothWays, 0, servers...)
+}
+
 // LeaderOf returns the flat index of the server currently leading group
 // g's consensus, or -1 while the group has no live leader. Call from
 // simulator context (the leader is executor-confined state).
