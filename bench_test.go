@@ -309,6 +309,39 @@ func BenchmarkPartitionRecovery(b *testing.B) {
 	b.ReportMetric(pt.PostAWIPS, "post_WIPS")
 }
 
+// BenchmarkReadScale measures the read scale-out tier: learner-backed
+// readers added to a 3-voter group under the saturated Browsing profile,
+// reporting read actions/s against read-serving node count with the
+// staleness accounting (fence waits, TooStale fallbacks) beside it. The
+// headline metric is the read-throughput ratio of 3 voters + 3 learners
+// over 3 voters alone (≥2× required: readers carry no write quorum duty,
+// so each one adds a nearly full node of read capacity). Results are
+// written to BENCH_readscale.json.
+func BenchmarkReadScale(b *testing.B) {
+	var pts []exp.ReadScalePoint
+	for i := 0; i < b.N; i++ {
+		pts = exp.ReadScale(exp.ReadScaleConfig{Seed: benchSeed, Counts: []int{0, 3}})
+	}
+	exp.PrintReadScale(os.Stdout, pts)
+	base, scaled := pts[0], pts[len(pts)-1]
+	speedup := scaled.ReadsPerSec / base.ReadsPerSec
+	report := struct {
+		Points      []exp.ReadScalePoint `json:"points"`
+		ReadSpeedup float64              `json:"read_speedup_6v3"`
+	}{pts, speedup}
+	if data, err := json.MarshalIndent(report, "", "  "); err == nil {
+		if err := os.WriteFile("BENCH_readscale.json", append(data, '\n'), 0o644); err != nil {
+			b.Logf("BENCH_readscale.json not written: %v", err)
+		}
+	}
+	b.ReportMetric(base.ReadsPerSec, "reads_per_sec_3nodes")
+	b.ReportMetric(scaled.ReadsPerSec, "reads_per_sec_6nodes")
+	b.ReportMetric(speedup, "read_speedup_6v3")
+	if speedup < 2 {
+		b.Errorf("read speedup 3v→3v+3l = %.2f×, want ≥2×", speedup)
+	}
+}
+
 // BenchmarkAblationFastVsClassicPaxos compares Treplica's Fast Paxos mode
 // against classic-only Paxos under the write-heavy ordering profile — the
 // protocol choice §2 motivates.

@@ -7,6 +7,7 @@
 //
 //	experiment -run all
 //	experiment -run speedup
+//	experiment -run readscale -short
 //	experiment -run one-crash -servers 5 -profile ordering
 //	experiment -run recovery-times
 //	experiment -run sharded -shards 2 -short
@@ -47,7 +48,7 @@ import (
 
 func main() {
 	var (
-		which   = flag.String("run", "all", "experiment: speedup | scaleup | one-crash | two-crashes | delayed | recovery-times | batching | ablations | sharded | sharded-recovery | rebalance | checkpoint | partition | slowdisk | all")
+		which   = flag.String("run", "all", "experiment: speedup | scaleup | readscale | one-crash | two-crashes | delayed | recovery-times | batching | ablations | sharded | sharded-recovery | rebalance | checkpoint | partition | slowdisk | all")
 		seed    = flag.Uint64("seed", 1, "root seed (runs are deterministic per seed)")
 		servers = flag.Int("servers", 5, "replication degree for single-run modes")
 		profile = flag.String("profile", "shopping", "workload profile for single-run modes: browsing | shopping | ordering")
@@ -153,6 +154,17 @@ func run(which string, seed uint64, servers int, profileName string, shards int,
 			counts = counts[:2]
 		}
 		exp.PrintShardedRecovery(out, exp.ShardedRecoveryCurve(seed, counts))
+	case "readscale":
+		// Read scale-out: learner-backed readers per group under the
+		// Browsing profile — read throughput vs read-serving node count,
+		// with fence-wait / stale-serve accounting.
+		cfg := exp.ReadScaleConfig{Seed: seed}
+		if short {
+			cfg.Browsers = 300
+			cfg.Measure = 60 * time.Second
+			cfg.Counts = []int{0, 3}
+		}
+		exp.PrintReadScale(out, exp.ReadScale(cfg))
 	case "speedup":
 		exp.PrintSpeedup(out, exp.Speedup(seed))
 	case "scaleup":
@@ -201,7 +213,7 @@ func run(which string, seed uint64, servers int, profileName string, shards int,
 	case "ablations":
 		exp.PrintAblation(out, exp.AblationFastPaxos(seed))
 	case "all":
-		for _, w := range []string{"speedup", "scaleup", "one-crash", "two-crashes", "delayed", "recovery-times", "batching", "sharded", "sharded-recovery", "rebalance", "checkpoint", "partition", "slowdisk", "ablations"} {
+		for _, w := range []string{"speedup", "scaleup", "readscale", "one-crash", "two-crashes", "delayed", "recovery-times", "batching", "sharded", "sharded-recovery", "rebalance", "checkpoint", "partition", "slowdisk", "ablations"} {
 			fmt.Fprintln(out)
 			if err := run(w, seed, servers, profileName, shards, short); err != nil {
 				return err

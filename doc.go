@@ -73,6 +73,35 @@
 // SyncMode × MaxInFlight at 1 and 4 shards; cmd/experiment -run batching
 // prints the matrix).
 //
+// The read path scales out independently of the write quorums:
+// webtier.Config.Readers boots learner-backed read-only servers per
+// group — full application servers whose paxos engine is a non-voting
+// learner (paxos.Config.Learner): it receives the voters' learn stream
+// and checkpoints and applies the ordered log, but never votes, proposes
+// or counts toward quorum, so added readers cost no WAL-quorum latency.
+// Bounded staleness and read-your-writes ride on the applied index:
+// every write ack carries its commit index, the proxy folds it into a
+// per-session high-water mark and attaches it as a fence on the
+// session's subsequent reads, and the serving replica runs a fenced read
+// only once lastApplied reaches the fence (core.Replica.ReadAt — bounded
+// wait, then a TooStale reply the proxy transparently re-serves on the
+// voters; core.Replica.InspectAt pins point-in-time audit reads to a log
+// index). Read dispatch balances per-request across voters + readers by
+// least outstanding requests (rotation breaks ties) instead of pinning
+// by client hash, so a hot client's reads spread over the read-serving
+// set and queues drain toward the nodes with headroom; writes keep hash
+// affinity and go to voters only. At Readers=0 the read path is
+// bit-for-bit the pre-reader one. The learner fault family — lagging
+// learner (flaky links), learner severed from its group while still
+// serving (OpGroupIsolate, the staleness worst case), a leader crash
+// racing in-flight fences — joins the faultload DSL, staleness is
+// accounted per group (GroupReport.ReadsServed/FenceWaits/StaleServes)
+// with a serve-time fence-violation counter the fault suite asserts
+// stays zero, and cmd/experiment -run readscale plus BenchmarkReadScale
+// (BENCH_readscale.json) measure read actions/s against read-serving
+// node count — ≥2× from 3 voters to 3 voters + 3 learners under the
+// Browsing mix.
+//
 // The dependability benchmark covers the sharded deployment too: a
 // composable faultload DSL (exp.Faultload — victim selectors × schedule)
 // subsumes the paper's §5.4–5.6 faultloads and adds sharded scenarios

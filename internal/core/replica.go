@@ -222,6 +222,14 @@ func (m snapReplyMsg) WireSize() int64 {
 // recovering its application state.
 var ErrNotReady = errors.New("core: replica state not yet recovered")
 
+// ErrLearner is returned for submissions on a learner replica: learners
+// apply the ordered log but never propose to it.
+var ErrLearner = errors.New("core: learner replicas cannot submit actions")
+
+// ErrTooStale is the fenced-read fallback: the replica did not reach the
+// requested applied index within the bounded wait (see ReadAt).
+var ErrTooStale = errors.New("core: replica too stale for fenced read")
+
 // Replica is one member of a replicated state machine. It implements
 // env.Node; construct one per incarnation via its Config.Machine factory
 // wiring (see NewReplica) and hand it to a runtime.
@@ -241,7 +249,12 @@ type Replica struct {
 
 	epoch   int64 // this incarnation's command epoch (start time)
 	nextSeq int64
-	pending map[int64]func(result any, err error)
+	pending map[int64]func(result any, inst paxos.InstanceID, err error)
+
+	// fences holds registered fenced reads waiting for lastApplied to
+	// reach their minimum index (ReadAt/InspectAt). Loop-confined; fired
+	// in FIFO registration order as the applied frontier advances.
+	fences []*fenceWaiter
 
 	// imported guards partition imports at-most-once per transfer; it is
 	// driven by the ordered log only, so every replica holds the same
@@ -319,7 +332,7 @@ func NewReplica(cfg Config) *Replica {
 	}
 	return &Replica{
 		cfg:     cfg,
-		pending: make(map[int64]func(any, error)),
+		pending: make(map[int64]func(any, paxos.InstanceID, error)),
 		serving: make(map[env.NodeID]bool),
 	}
 }
@@ -436,6 +449,7 @@ func (r *Replica) finishRestore(app appSnap) {
 	for _, bv := range buf {
 		r.apply(bv.inst, bv.v)
 	}
+	r.fireFences()
 	if r.cfg.OnReady != nil {
 		r.cfg.OnReady()
 	}
@@ -462,9 +476,29 @@ func (r *Replica) Receive(from env.NodeID, msg env.Message) {
 // the action has been applied here. All replica-visible non-determinism
 // must already be resolved inside the action (paper §4).
 func (r *Replica) Submit(action any, done func(result any, err error)) {
+	if done == nil {
+		r.SubmitIndexed(action, nil)
+		return
+	}
+	r.SubmitIndexed(action, func(result any, _ paxos.InstanceID, err error) {
+		done(result, err)
+	})
+}
+
+// SubmitIndexed is Submit for callers that need the commit index: done
+// additionally receives the log instance the action was applied at, which
+// a client can carry as the fence of its subsequent reads (ReadAt) to get
+// read-your-writes across replicas.
+func (r *Replica) SubmitIndexed(action any, done func(result any, inst paxos.InstanceID, err error)) {
+	if r.cfg.Paxos.Learner {
+		if done != nil {
+			done(nil, -1, ErrLearner)
+		}
+		return
+	}
 	if r.en == nil || !r.appReady {
 		if done != nil {
-			done(nil, ErrNotReady)
+			done(nil, -1, ErrNotReady)
 		}
 		return
 	}
@@ -529,6 +563,88 @@ func (r *Replica) Inspect(fn func(sm StateMachine)) bool {
 	return true
 }
 
+// fenceWaiter is one registered fenced read: run fn once lastApplied
+// reaches minIndex, or stale after the bounded wait expires. Loop-confined
+// (all fields are touched only on the replica's executor).
+type fenceWaiter struct {
+	minIndex paxos.InstanceID
+	fn       func(sm StateMachine, applied paxos.InstanceID)
+	stale    func()
+	done     bool
+}
+
+// ReadAt is the fenced read of the follower-read protocol: run fn with the
+// state machine as soon as this replica's applied index reaches minIndex —
+// immediately when it already has — and report the applied index fn ran
+// at. If the replica does not catch up within wait, stale runs instead
+// (the TooStale fallback; the caller retries on a fresher replica). fn and
+// stale run on the replica's executor, exactly one of them, always
+// asynchronously with respect to the caller when a wait is needed.
+// Returns false if the replica has not started yet.
+func (r *Replica) ReadAt(minIndex paxos.InstanceID, wait time.Duration,
+	fn func(sm StateMachine, applied paxos.InstanceID), stale func()) bool {
+	e, ok := r.pubEnv.Load().(env.Env)
+	if !ok {
+		return false
+	}
+	e.Post(func() { r.readAt(minIndex, wait, fn, stale) })
+	return true
+}
+
+// InspectAt is the point-in-time audit read: run fn with the state pinned
+// at-or-after log index — the first state this replica materializes whose
+// applied index is ≥ index (exact-index states are not materializable:
+// no-op instances and batched deliveries make the applied index jump).
+// Semantics and fallback are those of ReadAt.
+func (r *Replica) InspectAt(index paxos.InstanceID, wait time.Duration,
+	fn func(sm StateMachine, applied paxos.InstanceID), stale func()) bool {
+	return r.ReadAt(index, wait, fn, stale)
+}
+
+func (r *Replica) readAt(minIndex paxos.InstanceID, wait time.Duration,
+	fn func(StateMachine, paxos.InstanceID), stale func()) {
+	if r.appReady && r.lastApplied >= minIndex {
+		fn(r.sm, r.lastApplied)
+		return
+	}
+	w := &fenceWaiter{minIndex: minIndex, fn: fn, stale: stale}
+	r.fences = append(r.fences, w)
+	r.e.After(wait, func() {
+		if w.done {
+			return
+		}
+		w.done = true
+		if w.stale != nil {
+			w.stale()
+		}
+	})
+}
+
+// fireFences runs every waiting fenced read whose minimum index the
+// replica has now applied, in registration order, and compacts the rest.
+func (r *Replica) fireFences() {
+	if len(r.fences) == 0 {
+		return
+	}
+	kept := r.fences[:0]
+	for _, w := range r.fences {
+		if w.done {
+			continue // expired to stale; drop
+		}
+		if r.appReady && r.lastApplied >= w.minIndex {
+			w.done = true
+			w.fn(r.sm, r.lastApplied)
+			continue
+		}
+		kept = append(kept, w)
+	}
+	tail := r.fences[len(kept):]
+	for i := range tail {
+		tail[i] = nil
+	}
+	r.fences = kept
+}
+
 // publishLoop refreshes the published leadership and backlog snapshots so
 // application goroutines can await service readiness and aggregate
 // per-group metrics (internal/shard) without touching loop state.
@@ -568,13 +684,14 @@ func (r *Replica) apply(inst paxos.InstanceID, v paxos.Value) {
 		if c.Origin == r.me && c.Epoch == r.epoch {
 			if done, ok := r.pending[c.Seq]; ok {
 				delete(r.pending, c.Seq)
-				done(result, nil)
+				done(result, inst, nil)
 			}
 		}
 	}
 	r.lastApplied = inst
 	r.pubLastApplied.Store(int64(inst))
 	r.pubApplied.Store(r.applied)
+	r.fireFences()
 	r.maybeRecovered()
 }
 
@@ -807,6 +924,8 @@ func (r *Replica) onSnapReply(m snapReplyMsg) {
 	r.chainBytes = 0
 	r.en.SetDelivered(last.Delivered)
 	r.en.SkipTo(last.LastApplied + 1)
+	r.pubLastApplied.Store(int64(r.lastApplied))
+	r.fireFences()
 	r.maybeRecovered()
 }
 

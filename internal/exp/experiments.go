@@ -111,6 +111,98 @@ func Scaleup(seed uint64) ScaleupResult {
 	return out
 }
 
+// readScaleBrowsers drives the read scale-out sweep past the biggest
+// deployment's read capacity, so the measured rate is capacity, not
+// offered load.
+const readScaleBrowsers = 3000
+
+// ReadScalePoint is one point of the read scale-out sweep: read
+// throughput against read-serving node count at a fixed voter degree.
+type ReadScalePoint struct {
+	Readers     int     // learner readers per group
+	ReadNodes   int     // read-serving nodes per group (voters + readers)
+	ReadsPerSec float64 // read interactions served per second, all groups
+	WIPS        float64
+	WIRTms      float64
+	FenceWaits  int64   // fenced reads that waited for the serving replica
+	StaleServes int64   // fence waits that fell back TooStale to the voters
+	Scale       float64 // ReadsPerSec relative to the Readers=0 baseline
+}
+
+// ReadScaleConfig parameterizes the read scale-out sweep.
+type ReadScaleConfig struct {
+	Seed     uint64
+	Servers  int   // voters per group; default 3
+	Counts   []int // reader counts swept; default {0, 1, 3}
+	Browsers int
+	Measure  time.Duration
+	Fault    *Faultload // optional read-tier faultload
+}
+
+func (c ReadScaleConfig) withDefaults() ReadScaleConfig {
+	if c.Servers == 0 {
+		c.Servers = 3
+	}
+	if c.Counts == nil {
+		c.Counts = []int{0, 1, 3}
+	}
+	if c.Browsers == 0 {
+		c.Browsers = readScaleBrowsers
+	}
+	if c.Measure == 0 {
+		c.Measure = shortMeasure
+	}
+	return c
+}
+
+// ReadScale sweeps learner-backed readers per group under the Browsing
+// profile (95 % reads): learners receive the learn stream and serve
+// fenced follower reads without joining the write quorum, so read
+// capacity grows with every read-serving node while the voter set — and
+// write latency — stays fixed.
+func ReadScale(cfg ReadScaleConfig) []ReadScalePoint {
+	cfg = cfg.withDefaults()
+	var out []ReadScalePoint
+	var base float64
+	for _, readers := range cfg.Counts {
+		r := Run(RunConfig{
+			Profile:   rbe.Browsing,
+			Servers:   cfg.Servers,
+			Readers:   readers,
+			StateMB:   300,
+			Fault:     NoFault,
+			Faultload: cfg.Fault,
+			Browsers:  cfg.Browsers,
+			Measure:   cfg.Measure,
+			Seed:      cfg.Seed,
+		})
+		var rps float64
+		var fw, ss int64
+		for _, g := range r.PerGroup {
+			rps += g.ReadsPerSec
+			fw += g.FenceWaits
+			ss += g.StaleServes
+		}
+		p := ReadScalePoint{
+			Readers:     readers,
+			ReadNodes:   cfg.Servers + readers,
+			ReadsPerSec: rps,
+			WIPS:        r.AWIPS,
+			WIRTms:      r.WIRTms,
+			FenceWaits:  fw,
+			StaleServes: ss,
+		}
+		if base == 0 {
+			base = rps
+		}
+		if base > 0 {
+			p.Scale = rps / base
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
 // FaultMatrix runs one faultload across the paper's dependability grid:
 // replication degrees 5 and 8, all three profiles, 500 MB state (Tables
 // 1–6, Figures 5, 7, 8).

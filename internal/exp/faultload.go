@@ -76,6 +76,19 @@ const (
 	// the same selector (the flaky path stabilizes on its own; no operator
 	// action, so it does not count against autonomy).
 	OpLinkRestore
+
+	// OpGroupIsolate severs the victims from the other members of their
+	// own Paxos group — voters and readers — while their proxy path and
+	// every other link stay up. Unlike OpPartition the victims keep
+	// serving clients: a learner reader cut off this way lags
+	// arbitrarily far behind the acked writes, the staleness worst case
+	// the read fences must bound. A second OpGroupIsolate on the same
+	// selector supersedes the first.
+	OpGroupIsolate
+
+	// OpGroupReconnect restores the group links severed by the
+	// OpGroupIsolate event with the same selector.
+	OpGroupReconnect
 )
 
 // String implements fmt.Stringer.
@@ -99,6 +112,10 @@ func (o FaultOp) String() string {
 		return "link-loss"
 	case OpLinkRestore:
 		return "link-restore"
+	case OpGroupIsolate:
+		return "group-isolate"
+	case OpGroupReconnect:
+		return "group-reconnect"
 	default:
 		return "unknown"
 	}
@@ -132,6 +149,11 @@ const (
 	// so the remaining majority keeps quorum. At Servers=1 the minority
 	// is empty and the event is a no-op.
 	ScopeGroupMinority
+
+	// ScopeGroupReader hits learner-backed reader Slot of group Group
+	// (the read-scale-out tier). Requires a deployment with Readers > 0;
+	// never touches quorum — readers do not vote.
+	ScopeGroupReader
 )
 
 // Selector picks victim servers from the deployment layout. Victims
@@ -170,6 +192,11 @@ func Minority(group int) Selector {
 	return Selector{Scope: ScopeGroupMinority, Group: group}
 }
 
+// Reader selects learner-backed reader slot of one group.
+func Reader(group, slot int) Selector {
+	return Selector{Scope: ScopeGroupReader, Group: group, Slot: slot}
+}
+
 // key renders the selector into the run memoization key.
 func (sel Selector) key() string {
 	switch sel.Scope {
@@ -183,6 +210,8 @@ func (sel Selector) key() string {
 		return fmt.Sprintf("l%d", sel.Group)
 	case ScopeGroupMinority:
 		return fmt.Sprintf("n%d", sel.Group)
+	case ScopeGroupReader:
+		return fmt.Sprintf("r%d.%d", sel.Group, sel.Slot)
 	default:
 		return "?"
 	}
@@ -407,6 +436,45 @@ func SlowDiskStraggler(group int, factor float64, atSec, restoreSec float64) Fau
 	}}
 }
 
+// --- Read-tier fault scenarios ------------------------------------------
+
+// LaggingLearner makes every link of one group's first learner-backed
+// reader flaky (rate 0 → DefaultLossRate) from atSec to healSec: the
+// reader keeps serving but falls behind the log as its learn traffic
+// drops, so fenced reads landing on it must wait, and waits that exhaust
+// the staleness bound fall back to the voters (TooStale). Quorum and
+// write throughput are untouched — learners do not vote.
+func LaggingLearner(group int, rate float64, atSec, healSec float64) Faultload {
+	return Faultload{Name: "lagging-learner", Events: []FaultEvent{
+		{AtSec: atSec, Op: OpLinkLoss, Select: Reader(group, 0), Factor: rate},
+		{AtSec: healSec, Op: OpLinkRestore, Select: Reader(group, 0)},
+	}}
+}
+
+// LearnerPartition severs one group's first reader from its own group —
+// proxy path intact — from atSec to healSec: the reader keeps serving
+// reads while its applied log freezes, so every fenced read landing on
+// it must wait out the staleness bound and fall back TooStale to the
+// voters, and non-fenced reads surface the bounded-staleness contract.
+// After the heal it catches up off the voters' learn stream.
+func LearnerPartition(group int, atSec, healSec float64) Faultload {
+	return Faultload{Name: "learner-partition", Events: []FaultEvent{
+		{AtSec: atSec, Op: OpGroupIsolate, Select: Reader(group, 0)},
+		{AtSec: healSec, Op: OpGroupReconnect, Select: Reader(group, 0)},
+	}}
+}
+
+// FenceLeaderCrash kills the group's consensus leader at atSec in the
+// middle of the client load: sessions holding read-your-writes fences
+// from writes the dead leader acked must still see those writes — on
+// whichever server their next read lands — across the election and the
+// proxy's failover. The watchdog restarts the leader autonomously.
+func FenceLeaderCrash(group int, atSec float64) Faultload {
+	return Faultload{Name: "fence-leader-crash", Events: []FaultEvent{
+		{AtSec: atSec, Op: OpCrash, Select: Leader(group)},
+	}}
+}
+
 // FlakyLink degrades every link between one member of one group (the
 // rotation's slot-0 victim) and the rest of the cluster from atSec to
 // healSec: each crossing message drops with probability rate (0 →
@@ -439,6 +507,10 @@ type resolvedEvent struct {
 	leaderOf int
 	dir      env.LinkDir
 	factor   float64
+	// groupList, when non-nil, overrides victim→group attribution for
+	// victims whose flat index is not group-major (learner readers live
+	// past the voter range).
+	groupList []int
 }
 
 // resolve binds the faultload's selectors to flat (group-major) server
@@ -501,6 +573,14 @@ func (f Faultload) resolve(cfg RunConfig) []resolvedEvent {
 			for i := 0; i < m; i++ {
 				re.victims = append(re.victims, g*cfg.Servers+(first+i)%cfg.Servers)
 			}
+		case ScopeGroupReader:
+			g := groupOf(sel)
+			if cfg.Readers <= 0 {
+				panic(fmt.Sprintf("exp: faultload %q selects a reader of a deployment with Readers=0",
+					f.Name))
+			}
+			re.victims = []int{cfg.Shards*cfg.Servers + g*cfg.Readers + sel.Slot%cfg.Readers}
+			re.groupList = []int{g}
 		}
 		out = append(out, re)
 	}
@@ -512,6 +592,9 @@ func (f Faultload) resolve(cfg RunConfig) []resolvedEvent {
 func (re resolvedEvent) groups(servers int) []int {
 	if re.leaderOf >= 0 {
 		return []int{re.leaderOf}
+	}
+	if re.groupList != nil {
+		return re.groupList
 	}
 	seen := map[int]bool{}
 	var out []int

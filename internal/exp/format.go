@@ -330,6 +330,19 @@ func PrintShardedRecovery(w io.Writer, pts []ShardedRecoveryPoint) {
 	}
 }
 
+// PrintReadScale renders the read scale-out sweep: read throughput vs
+// read-serving node count, with the staleness accounting beside it.
+func PrintReadScale(w io.Writer, pts []ReadScalePoint) {
+	fmt.Fprintln(w, "Read scale-out — learner readers per group, Browsing profile")
+	fmt.Fprintf(w, "%-8s %10s %12s %8s %10s %12s %12s %8s\n",
+		"readers", "read nodes", "reads/s", "WIPS", "WIRT(ms)", "fence waits", "stale serves", "scale")
+	for _, p := range pts {
+		fmt.Fprintf(w, "%-8d %10d %12.1f %8.1f %10.1f %12d %12d %8.2f\n",
+			p.Readers, p.ReadNodes, p.ReadsPerSec, p.WIPS, p.WIRTms,
+			p.FenceWaits, p.StaleServes, p.Scale)
+	}
+}
+
 // PrintCheckpointCurve renders the recovery-time-vs-checkpoint-interval
 // trade-off, full vs incremental checkpoints side by side.
 func PrintCheckpointCurve(w io.Writer, pts []CheckpointPoint) {

@@ -49,6 +49,12 @@ type RunConfig struct {
 	StateMB int // initial state size: 300, 500 or 700
 	Fault   FaultKind
 
+	// Readers adds this many learner-backed read-only servers per group
+	// (webtier.Config.Readers): they apply the log but never vote, and
+	// the proxy rotates reads across voters + readers with per-session
+	// read-your-writes fences. 0 keeps the pre-reader read path.
+	Readers int
+
 	// Faultload, when non-nil, overrides Fault with an explicit composable
 	// schedule (see faultload.go). The enum faultloads are shorthand: Fault
 	// is resolved through PaperFaultload, so both paths run the same engine.
@@ -124,8 +130,8 @@ func (c RunConfig) faultload() Faultload {
 
 // key returns the memoization key.
 func (c RunConfig) key() string {
-	return fmt.Sprintf("%v/%d/%d/%d/%v/%d/%v/%d/%v/%v/%v/%.0f/%.0f/%v/%d/%v/%s",
-		c.Profile, c.Servers, c.Shards, c.StateMB, c.Fault, c.Browsers, c.Measure,
+	return fmt.Sprintf("%v/%d/%d/%d/%d/%v/%d/%v/%d/%v/%v/%v/%.0f/%.0f/%v/%d/%v/%s",
+		c.Profile, c.Servers, c.Shards, c.Readers, c.StateMB, c.Fault, c.Browsers, c.Measure,
 		c.Seed, c.NoFast, c.NoBatch, c.SeqRec, c.CrashAt,
 		c.RebalanceAtSec, c.CrashMidMigration,
 		c.CheckpointIntervalSec, c.FullCheckpoints, c.faultload().key())
@@ -167,6 +173,12 @@ type RunResult struct {
 	Faults       int
 	Errors       int
 	Total        int
+
+	// FenceViolations counts fenced reads served below their fence —
+	// zero unless the read-your-writes machinery regressed (see
+	// webtier.Cluster.FenceViolations). The seeded fault suite asserts
+	// it stays zero.
+	FenceViolations int64
 
 	// Steady-state checkpoint I/O across all servers, measured from T0
 	// (the initial population install is excluded) until the run's drain
@@ -270,6 +282,7 @@ func runOnce(cfg RunConfig) RunResult {
 	cluster := webtier.NewCluster(webtier.Config{
 		Servers:            cfg.Servers,
 		Shards:             cfg.Shards,
+		Readers:            cfg.Readers,
 		FastPaxos:          !cfg.NoFast,
 		Store:              proto.Clone,
 		Cal:                webtier.DefaultCalibration(),
@@ -341,6 +354,9 @@ func runOnce(cfg RunConfig) RunResult {
 	// different selectors touching the same victim do not compose — the
 	// later write wins per link (schedule disjoint victims to overlap).
 	lossVictims := map[string][]int{}
+	// Group-isolated servers (OpGroupIsolate), tracked per selector the
+	// same way for the reconnect.
+	isoVictims := map[string][]int{}
 	// diskActive composes overlapping degradations: per victim, the
 	// factors of every open OpDiskSlow touching it. The hardware runs at
 	// the worst active factor; restoring one event re-applies the max of
@@ -491,6 +507,28 @@ func runOnce(cfg RunConfig) RunResult {
 					closeWindows("linkloss", ev)
 				}
 			})
+		case OpGroupIsolate:
+			s.At(t, func() {
+				if len(ev.victims) == 0 {
+					return
+				}
+				if old := isoVictims[ev.selKey]; old != nil {
+					// Re-isolating a selector supersedes its open event.
+					cluster.ReconnectToGroup(old...)
+					closeWindows("partition", ev)
+				}
+				cluster.IsolateFromGroup(ev.victims...)
+				isoVictims[ev.selKey] = ev.victims
+				openWindows("partition", ev, ev.groups(cfg.Servers))
+			})
+		case OpGroupReconnect:
+			s.At(t, func() {
+				if old := isoVictims[ev.selKey]; old != nil {
+					cluster.ReconnectToGroup(old...)
+					delete(isoVictims, ev.selKey)
+					closeWindows("partition", ev)
+				}
+			})
 		}
 	}
 
@@ -541,6 +579,17 @@ type crashEvent struct {
 	at     time.Time
 }
 
+// groupOfFlat maps a flat server index — voter or learner reader — to its
+// Paxos group (readers occupy the range past the voters; a rebalance-grown
+// deployment never has readers, so the group-major rule covers it).
+func groupOfFlat(cfg RunConfig, server int) int {
+	voters := cfg.Shards * cfg.Servers
+	if cfg.Readers > 0 && server >= voters {
+		return (server - voters) / cfg.Readers
+	}
+	return server / cfg.Servers
+}
+
 // pickVictims chooses crash targets deterministically ("chosen at random",
 // §5.5) — distinct servers, avoiding none in particular.
 func pickVictims(cfg RunConfig) []int {
@@ -587,6 +636,7 @@ func collect(cfg RunConfig, cluster *webtier.Cluster, srec *metrics.ShardedRecor
 	res.Availability = metrics.Availability(cluster.Downtime(), total)
 	res.Autonomy = metrics.ComputeAutonomy(cluster.Interventions(), cluster.Faults())
 	res.Faults = cluster.Faults()
+	res.FenceViolations = cluster.FenceViolations()
 
 	// Match recoveries to crashes per victim (first recovery after the
 	// crash). matchedRec aligns with crashes; -1 marks a victim that never
@@ -686,10 +736,20 @@ func collect(cfg RunConfig, cluster *webtier.Cluster, srec *metrics.ShardedRecor
 			Downtime:     gdt[g],
 			Availability: metrics.Availability(gdt[g], total),
 		}
+		if g < cfg.Shards {
+			// Read-path staleness accounting (zero on rebalance-added
+			// groups: a rebalance excludes readers). The rate is over the
+			// full run window — readers serve through ramp-up and drain too.
+			served, fw, ss := cluster.ReadStats(g)
+			gr.ReadsServed = served
+			gr.ReadsPerSec = float64(served) / total.Seconds()
+			gr.FenceWaits = fw
+			gr.StaleServes = ss
+		}
 		gCrash0, gRecEnd := -1, -1
 		var durSum float64
 		for i, ce := range crashes {
-			if ce.server/cfg.Servers != g {
+			if groupOfFlat(cfg, ce.server) != g {
 				continue
 			}
 			gr.Crashes++

@@ -243,6 +243,16 @@ type GroupReport struct {
 	DegradedSec  float64
 	LossWindows  int
 	LossSec      float64
+
+	// Read-path staleness accounting (learner-backed follower reads):
+	// reads the group's voters + readers served to completion, reads per
+	// second of measured time, fenced reads that had to wait for the
+	// serving replica to catch up, and fence waits that expired into a
+	// TooStale fallback to the voters.
+	ReadsServed int64
+	ReadsPerSec float64
+	FenceWaits  int64
+	StaleServes int64
 }
 
 // AggregateGroups folds per-group reports into one deployment-wide row:
@@ -275,6 +285,10 @@ func AggregateGroups(groups []GroupReport, total time.Duration) GroupReport {
 		if g.LossSec > out.LossSec {
 			out.LossSec = g.LossSec
 		}
+		out.ReadsServed += g.ReadsServed
+		out.ReadsPerSec += g.ReadsPerSec
+		out.FenceWaits += g.FenceWaits
+		out.StaleServes += g.StaleServes
 	}
 	out.AWIPS = awipsSum
 	out.Availability = Availability(out.Downtime, total)

@@ -103,6 +103,19 @@ type Config struct {
 	// ballot ownership is computed round-robin over the member *index*,
 	// so the IDs themselves may be arbitrary.
 	Members []env.NodeID
+
+	// Learner marks this engine as a non-voting learner: it receives
+	// learn/commit traffic and applies the log but never votes, proposes,
+	// or counts toward any quorum. A learner is not listed in Members
+	// (Members still names the voting group it observes) and sends no
+	// pings — voters must not mistake it for a quorum participant.
+	Learner bool
+
+	// Learners lists the non-voting learner nodes attached to this
+	// group. Voters forward decided values (chosenMsg) and heartbeats to
+	// them so learners track the log and the current ballot without ever
+	// being counted. Must be empty on learner engines themselves.
+	Learners []env.NodeID
 }
 
 func (c Config) withDefaults() Config {
@@ -243,7 +256,7 @@ func (en *Engine) Boot(e env.Env, deliverFloor InstanceID, ready func()) {
 			en.myIdx = i
 		}
 	}
-	if en.myIdx < 0 {
+	if en.myIdx < 0 && !en.cfg.Learner {
 		panic("paxos: this node is not listed in Members")
 	}
 	en.n = len(en.members)
@@ -325,8 +338,12 @@ func (en *Engine) startTimers() {
 		en.sweep()
 		en.e.After(en.cfg.SweepInterval, sweep)
 	}
-	// Stagger the first ping so nodes do not tick in lockstep.
-	en.e.After(time.Duration(en.e.Rand().Int63n(int64(en.cfg.HeartbeatInterval))), ping)
+	// Learners are silent: a learner ping would register in the voters'
+	// failure detectors and inflate their live count past the real quorum.
+	if !en.cfg.Learner {
+		// Stagger the first ping so nodes do not tick in lockstep.
+		en.e.After(time.Duration(en.e.Rand().Int63n(int64(en.cfg.HeartbeatInterval))), ping)
+	}
 	en.e.After(time.Duration(en.e.Rand().Int63n(int64(en.cfg.SweepInterval))), sweep)
 }
 
@@ -385,6 +402,9 @@ func (en *Engine) aliveCount() int {
 // replica. Submit never blocks; flow control is by MaxInFlight batching,
 // with queue pressure graded through AdmissionState.
 func (en *Engine) Submit(cmd any) {
+	if en.cfg.Learner {
+		panic("paxos: Submit on a learner engine")
+	}
 	en.cmdQueue = append(en.cmdQueue, cmd)
 	en.queueBytes += en.cfg.CmdSize(cmd)
 	en.pump()
@@ -541,11 +561,18 @@ func (en *Engine) broadcast(msg env.Message) {
 }
 
 func (en *Engine) sendPing() {
-	en.broadcast(pingMsg{
+	m := pingMsg{
 		B:             en.curBallot,
 		Leader:        en.IsLeader(),
 		FirstUnchosen: en.firstUnchosen,
-	})
+	}
+	en.broadcast(m)
+	// Heartbeats also flow to attached learners so they track the current
+	// ballot (catch-up targeting) and the decided frontier. Learners never
+	// answer, so this is one-way.
+	for _, l := range en.cfg.Learners {
+		en.e.Send(l, m)
+	}
 }
 
 func (en *Engine) onPing(from env.NodeID, m pingMsg) {
@@ -847,9 +874,10 @@ func (en *Engine) sweep() {
 	}
 	now := en.e.Now()
 
-	// Election: suspect the leader after a staggered timeout.
+	// Election: suspect the leader after a staggered timeout. Learners
+	// never bid — they observe whichever ballot the voters establish.
 	timeout := en.cfg.LeaderTimeout + time.Duration(int64(en.me))*en.cfg.LeaderTimeout/2
-	if !en.IsLeader() && (en.leader == nil || !en.leader.established) &&
+	if !en.cfg.Learner && !en.IsLeader() && (en.leader == nil || !en.leader.established) &&
 		now.Sub(en.lastLeaderSeen) > timeout && en.aliveCount() >= ClassicQuorum(en.n) {
 		if en.leader == nil || now.Sub(en.leader.startedAt) > en.cfg.LeaderTimeout {
 			en.startPrepare()

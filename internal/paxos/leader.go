@@ -162,7 +162,7 @@ func (en *Engine) establish() {
 	for i := ls.prepFrom; i < ls.nextInstance; i++ {
 		if v, ok := en.chosen[i]; ok {
 			// Already decided: just re-announce.
-			en.broadcast(chosenMsg{Inst: i, V: v})
+			en.announceChosen(i, v)
 			continue
 		}
 		reports := byInst[i]
@@ -413,7 +413,18 @@ func (en *Engine) choose(inst InstanceID, v Value) {
 	if _, ok := en.chosen[inst]; ok {
 		return
 	}
-	en.broadcast(chosenMsg{Inst: inst, V: v})
+	en.announceChosen(inst, v)
+}
+
+// announceChosen broadcasts a decided instance to the voting members and
+// forwards it to any attached non-voting learners, which otherwise only
+// hear about decisions through catch-up.
+func (en *Engine) announceChosen(inst InstanceID, v Value) {
+	m := chosenMsg{Inst: inst, V: v}
+	en.broadcast(m)
+	for _, l := range en.cfg.Learners {
+		en.e.Send(l, m)
+	}
 }
 
 func (en *Engine) onNack(from env.NodeID, m nackMsg) {

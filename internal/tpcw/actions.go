@@ -387,6 +387,7 @@ func (s *Store) pushRecentOrder(o *Order) {
 	s.recentOrders = append(s.recentOrders, o.ID)
 	for _, l := range o.Lines {
 		s.bsQty[l.Item] += int64(l.Qty)
+		s.bsIndexSync(l.Item)
 	}
 	if len(s.recentOrders) > bestSellerWindow {
 		evicted := s.recentOrders[0]
@@ -398,6 +399,7 @@ func (s *Store) pushRecentOrder(o *Order) {
 				} else {
 					delete(s.bsQty, l.Item)
 				}
+				s.bsIndexSync(l.Item)
 			}
 		}
 	}

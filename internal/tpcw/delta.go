@@ -232,6 +232,7 @@ func (s *Store) ApplyDelta(data any) {
 	s.nextCart = snap.NextCart
 	s.nominalBytes = snap.NominalBytes
 	s.bsCache = nil
+	s.bsBySubject = nil
 	s.ordersSinceBS = 0
 	s.resetDirty()
 }

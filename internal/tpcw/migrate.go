@@ -187,6 +187,7 @@ func (s *Store) ImportOwned(data any) {
 		s.nextCart = snap.NextCart
 	}
 	s.bsCache = nil
+	s.bsBySubject = nil
 }
 
 // DropOwned implements core.PartitionedMachine: remove the moved rows on
@@ -223,6 +224,7 @@ func (s *Store) DropOwned(owned func(key string) bool) {
 		}
 	}
 	s.bsCache = nil
+	s.bsBySubject = nil
 	// A wholesale drop cannot travel in a row-upsert delta: poison the
 	// chain so the next checkpoint folds into a fresh base (delta.go) —
 	// dropped rows must not resurrect from a stale delta layer.

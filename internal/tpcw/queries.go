@@ -161,7 +161,10 @@ func (s *Store) GetNewProducts(subject string) []ItemID {
 
 // GetBestSellers returns the TPC-W best-sellers page for a subject: the
 // 50 items of that subject with the highest quantity sold across the 3333
-// most recent orders. Rankings are cached and refreshed as orders arrive.
+// most recent orders. Rankings are cached and refreshed as orders arrive;
+// a cache miss re-ranks only the subject's slice of the window via the
+// bsBySubject index rather than rescanning all of bsQty and probing every
+// item for its subject.
 func (s *Store) GetBestSellers(subject string) []BestSeller {
 	subject = canonicalSubject(subject)
 	if s.bsCache == nil {
@@ -170,11 +173,13 @@ func (s *Store) GetBestSellers(subject string) []BestSeller {
 	if cached, ok := s.bsCache[subject]; ok {
 		return cached
 	}
-	ranked := make([]BestSeller, 0, 64)
-	for iid, q := range s.bsQty {
-		if item, ok := s.items[iid]; ok && item.Subject == subject {
-			ranked = append(ranked, BestSeller{Item: iid, Qty: q})
-		}
+	if s.bsBySubject == nil {
+		s.rebuildBSIndex()
+	}
+	byItem := s.bsBySubject[subject]
+	ranked := make([]BestSeller, 0, len(byItem))
+	for iid, q := range byItem {
+		ranked = append(ranked, BestSeller{Item: iid, Qty: q})
 	}
 	sort.Slice(ranked, func(i, j int) bool {
 		if ranked[i].Qty != ranked[j].Qty {
@@ -187,6 +192,47 @@ func (s *Store) GetBestSellers(subject string) []BestSeller {
 	}
 	s.bsCache[subject] = ranked
 	return ranked
+}
+
+// rebuildBSIndex derives bsBySubject from bsQty from scratch (after a
+// restore dropped it, or on the first query).
+func (s *Store) rebuildBSIndex() {
+	s.bsBySubject = make(map[string]map[ItemID]int64)
+	for iid, q := range s.bsQty {
+		item, ok := s.items[iid]
+		if !ok {
+			continue
+		}
+		m := s.bsBySubject[item.Subject]
+		if m == nil {
+			m = make(map[ItemID]int64)
+			s.bsBySubject[item.Subject] = m
+		}
+		m[iid] = q
+	}
+}
+
+// bsIndexSync mirrors one item's current bsQty entry into bsBySubject
+// (insert, update, or removal). No-op while the index has not been built;
+// item subjects are immutable, so the subject bucket never moves.
+func (s *Store) bsIndexSync(iid ItemID) {
+	if s.bsBySubject == nil {
+		return
+	}
+	item, ok := s.items[iid]
+	if !ok {
+		return
+	}
+	m := s.bsBySubject[item.Subject]
+	if q, live := s.bsQty[iid]; live {
+		if m == nil {
+			m = make(map[ItemID]int64)
+			s.bsBySubject[item.Subject] = m
+		}
+		m[iid] = q
+	} else if m != nil {
+		delete(m, iid)
+	}
 }
 
 // VerifyConsistency checks internal invariants; it returns a non-empty

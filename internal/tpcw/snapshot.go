@@ -128,6 +128,7 @@ func (s *Store) Restore(data any) {
 		s.cat = snap.Catalog
 	}
 	s.bsCache = nil
+	s.bsBySubject = nil
 	s.ordersSinceBS = 0
 	// The restored state is snapshot-exact: re-anchor delta tracking.
 	s.resetDirty()

@@ -224,6 +224,14 @@ type Store struct {
 	// leave it, so the best-sellers query never rescans the window.
 	bsQty map[ItemID]int64
 
+	// bsBySubject partitions bsQty by item subject, so re-ranking one
+	// subject's best sellers touches only that subject's window entries
+	// instead of rescanning all of bsQty and probing every item. It is
+	// derived, non-replicated state: built lazily on the first
+	// best-sellers query, mirrored incrementally by pushRecentOrder, and
+	// dropped (nil) wherever bsQty is restored wholesale.
+	bsBySubject map[string]map[ItemID]int64
+
 	// ordersSinceBS invalidates the best-sellers cache (TPC-W allows
 	// 30 s of staleness; we refresh every bestSellerRefresh orders).
 	ordersSinceBS int

@@ -3,6 +3,7 @@ package tpcw
 import (
 	"fmt"
 	"reflect"
+	"sort"
 	"testing"
 	"testing/quick"
 	"time"
@@ -281,6 +282,80 @@ func TestBestSellersRankedAndCacheRefreshes(t *testing.T) {
 	if len(got) == 0 || got[0].Item != target {
 		t.Fatalf("item %d not leading best sellers after %d purchases", target, bestSellerRefresh+1)
 	}
+}
+
+// referenceBestSellers is the pre-index ranking: scan the whole rolling
+// aggregate and probe every item for its subject. The materialized
+// per-subject index must stay observably identical to it.
+func referenceBestSellers(s *Store, subject string) []BestSeller {
+	subject = canonicalSubject(subject)
+	ranked := make([]BestSeller, 0, 64)
+	for iid, q := range s.bsQty {
+		if item, ok := s.items[iid]; ok && item.Subject == subject {
+			ranked = append(ranked, BestSeller{Item: iid, Qty: q})
+		}
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].Qty != ranked[j].Qty {
+			return ranked[i].Qty > ranked[j].Qty
+		}
+		return ranked[i].Item < ranked[j].Item
+	})
+	if len(ranked) > searchLimit {
+		ranked = ranked[:searchLimit]
+	}
+	return ranked
+}
+
+func TestBestSellersIndexMatchesScan(t *testing.T) {
+	s := testStore()
+	subjects := s.Subjects()
+	// Query every subject up front so the index is built early and the
+	// purchase stream below exercises its incremental maintenance — not
+	// just the lazy rebuild — including window evictions once the order
+	// count crosses bestSellerWindow.
+	for _, sub := range subjects {
+		s.GetBestSellers(sub)
+	}
+	check := func(st *Store, context string) {
+		t.Helper()
+		st.bsCache = nil // force a fresh ranking off the index
+		for _, sub := range subjects {
+			got := st.GetBestSellers(sub)
+			want := referenceBestSellers(st, sub)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("%s: best sellers for %q diverge from the window scan\n got %v\nwant %v",
+					context, sub, got, want)
+			}
+		}
+	}
+	total := bestSellerWindow + 400
+	for i := 0; i < total; i++ {
+		cart := s.Apply(CreateCartAction{Now: now()}).(CreateCartResult).Cart
+		s.Apply(CartUpdateAction{
+			Cart: cart, AddItem: ItemID(1 + (i*7)%99), AddQty: int32(1 + i%5), Now: now(),
+		})
+		res := s.Apply(BuyConfirmAction{
+			Cart: cart, Customer: CustomerID(1 + i%50), ShipDate: now(), Now: now(),
+		}).(BuyConfirmResult)
+		if res.Err != "" {
+			t.Fatalf("buy %d failed: %s", i, res.Err)
+		}
+		if i%500 == 499 {
+			check(s, fmt.Sprintf("after %d orders", i+1))
+		}
+	}
+	if len(s.recentOrders) != bestSellerWindow {
+		t.Fatalf("window holds %d orders, want %d (evictions never ran)",
+			len(s.recentOrders), bestSellerWindow)
+	}
+	check(s, "final")
+
+	// A restore drops the derived index; its lazy rebuild must agree too.
+	snap, _ := s.Snapshot()
+	fresh := testStore()
+	fresh.Restore(snap)
+	check(fresh, "after restore")
 }
 
 func TestSnapshotRestoreRoundTrip(t *testing.T) {

@@ -56,6 +56,13 @@ type Calibration struct {
 	// error.
 	ReqTimeout time.Duration
 
+	// FenceWait bounds how long a fenced read waits for the serving
+	// replica to catch up to the session's commit index before answering
+	// TooStale (the staleness bound of the follower-read protocol). It
+	// must stay well under ReqTimeout so the proxy's stale-retry still
+	// fits in the client's patience. Default 2 s.
+	FenceWait time.Duration
+
 	// JVM garbage-collection model: state-mutating actions promote
 	// objects to the old generation; every GCPromotedLimit bytes of
 	// promotion triggers a stop-the-world pause whose length grows with
@@ -115,7 +122,17 @@ func DefaultCalibration() Calibration {
 		ProbeTimeout:         500 * time.Millisecond,
 		ProbeFailures:        4,
 		ReqTimeout:           10 * time.Second,
+		FenceWait:            2 * time.Second,
 	}
+}
+
+// fenceWait returns the bounded-staleness wait, defaulting when a custom
+// Calibration left it unset.
+func (c Calibration) fenceWait() time.Duration {
+	if c.FenceWait > 0 {
+		return c.FenceWait
+	}
+	return 2 * time.Second
 }
 
 // readService returns the read service time for an interaction.

@@ -28,6 +28,16 @@ type Config struct {
 	// deployment, bit-for-bit unchanged.
 	Shards int
 
+	// Readers boots this many learner-backed read-only servers per group:
+	// full application servers whose replica is a non-voting Paxos
+	// learner — it applies the ordered log and checkpoints but never
+	// votes, proposes or counts toward quorum, so added readers cost no
+	// WAL-quorum latency. The proxy balances reads per-request across
+	// voters + readers and attaches each session's commit-index fence
+	// (read-your-writes); writes still go to voters only. Default 0 —
+	// the read path is then bit-for-bit the voter-only one.
+	Readers int
+
 	// FastPaxos enables Treplica's fast mode.
 	FastPaxos bool
 
@@ -88,8 +98,10 @@ type Cluster struct {
 	table  shard.RoutingTable // current routing epoch (sim-loop confined)
 	shards int                // current group count (grows on Rebalance)
 
-	serverIDs []env.NodeID   // flat, group-major
-	groupIDs  [][]env.NodeID // per-group member IDs (Paxos membership)
+	serverIDs []env.NodeID   // flat, group-major; readers appended after all voters
+	groupIDs  [][]env.NodeID // per-group voting member IDs (Paxos membership)
+	readerIDs [][]env.NodeID // per-group learner node IDs (empty without Readers)
+	voters    int            // flat index floor of the reader range (Shards×Servers at build)
 	proxyID   env.NodeID
 	servers   []*Server
 	proxy     *Proxy
@@ -116,6 +128,22 @@ type Cluster struct {
 	admHeld    int64
 	admDropped int64
 
+	// Staleness accounting per group (sim-loop confined): reads served to
+	// completion, fenced reads that had to wait for the serving replica
+	// to catch up to the session's commit index, and fence waits that
+	// expired into a TooStale fallback.
+	readsServed []int64
+	fenceWaits  []int64
+	staleServes []int64
+
+	// fenceViolations counts fenced reads served by a replica whose
+	// applied index was still below the fence — impossible by
+	// construction when ReadAt and the fence plumbing are correct, so
+	// any non-zero value is a read-your-writes regression. Checked at
+	// serve time on every fenced read; tests assert it stays zero
+	// across the seeded fault suite.
+	fenceViolations int64
+
 	mig *clusterMigration // non-nil once Rebalance has been called
 }
 
@@ -136,18 +164,27 @@ func NewCluster(cfg Config) *Cluster {
 	if cfg.Cal.PageSize == 0 {
 		cfg.Cal = DefaultCalibration()
 	}
-	total := cfg.Shards * cfg.Servers
+	if cfg.Readers < 0 {
+		cfg.Readers = 0
+	}
+	voters := cfg.Shards * cfg.Servers
+	total := voters + cfg.Shards*cfg.Readers
 	c := &Cluster{
-		cfg:       cfg,
-		table:     shard.NewRoutingTable(cfg.Shards),
-		shards:    cfg.Shards,
-		servers:   make([]*Server, total),
-		groupIDs:  make([][]env.NodeID, cfg.Shards),
-		auto:      make([]bool, total),
-		crashedAt: make([]time.Time, total),
+		cfg:         cfg,
+		table:       shard.NewRoutingTable(cfg.Shards),
+		shards:      cfg.Shards,
+		voters:      voters,
+		servers:     make([]*Server, total),
+		groupIDs:    make([][]env.NodeID, cfg.Shards),
+		readerIDs:   make([][]env.NodeID, cfg.Shards),
+		auto:        make([]bool, total),
+		crashedAt:   make([]time.Time, total),
+		readsServed: make([]int64, cfg.Shards),
+		fenceWaits:  make([]int64, cfg.Shards),
+		staleServes: make([]int64, cfg.Shards),
 	}
 	c.sim = sim.New(sim.Config{Seed: cfg.Seed, Net: cfg.Net, Disk: cfg.Disk, DebugLog: cfg.DebugLog})
-	for i := 0; i < total; i++ {
+	for i := 0; i < voters; i++ {
 		idx, group := i, i/cfg.Servers
 		c.auto[i] = true
 		id := c.sim.AddNode(func() env.Node {
@@ -157,6 +194,22 @@ func NewCluster(cfg Config) *Cluster {
 		})
 		c.serverIDs = append(c.serverIDs, id)
 		c.groupIDs[group] = append(c.groupIDs[group], id)
+	}
+	// Learner-backed readers live past the voter range: reader j of group
+	// g sits at flat index voters + g*Readers + j. They are full
+	// application servers (probes, watchdog restarts, checkpoints) whose
+	// consensus engine only listens.
+	for i := voters; i < total; i++ {
+		idx := i
+		group := (i - voters) / cfg.Readers
+		c.auto[i] = true
+		id := c.sim.AddNode(func() env.Node {
+			s := &Server{c: c, idx: idx, group: group, learner: true}
+			c.servers[idx] = s
+			return s
+		})
+		c.serverIDs = append(c.serverIDs, id)
+		c.readerIDs[group] = append(c.readerIDs[group], id)
 	}
 	c.proxyID = c.sim.AddNode(func() env.Node {
 		p := &Proxy{c: c}
@@ -242,6 +295,38 @@ func (c *Cluster) PartitionServers(dir env.LinkDir, servers ...int) *sim.BlockHa
 	}
 	c.faults++
 	return c.sim.PartitionDir(dir, ids...)
+}
+
+// IsolateFromGroup severs both directions between each given server
+// (flat index) and the other members — voters and readers — of its own
+// group, leaving the proxy path and every other link intact. A learner
+// reader cut off this way keeps serving reads while its applied log
+// falls arbitrarily far behind: the staleness worst case the read
+// fences must bound. Counts one injected fault.
+func (c *Cluster) IsolateFromGroup(servers ...int) {
+	c.faults++
+	c.setGroupLinks(true, servers)
+}
+
+// ReconnectToGroup restores the links severed by IsolateFromGroup.
+func (c *Cluster) ReconnectToGroup(servers ...int) {
+	c.setGroupLinks(false, servers)
+}
+
+func (c *Cluster) setGroupLinks(blocked bool, servers []int) {
+	for _, i := range servers {
+		g := c.groupOfServer(i)
+		vid := c.serverIDs[i]
+		for _, peers := range [][]env.NodeID{c.groupIDs[g], c.readerIDs[g]} {
+			for _, pid := range peers {
+				if pid == vid {
+					continue
+				}
+				c.sim.SetLink(vid, pid, blocked)
+				c.sim.SetLink(pid, vid, blocked)
+			}
+		}
+	}
 }
 
 // DegradeDisk slows server i's disk live by factor (seek × factor,
@@ -350,6 +435,45 @@ func (c *Cluster) CheckpointIO() (writes, bytes int64) {
 // deadline. Read it outside the simulation loop's execution.
 func (c *Cluster) AdmissionStats() (slowed, held, dropped int64) {
 	return c.admSlowed, c.admHeld, c.admDropped
+}
+
+// ReadStats returns group g's cumulative read-path staleness accounting:
+// reads served to completion by the group's voters + readers, fenced
+// reads that had to wait for the serving replica, and fence waits that
+// expired into a TooStale fallback. Read it outside the simulation
+// loop's execution.
+func (c *Cluster) ReadStats(g int) (served, fenceWaits, staleServes int64) {
+	if g < 0 || g >= len(c.readsServed) {
+		return 0, 0, 0
+	}
+	return c.readsServed[g], c.fenceWaits[g], c.staleServes[g]
+}
+
+// FenceViolations returns the number of fenced reads served below their
+// fence — always zero unless the read-your-writes machinery regressed.
+func (c *Cluster) FenceViolations() int64 { return c.fenceViolations }
+
+// Readers returns the configured learner-backed readers per group.
+func (c *Cluster) Readers() int { return c.cfg.Readers }
+
+// ReaderIndex returns the flat server index of reader j of group g.
+func (c *Cluster) ReaderIndex(g, j int) int {
+	return c.voters + g*c.cfg.Readers + j
+}
+
+// isReader reports whether flat index i is a learner-backed reader, and
+// readerGroup maps it back to its group.
+func (c *Cluster) isReader(i int) bool { return c.cfg.Readers > 0 && i >= c.voters }
+
+func (c *Cluster) readerGroup(i int) int { return (i - c.voters) / c.cfg.Readers }
+
+// groupOfServer maps any flat server index — voter or reader — to its
+// Paxos group.
+func (c *Cluster) groupOfServer(i int) int {
+	if c.isReader(i) {
+		return c.readerGroup(i)
+	}
+	return i / c.cfg.Servers
 }
 
 // ProxyStats returns error-cause diagnostics.

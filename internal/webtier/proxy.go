@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"robuststore/internal/env"
+	"robuststore/internal/paxos"
 	"robuststore/internal/rbe"
 	"robuststore/internal/sim"
 )
@@ -48,6 +49,28 @@ type Proxy struct {
 	noServiceSince []time.Time
 	downtime       []time.Duration
 
+	// sessFence tracks each session's highest acked commit index (an
+	// index into its group's ordered log), attached as a fence on the
+	// session's subsequent reads so it always reads its own writes —
+	// across server switches, crashes, and rotation onto lagging
+	// learners. Maintained only when learner-backed readers exist; at
+	// Readers == 0 the read path is exactly the pre-reader one.
+	sessFence map[int64]paxos.InstanceID
+
+	// rrSeq rotates read dispatch across the read-serving candidates
+	// (voters + readers) per request, instead of pinning a client's
+	// reads to one server by hash: a single hot client then scales with
+	// the read-serving node count. Writes keep hash affinity.
+	rrSeq uint64
+
+	// inflight counts outstanding requests per server. When readers
+	// exist, read dispatch picks the least-loaded candidate (rotation
+	// breaks ties): queues equalize across unevenly-loaded nodes, so
+	// reads drain toward the learners, which carry no write-serving or
+	// proposal work — uniform rotation would instead bottleneck on the
+	// busiest voter and strand that headroom.
+	inflight []int
+
 	// Diagnostics: why client errors happened.
 	Stats ProxyStats
 }
@@ -69,6 +92,20 @@ type ProxyStats struct {
 	// Requeued counts write dispatches held back because their session
 	// slice was mid-handoff (delayed until cutover, never failed).
 	Requeued int
+
+	// StaleRedispatched counts fenced reads a reader answered TooStale
+	// (it could not catch up to the fence within the staleness bound)
+	// that were transparently re-routed to the voters, which by
+	// definition hold every acked write.
+	StaleRedispatched int
+
+	// Admission-gate activity at dispatch, driven by the picked
+	// server's published (≤100 ms stale) write-admission grade: writes
+	// paced one step under Slowdown, holds under Stop, and holds that
+	// exhausted the deadline and were shed as fast client errors.
+	AdmPaced int
+	AdmHeld  int
+	AdmShed  int
 }
 
 type outReq struct {
@@ -81,6 +118,11 @@ type outReq struct {
 	requeued  bool // was held by a migration freeze (counted once)
 	timer     env.Timer
 	finished  bool
+
+	votersOnly    bool      // fenced read went TooStale: exclude readers
+	staleRetries  int       // TooStale re-routes taken
+	admitDeadline time.Time // set when first held under AdmissionStop
+	admitPaced    bool      // already paced once under Slowdown
 }
 
 var _ env.Node = (*Proxy)(nil)
@@ -96,7 +138,9 @@ func (p *Proxy) Start(e env.Env) {
 		p.up[i] = true
 	}
 	p.failCount = make([]int, n)
+	p.inflight = make([]int, n)
 	p.probes = make(map[int64]int)
+	p.sessFence = make(map[int64]paxos.InstanceID)
 	p.noServiceSince = make([]time.Time, p.c.Shards())
 	p.downtime = make([]time.Duration, p.c.Shards())
 	p.e.After(p.c.cfg.Cal.ProbeInterval, p.probeLoop)
@@ -138,7 +182,13 @@ func (p *Proxy) dispatch(r *outReq) {
 		return
 	}
 	group := p.c.GroupOf(r.req.Client)
-	candidates := p.candidates(group)
+	read := !r.req.Kind.IsWrite()
+	var candidates []int
+	if read && p.c.cfg.Readers > 0 && !r.votersOnly {
+		candidates = p.readCandidates(group)
+	} else {
+		candidates = p.candidates(group)
+	}
 	if r.attempts > 0 && len(candidates) > 1 {
 		// A transparent retry must not re-land on the server that just
 		// failed it: the client hash is deterministic, so over an
@@ -160,11 +210,29 @@ func (p *Proxy) dispatch(r *outReq) {
 		return
 	}
 	p.clearNoService(group)
+	if read && p.c.cfg.Readers > 0 {
+		// Least-outstanding over the read-serving set, the per-request
+		// rotation breaking ties; see rrSeq and inflight.
+		p.rrSeq++
+		off := int(p.rrSeq % uint64(len(candidates)))
+		pick := candidates[off]
+		for k := 1; k < len(candidates); k++ {
+			if c := candidates[(off+k)%len(candidates)]; p.inflight[c] < p.inflight[pick] {
+				pick = c
+			}
+		}
+		r.server = pick
+	} else {
+		r.server = candidates[int(hash64(uint64(r.req.Client))%uint64(len(candidates)))]
+	}
+	if !read && !p.admitAtDispatch(r) {
+		return
+	}
 	r.attempts++
-	r.server = candidates[int(hash64(uint64(r.req.Client))%uint64(len(candidates)))]
 	p.nextID++
 	id := p.nextID
 	p.outstanding[id] = r
+	p.inflight[r.server]++
 	r.curID = id
 	if r.timer == nil {
 		// The timer follows the request across response-driven
@@ -179,7 +247,62 @@ func (p *Proxy) dispatch(r *outReq) {
 			p.expire(r.curID)
 		})
 	}
-	p.e.Send(p.c.serverIDs[r.server], reqMsg{ID: id, Req: r.req})
+	m := reqMsg{ID: id, Req: r.req}
+	if read && p.c.cfg.Readers > 0 {
+		// Read-your-writes: fence the read at the session's last acked
+		// commit index, whichever server it lands on.
+		m.Fence = p.sessFence[r.req.Client]
+	}
+	p.e.Send(p.c.serverIDs[r.server], m)
+}
+
+// readCandidates returns the group's read-serving rotation: the voter
+// candidates plus the group's up-and-accepting learner readers.
+func (p *Proxy) readCandidates(group int) []int {
+	out := p.candidates(group)
+	for j := 0; j < p.c.cfg.Readers; j++ {
+		i := p.c.ReaderIndex(group, j)
+		if p.up[i] && p.c.accepting(i) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// admitAtDispatch gates one write on the picked server's published
+// write-admission grade (AdmissionHint, ≤100 ms stale): Slowdown paces
+// the dispatch one admitPace step (once per request), Stop holds it at
+// the proxy — re-dispatching every step — and sheds it as a fast client
+// error once admitHoldDeadline passes. This keeps overload queueing at
+// the tier boundary without even spending the network hop; the server's
+// own loop-confined admitWrite remains the precise gate behind it. It
+// returns false when the dispatch was consumed (held, paced, or shed).
+func (p *Proxy) admitAtDispatch(r *outReq) bool {
+	rep := p.c.Replica(r.server)
+	if rep == nil {
+		return true // raced a crash; the dispatch itself will fail over
+	}
+	switch rep.AdmissionHint() {
+	case paxos.AdmissionStop:
+		if r.admitDeadline.IsZero() {
+			r.admitDeadline = p.e.Now().Add(admitHoldDeadline)
+		} else if !p.e.Now().Before(r.admitDeadline) {
+			p.Stats.AdmShed++
+			p.finish(r, rbe.Response{Err: true})
+			return false
+		}
+		p.Stats.AdmHeld++
+		p.e.After(admitPace, func() { p.dispatch(r) })
+		return false
+	case paxos.AdmissionSlowdown:
+		if !r.admitPaced {
+			r.admitPaced = true
+			p.Stats.AdmPaced++
+			p.e.After(admitPace, func() { p.dispatch(r) })
+			return false
+		}
+	}
+	return true
 }
 
 // candidates returns the group's in-rotation servers that also accept
@@ -203,6 +326,7 @@ func (p *Proxy) onResponse(m respMsg) {
 		return // superseded (redispatch) or expired
 	}
 	delete(p.outstanding, m.ID)
+	p.inflight[r.server]--
 	if m.WrongEpoch && r.redirects < 4 {
 		// The serving group changed between dispatch and arrival (a
 		// routing cutover): the action was not executed, so any request
@@ -216,6 +340,17 @@ func (p *Proxy) onResponse(m respMsg) {
 		p.dispatch(r)
 		return
 	}
+	if m.TooStale && !r.req.Kind.IsWrite() && r.staleRetries < 2 {
+		// The serving reader could not reach the session's fence within
+		// the staleness bound. Fall back to the voters: every acked
+		// write is applied (or about to be) on a quorum of them, so the
+		// fence is satisfiable there.
+		r.staleRetries++
+		r.votersOnly = true
+		p.Stats.StaleRedispatched++
+		p.dispatch(r)
+		return
+	}
 	if m.Resp.Err && !r.req.Kind.IsWrite() && r.attempts < 2 {
 		// A read that failed server-side (e.g. still warming up) gets
 		// one transparent retry.
@@ -225,6 +360,14 @@ func (p *Proxy) onResponse(m respMsg) {
 	}
 	if m.Resp.Err {
 		p.Stats.ErrServerSide++
+	}
+	if r.req.Kind.IsWrite() && !m.Resp.Err && m.Commit > 0 && p.c.cfg.Readers > 0 {
+		// The write's acked commit index becomes the session's new
+		// read-your-writes fence (monotone: a retried older ack must
+		// not lower it).
+		if m.Commit > p.sessFence[r.req.Client] {
+			p.sessFence[r.req.Client] = m.Commit
+		}
 	}
 	p.finish(r, m.Resp)
 }
@@ -246,6 +389,7 @@ func (p *Proxy) expire(id int64) {
 		return
 	}
 	delete(p.outstanding, id)
+	p.inflight[r.server]--
 	if !r.req.Kind.IsWrite() && r.attempts < 2 {
 		// The reply never came — a silent server (one-way loss: it heard
 		// the request but its answer is lost) or a wedged one. Idempotent
@@ -277,6 +421,7 @@ func (p *Proxy) onServerReset(server int) {
 	for _, id := range ids {
 		r := p.outstanding[id]
 		delete(p.outstanding, id)
+		p.inflight[r.server]--
 		if !r.req.Kind.IsWrite() && r.attempts < 2 {
 			p.Stats.Redispatched++
 			p.dispatch(r)
@@ -295,6 +440,7 @@ func (p *Proxy) grow(totalServers, shards int) {
 	for len(p.up) < totalServers {
 		p.up = append(p.up, true)
 		p.failCount = append(p.failCount, 0)
+		p.inflight = append(p.inflight, 0)
 	}
 	for len(p.noServiceSince) < shards {
 		p.noServiceSince = append(p.noServiceSince, time.Time{})
@@ -338,7 +484,7 @@ func (p *Proxy) onProbeResp(m probeRespMsg) {
 		// outage clock even if no client of that slice has dispatched
 		// since, so an idle group's downtime does not keep accruing
 		// after it recovered.
-		p.clearNoService(srv / p.c.cfg.Servers)
+		p.clearNoService(p.c.groupOfServer(srv))
 		return
 	}
 	p.probeFailed(srv)

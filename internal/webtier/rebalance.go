@@ -127,6 +127,12 @@ const drainCap = 3 * time.Second
 // from simulator context; progress is event-driven. Calling it again
 // while a migration is active panics (one epoch change at a time).
 func (c *Cluster) Rebalance(opts RebalanceOptions) {
+	if c.cfg.Readers > 0 {
+		// Reader flat indices are fixed past the voter range; a grown
+		// group's servers would collide with them. Session fences are also
+		// per-group log indices, which a cutover would invalidate.
+		panic("webtier: Rebalance is not supported with Readers > 0")
+	}
 	if c.mig != nil && c.mig.phase != PhaseDone {
 		panic("webtier: Rebalance while a migration is active")
 	}
@@ -168,6 +174,9 @@ func (c *Cluster) Rebalance(opts RebalanceOptions) {
 		c.groupIDs[newGroup] = append(c.groupIDs[newGroup], id)
 	}
 	c.shards++
+	c.readsServed = append(c.readsServed, 0)
+	c.fenceWaits = append(c.fenceWaits, 0)
+	c.staleServes = append(c.staleServes, 0)
 	if c.proxy != nil {
 		c.proxy.grow(len(c.serverIDs), c.shards)
 	}

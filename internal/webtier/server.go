@@ -23,6 +23,12 @@ import (
 type reqMsg struct {
 	ID  int64
 	Req rbe.Request
+
+	// Fence is the read-your-writes fence on read requests: the session's
+	// commit-index high-water mark. The serving replica must have applied
+	// at least this log index before answering (core.Replica.ReadAt);
+	// zero means unfenced. Always zero with Readers=0.
+	Fence paxos.InstanceID
 }
 
 func (m reqMsg) WireSize() int64 { return 512 }
@@ -37,6 +43,15 @@ type respMsg struct {
 	// raced a rebalance cutover); the proxy re-routes instead of
 	// failing the client.
 	WrongEpoch bool
+
+	// Commit, on successful write responses, is the log instance the
+	// write was applied at; the proxy folds it into the session's fence.
+	Commit paxos.InstanceID
+
+	// TooStale reports a fenced read whose bounded wait expired before
+	// this replica caught up to the fence; the proxy redispatches to a
+	// fresher server instead of failing the client.
+	TooStale bool
 }
 
 func (m respMsg) WireSize() int64 { return 96 + m.Page }
@@ -58,9 +73,10 @@ func (m probeRespMsg) WireSize() int64 { return 128 }
 // Treplica replica over the bookstore store plus a CPU model. A fresh
 // Server is built per incarnation; the simulated disk underneath survives.
 type Server struct {
-	c     *Cluster
-	idx   int // flat server index (group-major)
-	group int // Paxos group (shard) this server belongs to
+	c       *Cluster
+	idx     int  // flat server index (group-major; readers past the voter range)
+	group   int  // Paxos group (shard) this server belongs to
+	learner bool // read-only server backed by a non-voting learner replica
 
 	e       env.Env
 	cpu     *sim.Resource
@@ -87,9 +103,18 @@ func (s *Server) Start(e env.Env) {
 	s.cpu = sim.NewResource(s.c.sim, 1)
 	cal := s.c.cfg.Cal
 	pcfg := s.c.cfg.Paxos
-	// The consensus group is this shard's servers only — neither the
-	// proxy node nor other groups' servers are Treplica members.
+	// The consensus group is this shard's voting servers only — neither
+	// the proxy node, other groups' servers, nor this group's readers are
+	// Treplica members. Voters announce decided values and heartbeats to
+	// the group's learners; a learner engine only listens.
 	pcfg.Members = s.c.groupIDs[s.group]
+	if s.learner {
+		pcfg.Learner = true
+	} else if s.group < len(s.c.readerIDs) {
+		// Groups added by a live rebalance (Readers=0 only) have no
+		// reader slot.
+		pcfg.Learners = s.c.readerIDs[s.group]
+	}
 	cfg := core.Config{
 		FastPaxos:          s.c.cfg.FastPaxos,
 		CheckpointInterval: s.c.cfg.CheckpointInterval,
@@ -240,10 +265,38 @@ func (s *Server) handleRequest(proxy env.NodeID, m reqMsg) {
 	}
 	cal := s.c.cfg.Cal
 	if !m.Req.Kind.IsWrite() {
-		s.cpu.Acquire(cal.readService(m.Req.Kind), func() {
-			resp := s.performRead(m.Req)
-			s.e.Send(proxy, respMsg{ID: m.ID, Resp: resp, Page: cal.PageSize})
-		})
+		serve := func() {
+			s.cpu.Acquire(cal.readService(m.Req.Kind), func() {
+				if m.Fence > 0 && s.replica.LastApplied() < m.Fence {
+					// Serving below the fence would break read-your-writes;
+					// ReadAt makes this unreachable, the counter proves it.
+					s.c.fenceViolations++
+				}
+				resp := s.performRead(m.Req)
+				s.c.readsServed[s.group]++
+				s.e.Send(proxy, respMsg{ID: m.ID, Resp: resp, Page: cal.PageSize})
+			})
+		}
+		if m.Fence > 0 && s.replica.LastApplied() < m.Fence {
+			// Fenced read behind the session's commit index: wait for the
+			// replica to catch up, bounded; past the bound, answer
+			// TooStale so the proxy retries on a fresher server.
+			s.c.fenceWaits[s.group]++
+			s.replica.ReadAt(m.Fence, cal.fenceWait(),
+				func(core.StateMachine, paxos.InstanceID) { serve() },
+				func() {
+					s.c.staleServes[s.group]++
+					s.e.Send(proxy, respMsg{ID: m.ID, Resp: rbe.Response{Err: true}, TooStale: true})
+				})
+			return
+		}
+		serve()
+		return
+	}
+	if s.learner {
+		// Read-only server: the proxy never routes writes here, but a
+		// raced dispatch must not wedge — fail it back for a retry.
+		s.e.Send(proxy, respMsg{ID: m.ID, Resp: rbe.Response{Err: true}})
 		return
 	}
 	s.admitWrite(s.e.Now().Add(admitHoldDeadline), func() {
@@ -288,10 +341,12 @@ func (s *Server) admitWrite(deadline time.Time, run, drop func()) {
 	}
 }
 
-// reply sends a write result back through a render slot.
-func (s *Server) reply(proxy env.NodeID, id int64, resp rbe.Response) {
+// reply sends a write result back through a render slot. commit is the
+// log instance the write applied at (zero on errors): the proxy folds it
+// into the session's read-your-writes fence.
+func (s *Server) reply(proxy env.NodeID, id int64, resp rbe.Response, commit paxos.InstanceID) {
 	s.cpu.Acquire(s.c.cfg.Cal.WriteRender, func() {
-		s.e.Send(proxy, respMsg{ID: id, Resp: resp, Page: s.c.cfg.Cal.PageSize})
+		s.e.Send(proxy, respMsg{ID: id, Resp: resp, Page: s.c.cfg.Cal.PageSize, Commit: commit})
 	})
 }
 
@@ -303,7 +358,7 @@ func (s *Server) performWrite(proxy env.NodeID, m reqMsg) {
 	req := m.Req
 	now := s.e.Now()
 	rng := s.e.Rand()
-	fail := func() { s.reply(proxy, m.ID, rbe.Response{Err: true}) }
+	fail := func() { s.reply(proxy, m.ID, rbe.Response{Err: true}, 0) }
 	failR := func(result any, err error) {
 		if s.c.FailDebug != nil {
 			reason := req.Kind.String()
@@ -334,13 +389,13 @@ func (s *Server) performWrite(proxy env.NodeID, m reqMsg) {
 			RandomItem: req.Item,
 			Now:        now,
 		}
-		s.replica.Submit(action, func(result any, err error) {
+		s.replica.SubmitIndexed(action, func(result any, inst paxos.InstanceID, err error) {
 			cr, ok := result.(tpcw.CartResult)
 			if err != nil || !ok || cr.Err != "" {
 				failR(result, err)
 				return
 			}
-			s.reply(proxy, m.ID, rbe.Response{Cart: cr.Cart.ID})
+			s.reply(proxy, m.ID, rbe.Response{Cart: cr.Cart.ID}, inst)
 		})
 
 	case rbe.CustomerRegistration:
@@ -359,7 +414,7 @@ func (s *Server) performWrite(proxy env.NodeID, m reqMsg) {
 			Discount:  float64(rng.Intn(51)), // random discount, drawn pre-submit
 			Now:       now,
 		}
-		s.replica.Submit(action, func(result any, err error) {
+		s.replica.SubmitIndexed(action, func(result any, inst paxos.InstanceID, err error) {
 			cr, ok := result.(tpcw.CreateCustomerResult)
 			if err != nil || !ok {
 				fail()
@@ -368,18 +423,18 @@ func (s *Server) performWrite(proxy env.NodeID, m reqMsg) {
 			s.reply(proxy, m.ID, rbe.Response{
 				Customer: cr.Customer.ID,
 				UName:    cr.Customer.UName,
-			})
+			}, inst)
 		})
 
 	case rbe.BuyRequest:
 		refresh := func(cart tpcw.CartID) {
-			s.replica.Submit(tpcw.RefreshSessionAction{Customer: req.Customer, Now: now},
-				func(_ any, err error) {
+			s.replica.SubmitIndexed(tpcw.RefreshSessionAction{Customer: req.Customer, Now: now},
+				func(_ any, inst paxos.InstanceID, err error) {
 					if err != nil {
 						fail()
 						return
 					}
-					s.reply(proxy, m.ID, rbe.Response{Cart: cart})
+					s.reply(proxy, m.ID, rbe.Response{Cart: cart}, inst)
 				})
 		}
 		if req.Cart == 0 {
@@ -411,13 +466,13 @@ func (s *Server) performWrite(proxy env.NodeID, m reqMsg) {
 				ShipDate: now.AddDate(0, 0, 1+rng.Intn(7)), // random pre-submit
 				Now:      now,
 			}
-			s.replica.Submit(action, func(result any, err error) {
+			s.replica.SubmitIndexed(action, func(result any, inst paxos.InstanceID, err error) {
 				br, ok := result.(tpcw.BuyConfirmResult)
 				if err != nil || !ok || br.Err != "" {
 					failR(result, err)
 					return
 				}
-				s.reply(proxy, m.ID, rbe.Response{Order: br.Order})
+				s.reply(proxy, m.ID, rbe.Response{Order: br.Order}, inst)
 			})
 		}
 		if req.Cart == 0 {
@@ -447,12 +502,12 @@ func (s *Server) performWrite(proxy env.NodeID, m reqMsg) {
 			Thumbnail: "img/thumb/new" + strconv.Itoa(rng.Intn(1000)),
 			Now:       now,
 		}
-		s.replica.Submit(action, func(_ any, err error) {
+		s.replica.SubmitIndexed(action, func(_ any, inst paxos.InstanceID, err error) {
 			if err != nil {
 				fail()
 				return
 			}
-			s.reply(proxy, m.ID, rbe.Response{})
+			s.reply(proxy, m.ID, rbe.Response{}, inst)
 		})
 
 	default:
