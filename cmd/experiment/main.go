@@ -15,6 +15,9 @@
 //	experiment -run checkpoint -short
 //	experiment -run partition -shards 2 -short
 //	experiment -run slowdisk
+//	experiment -run gray -short
+//	experiment -run hunt -budget 16
+//	experiment -run hunt -short -pin internal/exp/testdata/pinned
 //	experiment -run batching -short
 //
 // The batching mode prints the WAL group-commit matrix: committed
@@ -25,6 +28,18 @@
 // isolation, minority split, whole-group isolation, asymmetric one-way
 // loss) and slowdisk the failing-disk straggler; both print partition /
 // degradation windows beside the per-group dependability reports.
+//
+// The gray mode runs the gray-failure scenarios — a member that keeps
+// acking probes while erroring or slow-walking requests, a leader doing
+// the same, link latency inflation, and partition flapping — none of
+// which probe-timeout detection can see.
+//
+// The hunt mode drives the faultload DSL generatively: it samples -budget
+// random schedules from the grammar, judges each run with failure oracles
+// (fence violations, availability floor, write-wedge), delta-debugs every
+// failure to a minimal schedule, and — with -pin — writes each survivor
+// as a reproducible JSON counterexample. The process exits 1 when the
+// hunt finds anything, so a scheduled CI job fails loudly.
 //
 // The sharded modes run the faultload-DSL scenarios (one member of every
 // group, rolling crashes, whole-group outage) against a Shards×Servers
@@ -43,21 +58,24 @@ import (
 	"time"
 
 	"robuststore/internal/exp"
+	"robuststore/internal/exp/search"
 	"robuststore/internal/rbe"
 )
 
 func main() {
 	var (
-		which   = flag.String("run", "all", "experiment: speedup | scaleup | readscale | one-crash | two-crashes | delayed | recovery-times | batching | ablations | sharded | sharded-recovery | rebalance | checkpoint | partition | slowdisk | all")
+		which   = flag.String("run", "all", "experiment: speedup | scaleup | readscale | one-crash | two-crashes | delayed | recovery-times | batching | ablations | sharded | sharded-recovery | rebalance | checkpoint | partition | slowdisk | gray | hunt | all")
 		seed    = flag.Uint64("seed", 1, "root seed (runs are deterministic per seed)")
 		servers = flag.Int("servers", 5, "replication degree for single-run modes")
 		profile = flag.String("profile", "shopping", "workload profile for single-run modes: browsing | shopping | ordering")
 		shards  = flag.Int("shards", 2, "Paxos group count for the sharded modes")
 		short   = flag.Bool("short", false, "shrink the sharded suite (smoke run for CI)")
+		budget  = flag.Int("budget", 16, "schedules the hunt mode tries")
+		pin     = flag.String("pin", "", "directory the hunt mode pins found counterexamples under (empty: report only)")
 	)
 	flag.Parse()
 
-	if err := run(*which, *seed, *servers, *profile, *shards, *short); err != nil {
+	if err := run(*which, *seed, *servers, *profile, *shards, *short, *budget, *pin); err != nil {
 		fmt.Fprintln(os.Stderr, "experiment:", err)
 		os.Exit(1)
 	}
@@ -76,9 +94,37 @@ func parseProfile(s string) (rbe.Profile, error) {
 	}
 }
 
-func run(which string, seed uint64, servers int, profileName string, shards int, short bool) error {
+func run(which string, seed uint64, servers int, profileName string, shards int, short bool, budget int, pin string) error {
 	out := os.Stdout
 	switch which {
+	case "gray":
+		// Gray failures: probe-healthy members erroring or slow-walking
+		// requests, latency-inflated links, partition flapping — fault
+		// windows on the paper's x-axis, per-group dependability beside.
+		cfg := exp.ShardedSuiteConfig{Shards: shards, Seed: seed}
+		if short {
+			cfg.Browsers = 300
+			cfg.Measure = 150 * time.Second
+		}
+		for _, r := range exp.GraySuite(cfg) {
+			exp.PrintHistogram(out, r)
+			exp.PrintShardedDependability(out, r)
+			fmt.Fprintln(out)
+		}
+	case "hunt":
+		// Generative fault search: random schedules, oracle judgement,
+		// shrinking, pinning. Exits 1 on any finding so CI fails loudly.
+		cfg := search.Config{Seed: seed, Budget: budget, PinDir: pin, Log: out}
+		if short {
+			cfg.Budget = 2
+			cfg.Browsers = 200
+			cfg.ShrinkBudget = 12
+		}
+		rep := search.Hunt(cfg)
+		search.PrintReport(out, rep)
+		if len(rep.Findings) > 0 {
+			os.Exit(1)
+		}
 	case "sharded":
 		cfg := exp.ShardedSuiteConfig{Shards: shards, Seed: seed}
 		if short {
@@ -213,9 +259,9 @@ func run(which string, seed uint64, servers int, profileName string, shards int,
 	case "ablations":
 		exp.PrintAblation(out, exp.AblationFastPaxos(seed))
 	case "all":
-		for _, w := range []string{"speedup", "scaleup", "readscale", "one-crash", "two-crashes", "delayed", "recovery-times", "batching", "sharded", "sharded-recovery", "rebalance", "checkpoint", "partition", "slowdisk", "ablations"} {
+		for _, w := range []string{"speedup", "scaleup", "readscale", "one-crash", "two-crashes", "delayed", "recovery-times", "batching", "sharded", "sharded-recovery", "rebalance", "checkpoint", "partition", "slowdisk", "gray", "ablations"} {
 			fmt.Fprintln(out)
-			if err := run(w, seed, servers, profileName, shards, short); err != nil {
+			if err := run(w, seed, servers, profileName, shards, short, budget, pin); err != nil {
 				return err
 			}
 		}

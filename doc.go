@@ -135,6 +135,46 @@
 // never trips partition detection — reported as linkloss windows
 // (GroupReport.LossSec).
 //
+// The gray-failure family completes the spectrum: OpGrayFail/OpGrayRestore
+// put a victim into the probe-healthy, work-sick mode — it keeps acking
+// liveness pings and web-tier probes while real requests error (Factor
+// < 1, an error rate) or slow-walk (Factor ≥ 1, a service-time
+// multiplier); on livenet the same op drops value-bearing inbound
+// traffic at the transport while sub-128-byte control messages pass.
+// OpLinkDelay/OpLinkDelayRestore inflate per-link latency (sim.
+// SetLinkDelay / livenet.SetLinkDelay) — the congested path where
+// nothing drops and nothing severs, invisible to both loss and partition
+// detection. The Flap generator expands any window-opening op into
+// alternating inject/restore trains (period × duty), giving the classic
+// route-flap scenario in one line. Because probe-timeout detection is
+// blind to all of these, the proxy additionally grades each server on
+// served-traffic quality — per-server error/latency EWMAs — and evicts
+// (with quarantine) on quality alone; a gray member costs a few seconds
+// of degraded service instead of a whole window (ProxyStats.
+// QualityEvictions; the gray scenarios run under cmd/experiment -run
+// gray, with grayfail/linkdelay windows in GroupReport.GraySec/DelaySec
+// and staleness folded into per-group accuracy by
+// metrics.WeightedGroupAccuracy).
+//
+// On top of the DSL sits a generative adversarial fault search
+// (internal/exp/search, cmd/experiment -run hunt): it samples random
+// schedules from the grammar — weighted op mix, random selectors, times
+// and factors, severing windows kept quorum-safe by construction —
+// judges every run with failure oracles (fence violations, an
+// availability floor, and a write-wedge oracle that demands throughput
+// re-sustain half the failure-free baseline after the last fault
+// clears), delta-debugs each failure to a minimal event set and time
+// window (search.Shrink), and pins survivors as reproducible JSON
+// counterexamples under internal/exp/testdata/pinned/ — auto-replayed by
+// a regression test, so every bug the search ever caught stays caught.
+// The harness is itself acceptance-tested against a known-bad engine:
+// reverting the stale-leader-rejoin fix behind paxos.BugStaleLeaderRejoin
+// makes the hunt find the resulting write-wedge, shrink the schedule to
+// the causal leader partition/heal pair, and pin a case that reproduces
+// the wedge pre-fix and passes post-fix. CI runs a -short smoke per PR
+// and a full scheduled hunt nightly, uploading found schedules as
+// artifacts.
+//
 // The codebase enforces its own invariants statically: internal/analysis
 // is a stdlib-only go/analysis-style suite run by cmd/analyze (standalone
 // over ./... or as a go vet -vettool), wired into CI. Four passes guard

@@ -308,6 +308,54 @@ func SlowDiskFaultload() Faultload {
 	return SlowDiskStraggler(0, 0, 240, 420)
 }
 
+// GrayFaultloads returns the named gray-failure scenario set: faults that
+// keep every probe and consensus ping healthy while service quality dies —
+// the blind spot of timeout-based detection, and exactly what ROADMAP
+// item 4's fault-model gap called for. All windows open at t=240 s and
+// restore at t=390 s on the paper's x-axis:
+//
+//   - gray-fail: one member of group 0 fast-errors half its requests
+//     (DefaultGrayRate) while acking every probe; only served-traffic
+//     quality (the proxy's error EWMA) can justify evicting it.
+//   - gray-leader: the member leading group 0's consensus at fire time
+//     slow-walks every request 20× — the worst-placed victim, since it
+//     also carries proposal traffic.
+//   - link-delay: every link of one member inflates DefaultDelayFactor× —
+//     nothing drops, quorum round-trips through it just crawl.
+//   - partition-flap: one member partitions and heals on a 50 s cadence
+//     (40% duty), forcing re-detection and reabsorption every cycle.
+func GrayFaultloads() []Faultload {
+	return []Faultload{
+		GrayFailServer(0, 0, 240, 390),
+		GrayLeader(0, 20, 240, 390),
+		LinkDelayStraggler(0, 0, 240, 390),
+		PartitionFlap(0, 240, 390, 50, 0.4),
+	}
+}
+
+// GraySuite runs every gray-failure scenario against one deployment and
+// returns the per-scenario results, each carrying the fault windows and
+// the per-group availability/accuracy/recovery rows.
+func GraySuite(cfg ShardedSuiteConfig) []RunResult {
+	cfg = cfg.withDefaults()
+	scenarios := GrayFaultloads()
+	out := make([]RunResult, 0, len(scenarios))
+	for i := range scenarios {
+		fl := scenarios[i]
+		out = append(out, Run(RunConfig{
+			Profile:   rbe.Shopping,
+			Servers:   cfg.Servers,
+			Shards:    cfg.Shards,
+			StateMB:   cfg.StateMB,
+			Faultload: &fl,
+			Browsers:  cfg.Browsers,
+			Measure:   cfg.Measure,
+			Seed:      cfg.Seed,
+		}))
+	}
+	return out
+}
+
 // ShardedSuiteConfig parameterizes the sharded dependability suite.
 type ShardedSuiteConfig struct {
 	Shards   int           // default 2
@@ -463,6 +511,14 @@ func PartitionRecoveryBench(seed uint64) PartitionBenchPoint {
 // pre-phase seconds mask a dip or one jittery bucket declare recovery.
 // Returns -1 when throughput never sustains target within the run.
 func seriesRecoversAt(series []float64, floor int, target float64) int {
+	return SeriesRecoversAt(series, floor, target)
+}
+
+// SeriesRecoversAt is the exported recovery detector: the fault-search
+// oracles (internal/exp/search) use it as the write-wedge check — a run
+// whose throughput never sustains the target after its last fault is
+// restored has wedged.
+func SeriesRecoversAt(series []float64, floor int, target float64) int {
 	if floor < 0 {
 		floor = 0
 	}

@@ -19,9 +19,14 @@ import (
 // schedules correlated fault operations: network partitions
 // (OpPartition/OpHeal, symmetric or one-way, composable via handles),
 // disk degradations (OpDiskSlow/OpDiskRestore, the failing-disk straggler
-// that drags the group-commit pipeline and checkpoint writes), and flaky
+// that drags the group-commit pipeline and checkpoint writes), flaky
 // links (OpLinkLoss/OpLinkRestore, probabilistic per-link message loss —
-// the gray network failure that never trips partition detection).
+// the gray network failure that never trips partition detection),
+// gray-failed processes (OpGrayFail/OpGrayRestore, a member that acks
+// every probe while erroring or slow-walking real requests), and link
+// latency inflation (OpLinkDelay/OpLinkDelayRestore, a congested path
+// where everything arrives late). Flap expands any window-opening op into
+// an alternating inject/restore train (route flapping and its cousins).
 
 // FaultOp is what a fault event does to its victims.
 type FaultOp int
@@ -89,6 +94,31 @@ const (
 	// OpGroupReconnect restores the group links severed by the
 	// OpGroupIsolate event with the same selector.
 	OpGroupReconnect
+
+	// OpGrayFail puts the victims into gray-failure mode: they keep
+	// acking health probes and consensus pings while their real request
+	// service suffers — Factor < 1 errors that fraction of requests fast
+	// (0 → DefaultGrayRate), Factor ≥ 1 slow-walks service times by that
+	// multiplier. The probe path is untouched by design, so probe-based
+	// eviction alone never catches it. A second OpGrayFail on the same
+	// selector supersedes the first.
+	OpGrayFail
+
+	// OpGrayRestore returns the victims of the OpGrayFail event with the
+	// same selector to healthy request service.
+	OpGrayRestore
+
+	// OpLinkDelay inflates the latency of every link between the victims
+	// and the rest of the cluster by Factor (0 → DefaultDelayFactor), in
+	// the directions Dir selects. Every message still arrives — nothing
+	// for loss detection or partition detection to see — it just crawls,
+	// stretching quorum round-trips and probe replies alike. A second
+	// OpLinkDelay on the same selector supersedes the first.
+	OpLinkDelay
+
+	// OpLinkDelayRestore clears the latency inflation opened by the
+	// OpLinkDelay event with the same selector.
+	OpLinkDelayRestore
 )
 
 // String implements fmt.Stringer.
@@ -116,6 +146,14 @@ func (o FaultOp) String() string {
 		return "group-isolate"
 	case OpGroupReconnect:
 		return "group-reconnect"
+	case OpGrayFail:
+		return "gray-fail"
+	case OpGrayRestore:
+		return "gray-restore"
+	case OpLinkDelay:
+		return "link-delay"
+	case OpLinkDelayRestore:
+		return "link-delay-restore"
 	default:
 		return "unknown"
 	}
@@ -249,6 +287,17 @@ const DefaultSlowFactor = 8
 // certain loss a partition would be.
 const DefaultLossRate = 0.3
 
+// DefaultGrayRate is OpGrayFail's request-error probability when the
+// event leaves Factor zero: half the victim's requests fail fast while
+// every probe still answers OK.
+const DefaultGrayRate = 0.5
+
+// DefaultDelayFactor is OpLinkDelay's latency multiplier when the event
+// leaves Factor zero: 50× the calibrated switch latency (~120 µs → ~6 ms
+// per hop), deep into quorum-round-trip pain without tripping a single
+// timeout-based detector outright.
+const DefaultDelayFactor = 50
+
 // Faultload is a composable crash/recovery schedule: the generalization
 // of the paper's FaultKind enum to victim selectors × event times.
 type Faultload struct {
@@ -278,6 +327,12 @@ func (f Faultload) key() string {
 		}
 		if ev.Op == OpLinkLoss && f == 0 {
 			f = DefaultLossRate
+		}
+		if ev.Op == OpGrayFail && f == 0 {
+			f = DefaultGrayRate
+		}
+		if ev.Op == OpLinkDelay && f == 0 {
+			f = DefaultDelayFactor
 		}
 		if f != 0 {
 			k += fmt.Sprintf(":x%g", f)
@@ -489,6 +544,107 @@ func FlakyLink(group int, rate float64, atSec, healSec float64) Faultload {
 	}}
 }
 
+// --- Gray-failure scenarios ---------------------------------------------
+
+// GrayFailServer puts one member of one group (the rotation's slot-0
+// victim) into gray-failure mode from atSec to restoreSec: it keeps
+// acking every probe while erroring or slow-walking real requests
+// (factor < 1: error rate; factor ≥ 1: service-time multiplier; 0 →
+// DefaultGrayRate). Quorum is untouched — the damage is entirely to the
+// traffic the prober never samples.
+func GrayFailServer(group int, factor float64, atSec, restoreSec float64) Faultload {
+	return Faultload{Name: "gray-fail", Events: []FaultEvent{
+		{AtSec: atSec, Op: OpGrayFail, Select: Member(group, 0), Factor: factor},
+		{AtSec: restoreSec, Op: OpGrayRestore, Select: Member(group, 0)},
+	}}
+}
+
+// GrayLeader gray-fails the member leading one group's consensus at fire
+// time: the worst-placed victim, since writes hash across voters and the
+// leader additionally carries proposal traffic. The prober sees a healthy
+// leader throughout; only served-traffic quality can justify eviction.
+func GrayLeader(group int, factor float64, atSec, restoreSec float64) Faultload {
+	return Faultload{Name: "gray-leader", Events: []FaultEvent{
+		{AtSec: atSec, Op: OpGrayFail, Select: Leader(group), Factor: factor},
+		{AtSec: restoreSec, Op: OpGrayRestore, Select: Leader(group)},
+	}}
+}
+
+// LinkDelayStraggler inflates the latency of every link between one
+// member of one group (slot-0 victim) and the rest of the cluster by
+// factor (0 → DefaultDelayFactor) from atSec to restoreSec: nothing
+// drops, nothing severs — quorum round-trips through the victim just
+// crawl, the congested-path gray failure neither loss detection nor
+// partition detection can see.
+func LinkDelayStraggler(group int, factor float64, atSec, restoreSec float64) Faultload {
+	return Faultload{Name: "link-delay", Events: []FaultEvent{
+		{AtSec: atSec, Op: OpLinkDelay, Select: Member(group, 0), Factor: factor},
+		{AtSec: restoreSec, Op: OpLinkDelayRestore, Select: Member(group, 0)},
+	}}
+}
+
+// PartitionFlap expands Flap into the classic route-flap scenario: the
+// slot-0 member of one group partitions and heals on a periodSec cadence
+// between startSec and endSec, spending duty of each period isolated.
+// Every flap forces re-detection and reabsorption — a far harder fault
+// than one long partition of the same total width.
+func PartitionFlap(group int, startSec, endSec, periodSec, duty float64) Faultload {
+	f := Flap(OpPartition, Member(group, 0), startSec, endSec, periodSec, duty, 0)
+	f.Name = "partition-flap"
+	return f
+}
+
+// restoreOf maps a window-opening fault op to the op that closes its
+// window (the pairing Flap alternates between).
+func restoreOf(op FaultOp) (FaultOp, bool) {
+	switch op {
+	case OpPartition:
+		return OpHeal, true
+	case OpDiskSlow:
+		return OpDiskRestore, true
+	case OpLinkLoss:
+		return OpLinkRestore, true
+	case OpGroupIsolate:
+		return OpGroupReconnect, true
+	case OpGrayFail:
+		return OpGrayRestore, true
+	case OpLinkDelay:
+		return OpLinkDelayRestore, true
+	default:
+		return 0, false
+	}
+}
+
+// Flap expands a fault op into an alternating inject/restore event train
+// on one selector: starting at startSec, each periodSec-long period
+// spends duty (0 < duty < 1) of its width under the fault and the rest
+// healed, until endSec (a window still open there is closed at endSec).
+// op must have a restore counterpart (OpPartition, OpDiskSlow,
+// OpLinkLoss, OpGroupIsolate, OpGrayFail, OpLinkDelay); factor rides on
+// every injection event. Flapping is strictly harder than one long
+// window of the same cumulative width: every cycle forces re-detection,
+// re-election or re-absorption from scratch.
+func Flap(op FaultOp, sel Selector, startSec, endSec, periodSec, duty, factor float64) Faultload {
+	restore, ok := restoreOf(op)
+	if !ok {
+		panic(fmt.Sprintf("exp: Flap of %v, which has no restore op", op))
+	}
+	if periodSec <= 0 || duty <= 0 || duty >= 1 {
+		panic(fmt.Sprintf("exp: Flap(period=%g, duty=%g) outside (0,1) duty or non-positive period",
+			periodSec, duty))
+	}
+	f := Faultload{Name: fmt.Sprintf("flap-%v", op)}
+	for at := startSec; at < endSec; at += periodSec {
+		f.Events = append(f.Events, FaultEvent{AtSec: at, Op: op, Select: sel, Factor: factor})
+		off := at + periodSec*duty
+		if off > endSec {
+			off = endSec
+		}
+		f.Events = append(f.Events, FaultEvent{AtSec: off, Op: restore, Select: sel})
+	}
+	return f
+}
+
 // --- Resolution --------------------------------------------------------
 
 // resolvedEvent is a fault event with its victims bound to flat server
@@ -541,6 +697,12 @@ func (f Faultload) resolve(cfg RunConfig) []resolvedEvent {
 		}
 		if re.op == OpLinkLoss && re.factor == 0 {
 			re.factor = DefaultLossRate
+		}
+		if re.op == OpGrayFail && re.factor == 0 {
+			re.factor = DefaultGrayRate
+		}
+		if re.op == OpLinkDelay && re.factor == 0 {
+			re.factor = DefaultDelayFactor
 		}
 		sel := ev.Select
 		switch sel.Scope {

@@ -453,3 +453,91 @@ func TestFlakyLinkScenarioRun(t *testing.T) {
 		t.Fatalf("loss must not crash anyone: %+v", g)
 	}
 }
+
+// TestGrayResolveAndKey: OpGrayFail and OpLinkDelay resolve with their
+// defaults normalized (Factor 0 and the explicit default memoize as the
+// same run), restores pair with their openers by selector key, and a
+// different factor gets a different key.
+func TestGrayResolveAndKey(t *testing.T) {
+	cfg := RunConfig{Servers: 3, Shards: 1, Seed: 1, Profile: rbe.Shopping}
+
+	gf := GrayFailServer(0, 0, 60, 90).resolve(cfg)
+	if len(gf) != 2 || gf[0].op != OpGrayFail || gf[1].op != OpGrayRestore {
+		t.Fatalf("gray-fail resolved to %+v", gf)
+	}
+	if gf[0].factor != DefaultGrayRate {
+		t.Fatalf("default gray rate not applied: %+v", gf[0])
+	}
+	if gf[1].selKey != gf[0].selKey {
+		t.Fatalf("restore not paired with its gray-fail: %q vs %q", gf[1].selKey, gf[0].selKey)
+	}
+	if a, b := GrayFailServer(0, 0, 60, 90).key(), GrayFailServer(0, DefaultGrayRate, 60, 90).key(); a != b {
+		t.Fatalf("default-rate keys differ: %q vs %q", a, b)
+	}
+	if a, c := GrayFailServer(0, 0, 60, 90).key(), GrayFailServer(0, 20, 60, 90).key(); c == a {
+		t.Fatalf("a 20x slow-walk run must not share the default-rate key %q", a)
+	}
+
+	ld := LinkDelayStraggler(0, 0, 60, 90).resolve(cfg)
+	if len(ld) != 2 || ld[0].op != OpLinkDelay || ld[1].op != OpLinkDelayRestore {
+		t.Fatalf("link-delay resolved to %+v", ld)
+	}
+	if ld[0].factor != DefaultDelayFactor {
+		t.Fatalf("default delay factor not applied: %+v", ld[0])
+	}
+	if a, b := LinkDelayStraggler(0, 0, 60, 90).key(), LinkDelayStraggler(0, DefaultDelayFactor, 60, 90).key(); a != b {
+		t.Fatalf("default-factor keys differ: %q vs %q", a, b)
+	}
+
+	// GrayLeader late-binds: leaderOf names the group whose consensus
+	// leader is looked up at fire time (the static victim is only the
+	// fallback for a leaderless group).
+	gl := GrayLeader(0, 0.5, 60, 90).resolve(cfg)
+	if gl[0].leaderOf != 0 {
+		t.Fatalf("gray-leader resolved to %+v, want late-bound leader", gl[0])
+	}
+}
+
+// TestFlapExpansion: the Flap generator expands into alternating
+// inject/restore trains — paired events on one selector, duty applied
+// per period, the final restore clamped to the window end — and rejects
+// senseless parameters.
+func TestFlapExpansion(t *testing.T) {
+	f := Flap(OpPartition, Member(0, 0), 100, 250, 60, 0.5, 0)
+	// Periods at 100, 160, 220: three inject/restore pairs.
+	if len(f.Events) != 6 {
+		t.Fatalf("flap expanded to %d events, want 6: %+v", len(f.Events), f.Events)
+	}
+	for i := 0; i < len(f.Events); i += 2 {
+		on, off := f.Events[i], f.Events[i+1]
+		if on.Op != OpPartition || off.Op != OpHeal {
+			t.Fatalf("pair %d = %v/%v, want partition/heal", i/2, on.Op, off.Op)
+		}
+		if on.Select != off.Select {
+			t.Fatalf("pair %d spans selectors: %+v vs %+v", i/2, on.Select, off.Select)
+		}
+		if want := on.AtSec + 30; off.AtSec != want && off.AtSec != 250 {
+			t.Fatalf("pair %d restore at %.0f, want %.0f (50%% duty)", i/2, off.AtSec, want)
+		}
+	}
+	// The last cycle starts at 220; its 50% duty point (250) hits the
+	// window end exactly — the restore must not spill past it.
+	if last := f.Events[len(f.Events)-1]; last.AtSec > 250 {
+		t.Fatalf("final restore at %.0f spilled past the window end", last.AtSec)
+	}
+
+	for _, bad := range []func(){
+		func() { Flap(OpCrash, Member(0, 0), 0, 100, 50, 0.5, 0) },     // no restore op
+		func() { Flap(OpPartition, Member(0, 0), 0, 100, 0, 0.5, 0) },  // zero period
+		func() { Flap(OpPartition, Member(0, 0), 0, 100, 50, 1.5, 0) }, // duty ≥ 1
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad Flap parameters did not panic")
+				}
+			}()
+			bad()
+		}()
+	}
+}

@@ -270,6 +270,19 @@ func printFaultWindows(w io.Writer, wins []metrics.FaultWindow) {
 				extra += ", one-way " + fw.Dir
 			}
 		}
+		if fw.Kind == "grayfail" && fw.Factor > 0 {
+			if fw.Factor < 1 {
+				extra = fmt.Sprintf(", %.0f%% errors", fw.Factor*100)
+			} else {
+				extra = fmt.Sprintf(", %gx slow-walk", fw.Factor)
+			}
+		}
+		if fw.Kind == "linkdelay" && fw.Factor > 0 {
+			extra = fmt.Sprintf(", %gx latency", fw.Factor)
+			if fw.Dir != "" && fw.Dir != "both" {
+				extra += ", one-way " + fw.Dir
+			}
+		}
 		if fw.ToSec < 0 {
 			fmt.Fprintf(w, "  %s window: group %d, t=%.1f s → (never healed)%s\n",
 				fw.Kind, fw.Group, fw.FromSec, extra)

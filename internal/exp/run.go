@@ -255,6 +255,15 @@ func Run(cfg RunConfig) RunResult {
 	return r
 }
 
+// RunUncached executes one experiment bypassing the memo cache. The
+// generative fault search (internal/exp/search) mutates its schedule
+// every trial, so caching those runs would only grow the map without ever
+// hitting — and a search probing a deliberately-broken build must never
+// poison the cache the table formatters share.
+func RunUncached(cfg RunConfig) RunResult {
+	return runOnce(cfg.withDefaults())
+}
+
 // simSched adapts the simulator to the RBE Scheduler interface.
 type simSched struct{ s *sim.Sim }
 
@@ -357,6 +366,11 @@ func runOnce(cfg RunConfig) RunResult {
 	// Group-isolated servers (OpGroupIsolate), tracked per selector the
 	// same way for the reconnect.
 	isoVictims := map[string][]int{}
+	// Gray-failed servers and delay-inflated links, tracked per selector
+	// like flaky links: re-firing a selector supersedes its open event,
+	// and the restore clears exactly its own victims.
+	grayVictims := map[string][]int{}
+	delayVictims := map[string][]int{}
 	// diskActive composes overlapping degradations: per victim, the
 	// factors of every open OpDiskSlow touching it. The hardware runs at
 	// the worst active factor; restoring one event re-applies the max of
@@ -527,6 +541,70 @@ func runOnce(cfg RunConfig) RunResult {
 					cluster.ReconnectToGroup(old...)
 					delete(isoVictims, ev.selKey)
 					closeWindows("partition", ev)
+				}
+			})
+		case OpGrayFail:
+			s.At(t, func() {
+				victims := ev.victims
+				if ev.leaderOf >= 0 {
+					// Late binding, like OpPartition: gray-fail whoever
+					// leads the group now.
+					if l := cluster.LeaderOf(ev.leaderOf); l >= 0 {
+						victims = []int{l}
+					}
+				}
+				if len(victims) == 0 {
+					return
+				}
+				if old := grayVictims[ev.selKey]; old != nil {
+					// Re-graying a selector supersedes its open event.
+					for _, v := range old {
+						cluster.SetGray(v, 0)
+					}
+					closeWindows("grayfail", ev)
+				}
+				for _, v := range victims {
+					cluster.GrayFail(v, ev.factor) // counts the fault
+				}
+				grayVictims[ev.selKey] = victims
+				openWindows("grayfail", ev, ev.groups(cfg.Servers))
+			})
+		case OpGrayRestore:
+			s.At(t, func() {
+				if old := grayVictims[ev.selKey]; old != nil {
+					for _, v := range old {
+						cluster.GrayRestore(v)
+					}
+					delete(grayVictims, ev.selKey)
+					closeWindows("grayfail", ev)
+				}
+			})
+		case OpLinkDelay:
+			s.At(t, func() {
+				victims := ev.victims
+				if ev.leaderOf >= 0 {
+					if l := cluster.LeaderOf(ev.leaderOf); l >= 0 {
+						victims = []int{l}
+					}
+				}
+				if len(victims) == 0 {
+					return
+				}
+				if old := delayVictims[ev.selKey]; old != nil {
+					// Re-delaying a selector supersedes its open event.
+					cluster.RestoreLinkDelay(old...)
+					closeWindows("linkdelay", ev)
+				}
+				cluster.DegradeLinkDelay(ev.dir, ev.factor, victims...)
+				delayVictims[ev.selKey] = victims
+				openWindows("linkdelay", ev, ev.groups(cfg.Servers))
+			})
+		case OpLinkDelayRestore:
+			s.At(t, func() {
+				if old := delayVictims[ev.selKey]; old != nil {
+					cluster.RestoreLinkDelay(old...)
+					delete(delayVictims, ev.selKey)
+					closeWindows("linkdelay", ev)
 				}
 			})
 		}
@@ -732,7 +810,6 @@ func collect(cfg RunConfig, cluster *webtier.Cluster, srec *metrics.ShardedRecor
 		gr := metrics.GroupReport{
 			Group:        g,
 			AWIPS:        grec.AWIPS(mStart, mEnd),
-			Accuracy:     grec.Accuracy(),
 			Downtime:     gdt[g],
 			Availability: metrics.Availability(gdt[g], total),
 		}
@@ -746,6 +823,11 @@ func collect(cfg RunConfig, cluster *webtier.Cluster, srec *metrics.ShardedRecor
 			gr.FenceWaits = fw
 			gr.StaleServes = ss
 		}
+		// Group accuracy folds read-path quality in: fence waits and stale
+		// serves discount it alongside hard errors (bit-identical to plain
+		// Accuracy() when both staleness counters are zero).
+		gr.Accuracy = metrics.WeightedGroupAccuracy(grec.Total(), grec.TotalErrors(),
+			gr.FenceWaits, gr.StaleServes)
 		gCrash0, gRecEnd := -1, -1
 		var durSum float64
 		for i, ce := range crashes {
@@ -789,6 +871,12 @@ func collect(cfg RunConfig, cluster *webtier.Cluster, srec *metrics.ShardedRecor
 			case "linkloss":
 				gr.LossWindows++
 				gr.LossSec += to - fw.FromSec
+			case "grayfail":
+				gr.GrayWindows++
+				gr.GraySec += to - fw.FromSec
+			case "linkdelay":
+				gr.DelayWindows++
+				gr.DelaySec += to - fw.FromSec
 			}
 		}
 		if gr.Crashes > 0 {

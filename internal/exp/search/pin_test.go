@@ -1,0 +1,92 @@
+package search
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"robuststore/internal/env"
+	"robuststore/internal/exp"
+)
+
+// TestPinRoundTrip: a schedule survives serialize → save → load →
+// reconstruct byte for byte, and saving is idempotent.
+func TestPinRoundTrip(t *testing.T) {
+	events := []exp.FaultEvent{
+		{AtSec: 60, Op: exp.OpGrayFail, Select: exp.Leader(0), Factor: 20},
+		{AtSec: 90, Op: exp.OpLinkDelay, Select: exp.Member(1, 1), Dir: env.LinkOutboundOnly, Factor: 50},
+		{AtSec: 150, Op: exp.OpGrayRestore, Select: exp.Leader(0)},
+		{AtSec: 180, Op: exp.OpLinkDelayRestore, Select: exp.Member(1, 1)},
+	}
+	pc := PinnedCase{
+		Name:       "round-trip",
+		Violations: []string{"write-wedge: synthetic"},
+		Seed:       7,
+		Profile:    "shopping",
+		Servers:    3,
+		Shards:     2,
+		StateMB:    300,
+		Browsers:   200,
+		MeasureSec: 120,
+		Events:     pinEvents(events),
+	}
+
+	dir := t.TempDir()
+	path1, err := SavePin(dir, pc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path2, err := SavePin(dir, pc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path1 != path2 {
+		t.Fatalf("saving the same case twice produced %s and %s", path1, path2)
+	}
+
+	cases, paths, err := LoadPins(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cases) != 1 || filepath.Clean(paths[0]) != filepath.Clean(path1) {
+		t.Fatalf("loaded %d case(s) from %v, want 1 at %s", len(cases), paths, path1)
+	}
+	if !reflect.DeepEqual(cases[0], pc) {
+		t.Fatalf("round trip mangled the case:\n  saved  %+v\n  loaded %+v", pc, cases[0])
+	}
+
+	rc, err := cases[0].RunConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc.Faultload == nil || !reflect.DeepEqual(rc.Faultload.Events, events) {
+		t.Fatalf("reconstructed events differ:\n  want %+v\n  got  %+v", events, rc.Faultload)
+	}
+	if rc.Servers != 3 || rc.Shards != 2 || rc.Seed != 7 || rc.Browsers != 200 {
+		t.Fatalf("reconstructed config differs: %+v", rc)
+	}
+}
+
+// TestLoadPinsMissingDir: an absent corpus is empty, not an error.
+func TestLoadPinsMissingDir(t *testing.T) {
+	cases, paths, err := LoadPins(filepath.Join(t.TempDir(), "nope"))
+	if err != nil || len(cases) != 0 || len(paths) != 0 {
+		t.Fatalf("missing dir: cases=%v paths=%v err=%v", cases, paths, err)
+	}
+}
+
+// TestOpScopeNameTables: every op and scope round-trips through its
+// serialized name (guards new enum values against silent truncation).
+func TestOpScopeNameTables(t *testing.T) {
+	for op := exp.OpCrash; op <= exp.OpLinkDelayRestore; op++ {
+		got, ok := opByName[op.String()]
+		if !ok || got != op {
+			t.Errorf("op %d (%s) does not round-trip", op, op)
+		}
+	}
+	for scope, name := range scopeNames {
+		if scopeByName[name] != scope {
+			t.Errorf("scope %v (%s) does not round-trip", scope, name)
+		}
+	}
+}

@@ -1,0 +1,209 @@
+package search
+
+// The schedule sampler: random fault schedules drawn from the faultload
+// DSL grammar — weighted op mix, random selectors, times and factors —
+// quorum-safe by construction so the oracles stay sound (see oracle.go).
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"robuststore/internal/env"
+	"robuststore/internal/exp"
+)
+
+// Sampler event times live on the paper's x-axis. Injections land in
+// [sampleStartSec, sampleInjectEndSec]; every window restores by
+// sampleEndSec, leaving a post-fault tail for the wedge oracle even under
+// the shortened hunt measurement interval.
+const (
+	sampleStartSec     = 60.0
+	sampleInjectEndSec = 260.0
+	sampleEndSec       = 420.0
+
+	// crashInjectEndSec caps crash times harder than window faults:
+	// recovery replay takes real (unscaled) time, and the wedge oracle
+	// needs the replica back with series left to judge.
+	crashInjectEndSec = 140.0
+)
+
+// opWeights is the grammar's op mix. Gray faults weigh as much as the
+// classic severing faults: they are the reason the hunt exists.
+var opWeights = []struct {
+	op exp.FaultOp
+	w  int
+}{
+	{exp.OpCrash, 2},
+	{exp.OpPartition, 3},
+	{exp.OpDiskSlow, 2},
+	{exp.OpLinkLoss, 2},
+	{exp.OpGroupIsolate, 1},
+	{exp.OpGrayFail, 3},
+	{exp.OpLinkDelay, 2},
+}
+
+// severing reports whether the op denies its victims' service outright
+// (crash, partition, group isolation) — the class the sampler must keep
+// to a minority per group with non-overlapping windows.
+func severing(op exp.FaultOp) bool {
+	switch op {
+	case exp.OpCrash, exp.OpCrashNoRestart, exp.OpPartition, exp.OpGroupIsolate:
+		return true
+	}
+	return false
+}
+
+// sampledSchedule is one draw from the grammar.
+type sampledSchedule struct {
+	fl exp.Faultload
+}
+
+// pickOp draws from the weighted op mix.
+func pickOp(rng *rand.Rand) exp.FaultOp {
+	total := 0
+	for _, e := range opWeights {
+		total += e.w
+	}
+	n := rng.Intn(total)
+	for _, e := range opWeights {
+		if n < e.w {
+			return e.op
+		}
+		n -= e.w
+	}
+	return opWeights[0].op
+}
+
+// pickSelector draws a quorum-preserving victim selector within group g:
+// a single rotation member, the late-bound leader, or the largest safe
+// minority.
+func pickSelector(rng *rand.Rand, g int) exp.Selector {
+	switch rng.Intn(5) {
+	case 0, 1:
+		return exp.Member(g, rng.Intn(2))
+	case 2, 3:
+		return exp.Leader(g)
+	default:
+		return exp.Minority(g)
+	}
+}
+
+// pickFactor draws an op-appropriate degradation factor.
+func pickFactor(rng *rand.Rand, op exp.FaultOp) float64 {
+	choice := func(xs ...float64) float64 { return xs[rng.Intn(len(xs))] }
+	switch op {
+	case exp.OpDiskSlow:
+		return choice(4, 8, 16)
+	case exp.OpLinkLoss:
+		return choice(0.2, 0.3, 0.5)
+	case exp.OpGrayFail:
+		// Below 1: fast-error rate; at/above: service slow-walk.
+		return choice(0.3, 0.5, 0.8, 10, 20, 40)
+	case exp.OpLinkDelay:
+		return choice(20, 50, 100)
+	}
+	return 0
+}
+
+// pickDir draws a link direction for the ops that honor one (mostly
+// symmetric, sometimes the nastier one-way loss).
+func pickDir(rng *rand.Rand, op exp.FaultOp) env.LinkDir {
+	switch op {
+	case exp.OpPartition, exp.OpLinkLoss, exp.OpLinkDelay:
+		if rng.Intn(4) == 0 {
+			return env.LinkOutboundOnly
+		}
+	}
+	return env.LinkBothWays
+}
+
+// sampleSchedule draws one random fault schedule for a shards×servers
+// deployment. Quorum safety: severing windows never overlap within a
+// group (and each hits at most a minority), so any oracle violation is
+// the system's fault. Non-severing (gray) faults overlap freely.
+func sampleSchedule(rng *rand.Rand, shards, servers int) sampledSchedule {
+	type span struct{ from, to float64 }
+	severSpans := map[int][]span{}
+	overlaps := func(g int, from, to float64) bool {
+		for _, s := range severSpans[g] {
+			if from < s.to && s.from < to {
+				return true
+			}
+		}
+		return false
+	}
+
+	fl := exp.Faultload{Name: fmt.Sprintf("hunt-%08x", rng.Uint32())}
+	n := 1 + rng.Intn(3)
+	for i := 0; i < n; i++ {
+		g := rng.Intn(shards)
+		op := pickOp(rng)
+
+		if op == exp.OpCrash {
+			at := sampleStartSec + rng.Float64()*(crashInjectEndSec-sampleStartSec)
+			at = float64(int(at)) // whole seconds keep keys and pins tidy
+			// The watchdog restarts the victim; budget its recovery like
+			// a severing window so nothing else severs the group
+			// meanwhile.
+			if overlaps(g, at, at+180) {
+				continue
+			}
+			severSpans[g] = append(severSpans[g], span{at, at + 180})
+			fl.Events = append(fl.Events, exp.FaultEvent{
+				AtSec: at, Op: exp.OpCrash, Select: exp.Member(g, rng.Intn(2)),
+			})
+			continue
+		}
+
+		sel := pickSelector(rng, g)
+		from := sampleStartSec + rng.Float64()*(sampleInjectEndSec-sampleStartSec)
+		width := 40 + rng.Float64()*110
+		from = float64(int(from))
+		to := float64(int(from + width))
+		if to > sampleEndSec {
+			to = sampleEndSec
+		}
+		if severing(op) {
+			if overlaps(g, from, to) {
+				continue // keep the draw count; a thinner schedule is fine
+			}
+			severSpans[g] = append(severSpans[g], span{from, to})
+		}
+		restore, _ := restoreOp(op)
+		factor := pickFactor(rng, op)
+		dir := pickDir(rng, op)
+
+		// A severing window occasionally flaps instead of holding open —
+		// same span, same selector, strictly harder.
+		if op == exp.OpPartition && rng.Intn(4) == 0 {
+			period := []float64{40, 60}[rng.Intn(2)]
+			duty := []float64{0.3, 0.5}[rng.Intn(2)]
+			flap := exp.Flap(op, sel, from, to, period, duty, 0)
+			fl.Events = append(fl.Events, flap.Events...)
+			continue
+		}
+
+		fl.Events = append(fl.Events, exp.FaultEvent{
+			AtSec: from, Op: op, Select: sel, Dir: dir, Factor: factor,
+		})
+		fl.Events = append(fl.Events, exp.FaultEvent{
+			AtSec: to, Op: restore, Select: sel,
+		})
+	}
+
+	// Chronological order reads better in pins and logs; the run engine
+	// schedules by time either way.
+	sort.SliceStable(fl.Events, func(i, j int) bool {
+		return fl.Events[i].AtSec < fl.Events[j].AtSec
+	})
+	if len(fl.Events) == 0 {
+		// Every draw collided; fall back to the simplest interesting
+		// schedule rather than burning a trial on a no-op.
+		fl.Events = []exp.FaultEvent{
+			{AtSec: 120, Op: exp.OpGrayFail, Select: exp.Member(0, 0)},
+			{AtSec: 240, Op: exp.OpGrayRestore, Select: exp.Member(0, 0)},
+		}
+	}
+	return sampledSchedule{fl: fl}
+}

@@ -1,0 +1,120 @@
+package search
+
+// The shrinker: greedy deterministic delta debugging over a failing
+// schedule. First minimize the event set (drop halves, then quarters,
+// down to single events — keeping any candidate that still fails), then
+// tighten the time window (slide the whole schedule early, then compress
+// the gaps between consecutive event times). Every probe is one full run,
+// so the caller bounds the probe budget; determinism comes from fixed
+// left-to-right candidate order and a deterministic failing predicate.
+
+import (
+	"fmt"
+	"sort"
+
+	"robuststore/internal/exp"
+)
+
+// Shrink minimizes events against the failing predicate, which must be
+// deterministic and true for the input. Returns the minimized schedule
+// and the number of predicate probes spent (each probe is typically a
+// full simulation run; at most budget are made).
+func Shrink(events []exp.FaultEvent, failing func([]exp.FaultEvent) bool,
+	budget int, logf func(format string, args ...any)) ([]exp.FaultEvent, int) {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	probes := 0
+	try := func(cand []exp.FaultEvent) bool {
+		if probes >= budget || len(cand) == 0 {
+			return false
+		}
+		probes++
+		return failing(cand)
+	}
+	cur := append([]exp.FaultEvent(nil), events...)
+
+	// Phase 1: event minimization. Chunked removal, halving the chunk
+	// size; restart the sweep on every successful removal so interactions
+	// between dropped chunks are re-examined.
+	for chunk := len(cur) / 2; chunk >= 1; {
+		removed := false
+		for i := 0; i+chunk <= len(cur) && len(cur) > chunk; i += chunk {
+			cand := append(append([]exp.FaultEvent(nil), cur[:i]...), cur[i+chunk:]...)
+			if try(cand) {
+				logf("shrink: %d → %d events", len(cur), len(cand))
+				cur = cand
+				removed = true
+				i -= chunk // the next chunk slid into this slot
+			}
+		}
+		if !removed {
+			chunk /= 2
+		} else if chunk > len(cur)/2 {
+			chunk = len(cur) / 2
+		}
+	}
+
+	// Phase 2: time tightening. Slide the whole schedule so its first
+	// event fires at sampleStartSec (preserving spacing), then compress
+	// each gap between consecutive distinct times to 10 s.
+	first := cur[0].AtSec
+	for _, ev := range cur {
+		if ev.AtSec < first {
+			first = ev.AtSec
+		}
+	}
+	if delta := first - sampleStartSec; delta > 0 {
+		cand := shiftAfter(cur, -1, -delta)
+		if try(cand) {
+			logf("shrink: schedule slid %.0f s earlier", delta)
+			cur = cand
+		}
+	}
+	times := distinctTimes(cur)
+	for j := 0; j+1 < len(times); j++ {
+		times = distinctTimes(cur)
+		if j+1 >= len(times) {
+			break
+		}
+		if gap := times[j+1] - times[j]; gap > 10 {
+			cand := shiftAfter(cur, times[j], -(gap - 10))
+			if try(cand) {
+				logf("shrink: gap at t=%.0f s compressed %.0f → 10 s", times[j], gap)
+				cur = cand
+			}
+		}
+	}
+	return cur, probes
+}
+
+// shiftAfter moves every event with AtSec strictly greater than after by
+// delta (after < 0 shifts everything).
+func shiftAfter(events []exp.FaultEvent, after, delta float64) []exp.FaultEvent {
+	out := append([]exp.FaultEvent(nil), events...)
+	for i := range out {
+		if out[i].AtSec > after {
+			out[i].AtSec += delta
+		}
+	}
+	return out
+}
+
+// distinctTimes returns the sorted distinct event times.
+func distinctTimes(events []exp.FaultEvent) []float64 {
+	seen := map[float64]bool{}
+	var out []float64
+	for _, ev := range events {
+		if !seen[ev.AtSec] {
+			seen[ev.AtSec] = true
+			out = append(out, ev.AtSec)
+		}
+	}
+	sort.Float64s(out)
+	return out
+}
+
+// shrinkRatio renders a before→after summary for the report.
+func shrinkRatio(before, after int) string {
+	return fmt.Sprintf("%d → %d events", before, after)
+}

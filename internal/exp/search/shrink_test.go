@@ -1,0 +1,87 @@
+package search
+
+import (
+	"reflect"
+	"testing"
+
+	"robuststore/internal/exp"
+)
+
+// TestShrinkGoldenMinimal is the shrinker's golden test: a hand-built
+// failing schedule with three irrelevant events and two causal ones must
+// shrink to exactly the causal pair, deterministically.
+func TestShrinkGoldenMinimal(t *testing.T) {
+	causeA := exp.FaultEvent{AtSec: 240, Op: exp.OpPartition, Select: exp.Leader(0)}
+	causeB := exp.FaultEvent{AtSec: 300, Op: exp.OpHeal, Select: exp.Leader(0)}
+	schedule := []exp.FaultEvent{
+		{AtSec: 90, Op: exp.OpDiskSlow, Select: exp.Member(0, 1), Factor: 4},
+		{AtSec: 150, Op: exp.OpDiskRestore, Select: exp.Member(0, 1)},
+		causeA,
+		{AtSec: 260, Op: exp.OpLinkLoss, Select: exp.Member(0, 1), Factor: 0.2},
+		causeB,
+	}
+	// "Fails" iff both causal events survive (shifted copies count: the
+	// time-tightening phase moves AtSec but never Op/Select).
+	failing := func(evs []exp.FaultEvent) bool {
+		var a, b bool
+		for _, ev := range evs {
+			if ev.Op == causeA.Op && ev.Select == causeA.Select {
+				a = true
+			}
+			if ev.Op == causeB.Op && ev.Select == causeB.Select {
+				b = true
+			}
+		}
+		return a && b
+	}
+
+	min1, probes := Shrink(schedule, failing, 100, nil)
+	if probes == 0 {
+		t.Fatalf("shrinker made no probes")
+	}
+	if len(min1) != 2 {
+		t.Fatalf("shrunk to %d events, want exactly the 2 causal ones: %+v", len(min1), min1)
+	}
+	if min1[0].Op != exp.OpPartition || min1[1].Op != exp.OpHeal {
+		t.Fatalf("wrong events survived: %+v", min1)
+	}
+	// Time tightening slid the pair to the sample window floor,
+	// preserving relative order.
+	if min1[0].AtSec < sampleStartSec-1 || min1[0].AtSec > 240 {
+		t.Fatalf("first event at t=%.0f, want within [%.0f, 240]", min1[0].AtSec, sampleStartSec)
+	}
+	if min1[1].AtSec <= min1[0].AtSec {
+		t.Fatalf("shrink broke event order: %+v", min1)
+	}
+
+	// Deterministic across runs.
+	min2, _ := Shrink(schedule, failing, 100, nil)
+	if !reflect.DeepEqual(min1, min2) {
+		t.Fatalf("shrink not deterministic:\n  first  %+v\n  second %+v", min1, min2)
+	}
+}
+
+// TestShrinkSingleEvent: a one-event failing schedule survives untouched.
+func TestShrinkSingleEvent(t *testing.T) {
+	schedule := []exp.FaultEvent{{AtSec: 60, Op: exp.OpCrash, Select: exp.Member(0, 0)}}
+	min, _ := Shrink(schedule, func(evs []exp.FaultEvent) bool { return len(evs) >= 1 }, 10, nil)
+	if len(min) != 1 || min[0].Op != exp.OpCrash {
+		t.Fatalf("single-event schedule mangled: %+v", min)
+	}
+}
+
+// TestShrinkBudget: the shrinker never exceeds its probe budget.
+func TestShrinkBudget(t *testing.T) {
+	var schedule []exp.FaultEvent
+	for i := 0; i < 16; i++ {
+		schedule = append(schedule, exp.FaultEvent{AtSec: float64(60 + 10*i), Op: exp.OpGrayFail, Select: exp.Member(0, i%2)})
+	}
+	calls := 0
+	_, probes := Shrink(schedule, func(evs []exp.FaultEvent) bool {
+		calls++
+		return true
+	}, 5, nil)
+	if probes > 5 || calls > 5 {
+		t.Fatalf("budget 5 exceeded: probes=%d calls=%d", probes, calls)
+	}
+}

@@ -59,10 +59,12 @@ type Cluster struct {
 	// refcounted per handle-based partition; manual holds SetLink's
 	// direct toggles.
 	linkMu  sync.RWMutex
-	blocked map[linkKey]int     // guarded by linkMu
-	manual  map[linkKey]bool    // guarded by linkMu
-	loss    map[linkKey]float64 // guarded by linkMu
-	parts   []*BlockHandle      // guarded by linkMu
+	blocked map[linkKey]int        // guarded by linkMu
+	manual  map[linkKey]bool       // guarded by linkMu
+	loss    map[linkKey]float64    // guarded by linkMu
+	delay   map[linkKey]float64    // guarded by linkMu
+	gray    map[env.NodeID]float64 // guarded by linkMu
+	parts   []*BlockHandle         // guarded by linkMu
 }
 
 type linkKey struct{ from, to env.NodeID }
@@ -95,6 +97,8 @@ func New(cfg Config) *Cluster {
 		blocked: make(map[linkKey]int),
 		manual:  make(map[linkKey]bool),
 		loss:    make(map[linkKey]float64),
+		delay:   make(map[linkKey]float64),
+		gray:    make(map[env.NodeID]float64),
 	}
 }
 
@@ -117,6 +121,59 @@ func (c *Cluster) linkLoss(from, to env.NodeID) float64 {
 	c.linkMu.RLock()
 	defer c.linkMu.RUnlock()
 	return c.loss[linkKey{from, to}]
+}
+
+// SetLinkDelay inflates the delivery latency of the directed link
+// from → to by factor (≤ 1 clears it) — the latency cousin of
+// SetLinkLoss, composable with partitions covering the same pair.
+func (c *Cluster) SetLinkDelay(from, to env.NodeID, factor float64) {
+	c.linkMu.Lock()
+	defer c.linkMu.Unlock()
+	if factor <= 1 {
+		delete(c.delay, linkKey{from, to})
+	} else {
+		c.delay[linkKey{from, to}] = factor
+	}
+}
+
+// linkDelay returns the latency-inflation factor of from → to (1 when
+// healthy).
+func (c *Cluster) linkDelay(from, to env.NodeID) float64 {
+	c.linkMu.RLock()
+	defer c.linkMu.RUnlock()
+	if f, ok := c.delay[linkKey{from, to}]; ok {
+		return f
+	}
+	return 1
+}
+
+// grayControlSize is the wire-size ceiling under which a message counts
+// as control traffic for SetGray: liveness pings, Paxos prepares and
+// probe messages all fit, while value-bearing accept/learn traffic does
+// not.
+const grayControlSize = 128
+
+// SetGray puts node id into (or out of, rate ≤ 0) a gray-failure mode at
+// the transport: inbound messages larger than grayControlSize are dropped
+// with probability rate, while small control traffic — failure-detector
+// pings, Paxos prepares, web-tier probes — passes untouched. The node
+// keeps looking alive to every prober while its real work limps, the
+// defining asymmetry of a gray failure.
+func (c *Cluster) SetGray(id env.NodeID, rate float64) {
+	c.linkMu.Lock()
+	defer c.linkMu.Unlock()
+	if rate <= 0 {
+		delete(c.gray, id)
+	} else {
+		c.gray[id] = rate
+	}
+}
+
+// grayRate returns node id's inbound gray-drop rate (0 when healthy).
+func (c *Cluster) grayRate(id env.NodeID) float64 {
+	c.linkMu.RLock()
+	defer c.linkMu.RUnlock()
+	return c.gray[id]
 }
 
 // SetLink blocks or unblocks the directed network link from → to. It is a
@@ -458,10 +515,22 @@ func (e *liveEnv) Send(to env.NodeID, msg env.Message) {
 	if r := c.linkLoss(e.n.id, to); r > 0 && rand.Float64() < r {
 		return
 	}
+	if r := c.grayRate(to); r > 0 {
+		size := int64(grayControlSize + 1)
+		if s, ok := msg.(interface{ WireSize() int64 }); ok {
+			size = s.WireSize()
+		}
+		if size > grayControlSize && rand.Float64() < r {
+			return
+		}
+	}
 	from := e.n.id
 	delay := c.cfg.Latency
 	if c.cfg.Jitter > 0 {
 		delay += time.Duration(rand.Int63n(int64(c.cfg.Jitter)))
+	}
+	if f := c.linkDelay(from, to); f > 1 {
+		delay = time.Duration(float64(delay) * f)
 	}
 	time.AfterFunc(delay, func() {
 		target.mu.Lock()

@@ -435,3 +435,66 @@ func waitReady(t *testing.T, r *core.Replica) {
 	}
 	t.Fatal("replica never became ready")
 }
+
+// sizedMsg carries an explicit wire size, to exercise the gray filter's
+// control/bulk distinction.
+type sizedMsg struct {
+	Body string
+	Size int64
+}
+
+func (m sizedMsg) WireSize() int64 { return m.Size }
+
+// TestGrayDropsBulkKeepsControl: a gray-failed node keeps receiving
+// small control traffic (pings, prepares, probes) while value-bearing
+// messages vanish — the probe-healthy / work-sick asymmetry. Clearing
+// the rate restores bulk delivery.
+func TestGrayDropsBulkKeepsControl(t *testing.T) {
+	c, nodes := pingCluster(t, 2)
+	c.SetGray(1, 1.0)
+	nodes[0].env().Send(1, sizedMsg{Body: "bulk", Size: grayControlSize + 1})
+	nodes[0].env().Send(1, sizedMsg{Body: "control", Size: 48})
+	nodes[0].env().Send(1, "untyped bulk") // no WireSize ⇒ counts as bulk
+	settle()
+	if got := nodes[1].count(); got != 1 {
+		t.Fatalf("gray node received %d messages, want only the control one", got)
+	}
+	// The victim's outbound path is untouched: it still acks.
+	nodes[1].env().Send(0, "ack")
+	settle()
+	if nodes[0].count() != 1 {
+		t.Fatalf("gray node's outbound ack lost")
+	}
+	c.SetGray(1, 0)
+	nodes[0].env().Send(1, sizedMsg{Body: "bulk again", Size: grayControlSize + 1})
+	settle()
+	if got := nodes[1].count(); got != 2 {
+		t.Fatalf("restored node received %d messages, want 2", got)
+	}
+}
+
+// TestLiveLinkDelayStillDelivers: an inflated link slows messages down
+// without losing them, and a cleared factor restores the native latency.
+func TestLiveLinkDelayStillDelivers(t *testing.T) {
+	c, nodes := pingCluster(t, 2)
+	c.SetLinkDelay(0, 1, 400) // 50 µs base ⇒ ≥ 20 ms inflated
+	start := time.Now()
+	nodes[0].env().Send(1, "slow")
+	settle()
+	if nodes[1].count() != 0 && time.Since(start) < 10*time.Millisecond {
+		t.Fatalf("delayed link delivered within %v", time.Since(start))
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for nodes[1].count() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if nodes[1].count() != 1 {
+		t.Fatal("delayed link lost the message")
+	}
+	c.SetLinkDelay(0, 1, 1)
+	nodes[0].env().Send(1, "quick")
+	settle()
+	if nodes[1].count() != 2 {
+		t.Fatalf("restored link received %d messages, want 2", nodes[1].count())
+	}
+}

@@ -130,6 +130,23 @@ func (r *Recorder) Accuracy() float64 {
 	return 100 * float64(r.total-r.totalErrs) / float64(r.total)
 }
 
+// WeightedGroupAccuracy folds read-path staleness into a group's accuracy
+// instead of reporting it beside it: a fence wait cost the client bounded
+// extra latency (≈ a tenth of an error), a TooStale fallback cost a full
+// re-dispatch to the voters (≈ half an error). The weighted error mass is
+// clamped to the request count, and a fence-clean run (both counters
+// zero) reports bit-for-bit the unweighted Accuracy.
+func WeightedGroupAccuracy(total, errs int, fenceWaits, staleServes int64) float64 {
+	if total == 0 {
+		return 100
+	}
+	weighted := float64(errs) + 0.1*float64(fenceWaits) + 0.5*float64(staleServes)
+	if weighted > float64(total) {
+		weighted = float64(total)
+	}
+	return 100 * (float64(total) - weighted) / float64(total)
+}
+
 // Window is a half-open interval of bucket indices.
 type Window struct {
 	From, To int
@@ -244,6 +261,14 @@ type GroupReport struct {
 	LossWindows  int
 	LossSec      float64
 
+	// Gray-failure windows (a member acking probes while erroring or
+	// slow-walking requests) and link-delay windows (latency inflation
+	// without loss) on this group.
+	GrayWindows  int
+	GraySec      float64
+	DelayWindows int
+	DelaySec     float64
+
 	// Read-path staleness accounting (learner-backed follower reads):
 	// reads the group's voters + readers served to completion, reads per
 	// second of measured time, fenced reads that had to wait for the
@@ -285,6 +310,14 @@ func AggregateGroups(groups []GroupReport, total time.Duration) GroupReport {
 		if g.LossSec > out.LossSec {
 			out.LossSec = g.LossSec
 		}
+		out.GrayWindows += g.GrayWindows
+		if g.GraySec > out.GraySec {
+			out.GraySec = g.GraySec
+		}
+		out.DelayWindows += g.DelayWindows
+		if g.DelaySec > out.DelaySec {
+			out.DelaySec = g.DelaySec
+		}
 		out.ReadsServed += g.ReadsServed
 		out.ReadsPerSec += g.ReadsPerSec
 		out.FenceWaits += g.FenceWaits
@@ -303,10 +336,10 @@ func AggregateGroups(groups []GroupReport, total time.Duration) GroupReport {
 // a degraded disk. An event hitting several groups emits one window per
 // group, so per-group reports aggregate without cross-referencing.
 type FaultWindow struct {
-	Kind    string  // "partition" | "slowdisk"
+	Kind    string  // "partition" | "slowdisk" | "linkloss" | "grayfail" | "linkdelay"
 	Group   int     // affected group
 	Dir     string  // blocked direction for partitions ("both"/"outbound"/"inbound")
-	Factor  float64 // disk degradation factor for slowdisk windows
+	Factor  float64 // degradation factor (disk/delay multiplier, loss/gray rate)
 	FromSec float64 // window open, seconds from run start
 	ToSec   float64 // window close; < 0 when never healed (open at run end)
 }

@@ -224,3 +224,42 @@ func TestAggregateGroupsFaultWindows(t *testing.T) {
 		t.Errorf("window seconds = %v/%v, want worst-group 90/50", agg.PartitionSec, agg.DegradedSec)
 	}
 }
+
+// TestWeightedGroupAccuracyFenceCleanEquivalence: with both read-path
+// counters at zero, the weighted accuracy is bit-for-bit the plain
+// error-ratio accuracy — fence-clean runs must not move by even an ULP
+// when the weighting is introduced.
+func TestWeightedGroupAccuracyFenceCleanEquivalence(t *testing.T) {
+	for total := 0; total <= 2000; total += 7 {
+		for _, errs := range []int{0, 1, total / 3, total} {
+			if errs > total {
+				continue
+			}
+			plain := 100.0
+			if total > 0 {
+				plain = 100 * float64(total-errs) / float64(total)
+			}
+			if got := WeightedGroupAccuracy(total, errs, 0, 0); got != plain {
+				t.Fatalf("WeightedGroupAccuracy(%d, %d, 0, 0) = %v, want plain %v",
+					total, errs, got, plain)
+			}
+		}
+	}
+}
+
+// TestWeightedGroupAccuracyWeights: fence waits cost a tenth of an error,
+// stale serves half, and the weighted mass clamps at the request count.
+func TestWeightedGroupAccuracyWeights(t *testing.T) {
+	if got := WeightedGroupAccuracy(1000, 0, 100, 0); got != 99 {
+		t.Errorf("100 fence waits over 1000 requests = %v, want 99", got)
+	}
+	if got := WeightedGroupAccuracy(1000, 0, 0, 100); got != 95 {
+		t.Errorf("100 stale serves over 1000 requests = %v, want 95", got)
+	}
+	if got := WeightedGroupAccuracy(10, 5, 1000, 1000); got != 0 {
+		t.Errorf("overweighted mass should clamp to 0%%, got %v", got)
+	}
+	if got := WeightedGroupAccuracy(0, 0, 50, 50); got != 100 {
+		t.Errorf("no requests is 100%% accurate, got %v", got)
+	}
+}

@@ -79,6 +79,16 @@ func (ls *leaderState) onDecided(inst InstanceID) {
 	}
 }
 
+// BugStaleLeaderRejoin, when true, reverts the stale-leader-rejoin fix
+// (both halves: the bid no longer claims curBallot locally, and acceptors
+// no longer nack the coordinator of a superseded fast round),
+// reintroducing the livelock the partition faultloads once exposed. It exists only as a
+// known-bad toggle for the generative fault search: a hunt against a
+// build with this set must find the wedge, shrink the schedule and pin
+// it — the test proving the search harness catches real regressions.
+// Never set outside tests.
+var BugStaleLeaderRejoin bool
+
 // startPrepare begins a leadership bid with a fresh ballot. The ballot is
 // fast when Fast Paxos is enabled and at least ⌈3N/4⌉ replicas look alive,
 // classic otherwise — the Treplica mode rule of §2.
@@ -94,7 +104,9 @@ func (en *Engine) startPrepare() {
 	// leaving the cluster promised to a ballot nobody owns (the
 	// stale-leader-rejoin livelock the partition faultloads exposed:
 	// every fast proposal is then silently dropped forever).
-	en.curBallot = b
+	if !BugStaleLeaderRejoin {
+		en.curBallot = b
+	}
 	en.leader = &leaderState{
 		b:          b,
 		startedAt:  en.e.Now(),

@@ -266,3 +266,134 @@ func TestCorrelatedFaultScenariosLivenet(t *testing.T) {
 		}
 	}
 }
+
+// TestGrayFaultScenariosLivenet runs the gray-failure ops on the live
+// runtime: one member of a group gray-failed at the transport (bulk
+// inbound dropped, control traffic passing — it keeps acking pings while
+// its real work starves) and one member behind latency-inflated links.
+// Neither severs quorum: the group must keep serving through the window
+// and converge after the restore.
+func TestGrayFaultScenariosLivenet(t *testing.T) {
+	cluster := livenet.New(livenet.Config{Latency: 100 * time.Microsecond})
+	defer cluster.Close()
+	store := New(cluster, Config{
+		Shards:  1,
+		Machine: func(int) core.StateMachine { return newKVMachine() },
+		Core: core.Config{
+			CheckpointInterval: time.Second,
+			Paxos: paxos.Config{
+				HeartbeatInterval: 20 * time.Millisecond,
+				LeaderTimeout:     150 * time.Millisecond,
+				SweepInterval:     10 * time.Millisecond,
+				BatchDelay:        time.Millisecond,
+			},
+		},
+	})
+	cluster.StartAll()
+
+	key := "probe/0"
+	exec := func(timeout time.Duration) error {
+		ctx, cancel := context.WithTimeout(context.Background(), timeout)
+		defer cancel()
+		_, err := store.Execute(ctx, key, kvAction{Key: key})
+		return err
+	}
+	if err := exec(20 * time.Second); err != nil {
+		t.Fatalf("group never became ready: %v", err)
+	}
+	leaderOf := func() int {
+		deadline := time.Now().Add(10 * time.Second)
+		for time.Now().Before(deadline) {
+			if l := store.Status()[0].Leader; l >= 0 {
+				return l
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		t.Fatal("group never elected a leader")
+		return -1
+	}
+	nonLeader := func() env.NodeID {
+		l := leaderOf()
+		for m, id := range store.Group(0).Members() {
+			if m != l {
+				return id
+			}
+		}
+		return -1
+	}
+
+	scenarios := []struct {
+		name    string
+		open    func() env.NodeID
+		restore func(env.NodeID)
+	}{
+		{
+			name: "gray-member",
+			open: func() env.NodeID {
+				v := nonLeader()
+				cluster.SetGray(v, 1.0)
+				return v
+			},
+			restore: func(v env.NodeID) { cluster.SetGray(v, 0) },
+		},
+		{
+			name: "delayed-member",
+			open: func() env.NodeID {
+				v := nonLeader()
+				for _, id := range store.Group(0).Members() {
+					if id == v {
+						continue
+					}
+					cluster.SetLinkDelay(v, id, 50)
+					cluster.SetLinkDelay(id, v, 50)
+				}
+				return v
+			},
+			restore: func(v env.NodeID) {
+				for _, id := range store.Group(0).Members() {
+					if id == v {
+						continue
+					}
+					cluster.SetLinkDelay(v, id, 1)
+					cluster.SetLinkDelay(id, v, 1)
+				}
+			},
+		},
+	}
+	for _, sc := range scenarios {
+		v := sc.open()
+		ok, att := 0, 0
+		for i := 0; i < 5; i++ {
+			att++
+			if err := exec(5 * time.Second); err == nil {
+				ok++
+			}
+		}
+		if ok == 0 {
+			t.Errorf("%s: group never served during the gray window", sc.name)
+		}
+		t.Logf("%s window: %d/%d served", sc.name, ok, att)
+		sc.restore(v)
+		if err := exec(20 * time.Second); err != nil {
+			t.Fatalf("%s: group did not recover after restore: %v", sc.name, err)
+		}
+	}
+
+	// Agreement: every member converges on the probe key after restores.
+	time.Sleep(500 * time.Millisecond)
+	want := int64(-1)
+	for m := 0; m < 3; m++ {
+		got := make(chan int64, 1)
+		if !store.Group(0).Replica(m).Inspect(func(sm core.StateMachine) {
+			got <- sm.(counted).countsMap()[key]
+		}) {
+			t.Fatalf("member %d not inspectable", m)
+		}
+		g := <-got
+		if want < 0 {
+			want = g
+		} else if g != want {
+			t.Fatalf("member %d diverged: %d vs %d", m, g, want)
+		}
+	}
+}

@@ -52,6 +52,7 @@ type Sim struct {
 	blocked map[linkKey]int     // refcount of active blocks per directed link
 	manual  map[linkKey]bool    // SetLink's direct toggles, outside any handle
 	loss    map[linkKey]float64 // per-link message loss rates (SetLinkLoss)
+	delay   map[linkKey]float64 // per-link latency multipliers (SetLinkDelay)
 	parts   []*BlockHandle      // active partitions (extended by AddNode)
 }
 
@@ -95,6 +96,7 @@ func New(cfg Config) *Sim {
 		blocked: make(map[linkKey]int),
 		manual:  make(map[linkKey]bool),
 		loss:    make(map[linkKey]float64),
+		delay:   make(map[linkKey]float64),
 	}
 }
 
@@ -320,6 +322,30 @@ func (s *Sim) LinkLoss(from, to env.NodeID) float64 {
 	return s.loss[linkKey{from, to}]
 }
 
+// SetLinkDelay inflates the propagation latency of the directed link
+// from → to by factor (≤ 1 or 0 restores it), modeling a congested or
+// rerouted path that still delivers every message — the latency cousin of
+// SetLinkLoss. Only the switch latency (and its jitter) is scaled; NIC
+// serialization is the sender's hardware and stays untouched. Like loss
+// rates, delay factors sit outside the link-block layer and compose with
+// partitions covering the same pair.
+func (s *Sim) SetLinkDelay(from, to env.NodeID, factor float64) {
+	if factor <= 1 {
+		delete(s.delay, linkKey{from, to})
+	} else {
+		s.delay[linkKey{from, to}] = factor
+	}
+}
+
+// LinkDelay returns the latency-inflation factor of the directed link
+// from → to (1 when healthy).
+func (s *Sim) LinkDelay(from, to env.NodeID) float64 {
+	if f, ok := s.delay[linkKey{from, to}]; ok {
+		return f
+	}
+	return 1
+}
+
 // Peers returns the registered node IDs in registration order (a copy),
 // for harnesses that fan a per-link operation — SetLinkLoss, SetLink —
 // across a victim's links the way PartitionDir does internally.
@@ -529,6 +555,11 @@ func (s *Sim) send(from *simNode, to env.NodeID, msg env.Message) {
 	lat := nc.BaseLatency
 	if nc.Jitter > 0 {
 		lat += time.Duration(s.rng.Float64() * nc.Jitter * float64(nc.BaseLatency))
+	}
+	// Per-link delay scales only when a factor is set, so runs without
+	// delay windows consume the same random stream as before.
+	if f, ok := s.delay[linkKey{from.id, to}]; ok {
+		lat = time.Duration(float64(lat) * f)
 	}
 	arrive := depart.Add(lat)
 	tgt := s.nodes[to]

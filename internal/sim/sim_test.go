@@ -683,3 +683,37 @@ func TestPerLinkLossComposesWithPartition(t *testing.T) {
 		t.Fatalf("fully healed link received %v", b.n.received)
 	}
 }
+
+// TestPerLinkDelay: SetLinkDelay inflates propagation latency on exactly
+// the configured directed link — messages still arrive (nothing drops),
+// just late; the reverse direction keeps its native latency; clearing
+// the factor restores it.
+func TestPerLinkDelay(t *testing.T) {
+	s, a, b := twoNodes(t, Config{Seed: 29})
+	s.SetLinkDelay(0, 1, 100) // base 120 µs ⇒ 12-18 ms with jitter
+	s.At(s.Now(), func() { a.n.e.Send(1, "slow") })
+	s.RunFor(5 * time.Millisecond)
+	if len(b.n.received) != 0 {
+		t.Fatalf("delayed link delivered early: %v", b.n.received)
+	}
+	s.RunFor(25 * time.Millisecond)
+	if len(b.n.received) != 1 || b.n.received[0] != "slow" {
+		t.Fatalf("delayed link lost the message: %v", b.n.received)
+	}
+	// Reverse direction keeps native latency.
+	s.At(s.Now(), func() { b.n.e.Send(0, "fast") })
+	s.RunFor(time.Millisecond)
+	if len(a.n.received) != 1 || a.n.received[0] != "fast" {
+		t.Fatalf("reverse direction received %v", a.n.received)
+	}
+	// Clearing the factor restores the link; a factor ≤ 1 is a restore.
+	s.SetLinkDelay(0, 1, 1)
+	if f := s.LinkDelay(0, 1); f != 1 {
+		t.Fatalf("cleared link reports factor %v", f)
+	}
+	s.At(s.Now(), func() { a.n.e.Send(1, "quick") })
+	s.RunFor(time.Millisecond)
+	if len(b.n.received) != 2 {
+		t.Fatalf("restored link received %v", b.n.received)
+	}
+}

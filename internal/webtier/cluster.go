@@ -136,6 +136,16 @@ type Cluster struct {
 	fenceWaits  []int64
 	staleServes []int64
 
+	// Gray-failure state per server (sim-loop confined): a grayed server
+	// keeps answering probes — its probe path is untouched — while
+	// erroring a fraction of real requests (grayErr) or slow-walking
+	// their service times by a multiplier (graySlow). Like a disk
+	// degradation, gray failure belongs to the process environment (a
+	// wedged NIC queue, a sick dependency) and survives crash/restart
+	// until restored.
+	grayErr  []float64
+	graySlow []float64
+
 	// fenceViolations counts fenced reads served by a replica whose
 	// applied index was still below the fence — impossible by
 	// construction when ReadAt and the fence plumbing are correct, so
@@ -182,6 +192,8 @@ func NewCluster(cfg Config) *Cluster {
 		readsServed: make([]int64, cfg.Shards),
 		fenceWaits:  make([]int64, cfg.Shards),
 		staleServes: make([]int64, cfg.Shards),
+		grayErr:     make([]float64, total),
+		graySlow:    make([]float64, total),
 	}
 	c.sim = sim.New(sim.Config{Seed: cfg.Seed, Net: cfg.Net, Disk: cfg.Disk, DebugLog: cfg.DebugLog})
 	for i := 0; i < voters; i++ {
@@ -389,6 +401,74 @@ func (c *Cluster) SetLinkRate(dir env.LinkDir, rate float64, servers ...int) {
 func (c *Cluster) RestoreLinks(servers ...int) {
 	c.SetLinkRate(env.LinkBothWays, 0, servers...)
 }
+
+// DegradeLinkDelay inflates the latency of every link between the given
+// victim servers and the rest of the cluster — the proxy included — by
+// factor, in the directions dir selects relative to the victims. Unlike
+// loss, every message still arrives; it just crawls. Counts one injected
+// fault.
+func (c *Cluster) DegradeLinkDelay(dir env.LinkDir, factor float64, servers ...int) {
+	c.faults++
+	c.SetLinkDelayFactor(dir, factor, servers...)
+}
+
+// SetLinkDelayFactor applies (or, at factor ≤ 1, clears) the per-link
+// latency inflation without counting a fault — the bookkeeping half of
+// superseding an open delay window.
+func (c *Cluster) SetLinkDelayFactor(dir env.LinkDir, factor float64, servers ...int) {
+	victims := make(map[env.NodeID]bool, len(servers))
+	for _, i := range servers {
+		victims[c.serverIDs[i]] = true
+	}
+	for _, i := range servers {
+		a := c.serverIDs[i]
+		for _, b := range c.sim.Peers() {
+			if victims[b] {
+				continue
+			}
+			if dir == env.LinkBothWays || dir == env.LinkOutboundOnly {
+				c.sim.SetLinkDelay(a, b, factor)
+			}
+			if dir == env.LinkBothWays || dir == env.LinkInboundOnly {
+				c.sim.SetLinkDelay(b, a, factor)
+			}
+		}
+	}
+}
+
+// RestoreLinkDelay clears the latency inflation on every link between the
+// victim servers and the rest of the cluster, in both directions.
+func (c *Cluster) RestoreLinkDelay(servers ...int) {
+	c.SetLinkDelayFactor(env.LinkBothWays, 1, servers...)
+}
+
+// GrayFail puts server i into gray-failure mode: it keeps answering
+// probes (its probe path never touches the request machinery) while real
+// requests suffer. factor < 1 is an error rate — that fraction of
+// requests fail fast with a server-side error; factor ≥ 1 is a slow-walk
+// multiplier on request service times. The prober alone cannot see this
+// fault, which is the point. Counts one injected fault.
+func (c *Cluster) GrayFail(i int, factor float64) {
+	c.faults++
+	c.SetGray(i, factor)
+}
+
+// SetGray applies (or, at factor 0, clears) server i's gray-failure mode
+// without counting a fault — the bookkeeping half of superseding an open
+// gray window.
+func (c *Cluster) SetGray(i int, factor float64) {
+	switch {
+	case factor <= 0:
+		c.grayErr[i], c.graySlow[i] = 0, 0
+	case factor < 1:
+		c.grayErr[i], c.graySlow[i] = factor, 0
+	default:
+		c.grayErr[i], c.graySlow[i] = 0, factor
+	}
+}
+
+// GrayRestore returns server i to healthy request service.
+func (c *Cluster) GrayRestore(i int) { c.SetGray(i, 0) }
 
 // LeaderOf returns the flat index of the server currently leading group
 // g's consensus, or -1 while the group has no live leader. Call from

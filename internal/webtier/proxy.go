@@ -4,6 +4,7 @@ import (
 	"sort"
 	"time"
 
+	"robuststore/internal/core"
 	"robuststore/internal/env"
 	"robuststore/internal/paxos"
 	"robuststore/internal/rbe"
@@ -40,6 +41,16 @@ type Proxy struct {
 	failCount []int
 	probeSeq  int64
 	probes    map[int64]int // probe seq -> server index
+
+	// Request-level health: a per-server EWMA of served-traffic quality
+	// (errors and excessive latency). A gray-failed server answers every
+	// probe — the probe path never touches the request machinery — so
+	// probe-based eviction alone cannot catch it; the EWMA evicts on what
+	// clients actually experience and quarantines the server so the very
+	// probes that are blind to the fault cannot immediately re-admit it.
+	errEwma         []float64
+	qualSamples     []int
+	quarantineUntil []time.Time
 
 	// noServiceSince/downtime track complete outages per shard group
 	// for the availability measure: with one group this is the paper's
@@ -106,6 +117,11 @@ type ProxyStats struct {
 	AdmPaced int
 	AdmHeld  int
 	AdmShed  int
+
+	// QualityEvictions counts servers pulled from rotation by the
+	// request-level health signal (error/latency EWMA) rather than probe
+	// failures — the gray-failure escape hatch.
+	QualityEvictions int
 }
 
 type outReq struct {
@@ -123,6 +139,7 @@ type outReq struct {
 	staleRetries  int       // TooStale re-routes taken
 	admitDeadline time.Time // set when first held under AdmissionStop
 	admitPaced    bool      // already paced once under Slowdown
+	sentAt        time.Time // when the current attempt left the proxy
 }
 
 var _ env.Node = (*Proxy)(nil)
@@ -139,6 +156,9 @@ func (p *Proxy) Start(e env.Env) {
 	}
 	p.failCount = make([]int, n)
 	p.inflight = make([]int, n)
+	p.errEwma = make([]float64, n)
+	p.qualSamples = make([]int, n)
+	p.quarantineUntil = make([]time.Time, n)
 	p.probes = make(map[int64]int)
 	p.sessFence = make(map[int64]paxos.InstanceID)
 	p.noServiceSince = make([]time.Time, p.c.Shards())
@@ -247,6 +267,7 @@ func (p *Proxy) dispatch(r *outReq) {
 			p.expire(r.curID)
 		})
 	}
+	r.sentAt = p.e.Now()
 	m := reqMsg{ID: id, Req: r.req}
 	if read && p.c.cfg.Readers > 0 {
 		// Read-your-writes: fence the read at the session's last acked
@@ -281,6 +302,13 @@ func (p *Proxy) admitAtDispatch(r *outReq) bool {
 	rep := p.c.Replica(r.server)
 	if rep == nil {
 		return true // raced a crash; the dispatch itself will fail over
+	}
+	if rep.AdmissionHintAge(p.e.Now()) > 2*core.PublishInterval {
+		// The published grade has gone stale (frozen publisher, long GC
+		// stall): its Healthy/Stop opinion describes a past the proposer
+		// may have long left. Fail open — never pace, hold or shed on
+		// stale data; the server's own loop-confined gate still backstops.
+		return true
 	}
 	switch rep.AdmissionHint() {
 	case paxos.AdmissionStop:
@@ -327,6 +355,14 @@ func (p *Proxy) onResponse(m respMsg) {
 	}
 	delete(p.outstanding, m.ID)
 	p.inflight[r.server]--
+	if !m.WrongEpoch && !m.TooStale {
+		// Epoch redirects and staleness fallbacks are routing outcomes,
+		// not server sickness; everything else scores the server's
+		// served-traffic quality.
+		bad := m.Resp.Err ||
+			(!r.sentAt.IsZero() && p.e.Now().Sub(r.sentAt) > qualityLatencyBad)
+		p.recordQuality(r.server, bad)
+	}
 	if m.WrongEpoch && r.redirects < 4 {
 		// The serving group changed between dispatch and arrival (a
 		// routing cutover): the action was not executed, so any request
@@ -390,6 +426,7 @@ func (p *Proxy) expire(id int64) {
 	}
 	delete(p.outstanding, id)
 	p.inflight[r.server]--
+	p.recordQuality(r.server, true)
 	if !r.req.Kind.IsWrite() && r.attempts < 2 {
 		// The reply never came — a silent server (one-way loss: it heard
 		// the request but its answer is lost) or a wedged one. Idempotent
@@ -432,6 +469,53 @@ func (p *Proxy) onServerReset(server int) {
 	}
 }
 
+// Request-level health knobs. The latency threshold sits well above the
+// worst legitimate stall a healthy server produces (a full-heap GC pause
+// is under ~1 s) and well below the request timeout, so only genuinely
+// sick service scores bad. The EWMA needs a minimum sample count before
+// it may evict — a single unlucky request must not pull a server — and a
+// quarantined server stays out of rotation for a fixed window even
+// though its probes (blind to the fault by design) keep succeeding.
+const (
+	qualityAlpha      = 0.125
+	qualityLatencyBad = 2 * time.Second
+	qualityEvictScore = 0.5
+	qualityMinSamples = 8
+	qualityQuarantine = 15 * time.Second
+)
+
+// recordQuality folds one served-request outcome into the server's
+// quality EWMA and evicts it from rotation when the served-traffic error
+// level crosses the threshold — the request-level health signal that
+// catches gray failures the probe path cannot see.
+func (p *Proxy) recordQuality(srv int, bad bool) {
+	sample := 0.0
+	if bad {
+		sample = 1
+	}
+	p.errEwma[srv] = (1-qualityAlpha)*p.errEwma[srv] + qualityAlpha*sample
+	p.qualSamples[srv]++
+	if !p.up[srv] || p.qualSamples[srv] < qualityMinSamples || p.errEwma[srv] < qualityEvictScore {
+		return
+	}
+	// Never evict a group's last serving candidate: degraded service
+	// beats no service, and the availability measure agrees.
+	others := 0
+	for _, c := range p.candidates(p.c.groupOfServer(srv)) {
+		if c != srv {
+			others++
+		}
+	}
+	if others == 0 {
+		return
+	}
+	p.up[srv] = false
+	p.quarantineUntil[srv] = p.e.Now().Add(qualityQuarantine)
+	p.errEwma[srv] = 0
+	p.qualSamples[srv] = 0
+	p.Stats.QualityEvictions++
+}
+
 // grow extends the proxy's per-server and per-group state for servers
 // added by a live rebalance. New servers enter rotation optimistically;
 // until operational they refuse connections, which the dispatch and probe
@@ -441,6 +525,9 @@ func (p *Proxy) grow(totalServers, shards int) {
 		p.up = append(p.up, true)
 		p.failCount = append(p.failCount, 0)
 		p.inflight = append(p.inflight, 0)
+		p.errEwma = append(p.errEwma, 0)
+		p.qualSamples = append(p.qualSamples, 0)
+		p.quarantineUntil = append(p.quarantineUntil, time.Time{})
 	}
 	for len(p.noServiceSince) < shards {
 		p.noServiceSince = append(p.noServiceSince, time.Time{})
@@ -479,6 +566,12 @@ func (p *Proxy) onProbeResp(m probeRespMsg) {
 	delete(p.probes, m.Seq)
 	if m.OK {
 		p.failCount[srv] = 0
+		if p.e.Now().Before(p.quarantineUntil[srv]) {
+			// Quality-evicted: a succeeding probe proves nothing about the
+			// request path (gray failures ack probes by design), so it
+			// must not re-admit the server until the quarantine lapses.
+			return
+		}
 		p.up[srv] = true
 		// A succeeding probe proves the group can serve again: stop its
 		// outage clock even if no client of that slice has dispatched

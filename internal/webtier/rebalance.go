@@ -165,6 +165,8 @@ func (c *Cluster) Rebalance(opts RebalanceOptions) {
 		c.servers = append(c.servers, nil)
 		c.auto = append(c.auto, true)
 		c.crashedAt = append(c.crashedAt, time.Time{})
+		c.grayErr = append(c.grayErr, 0)
+		c.graySlow = append(c.graySlow, 0)
 		id := c.sim.AddNode(func() env.Node {
 			s := &Server{c: c, idx: idx, group: newGroup}
 			c.servers[idx] = s

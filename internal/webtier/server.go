@@ -263,10 +263,17 @@ func (s *Server) handleRequest(proxy env.NodeID, m reqMsg) {
 		s.e.Send(proxy, respMsg{ID: m.ID, Resp: rbe.Response{Err: true}, WrongEpoch: true})
 		return
 	}
+	// Gray failure, error flavor: the request machinery fails a fraction
+	// of real requests fast while the probe path above keeps answering OK
+	// — the prober cannot see this fault.
+	if r := s.c.grayErr[s.idx]; r > 0 && s.e.Rand().Float64() < r {
+		s.e.Send(proxy, respMsg{ID: m.ID, Resp: rbe.Response{Err: true}})
+		return
+	}
 	cal := s.c.cfg.Cal
 	if !m.Req.Kind.IsWrite() {
 		serve := func() {
-			s.cpu.Acquire(cal.readService(m.Req.Kind), func() {
+			s.cpu.Acquire(s.graySvc(cal.readService(m.Req.Kind)), func() {
 				if m.Fence > 0 && s.replica.LastApplied() < m.Fence {
 					// Serving below the fence would break read-your-writes;
 					// ReadAt makes this unreachable, the counter proves it.
@@ -300,12 +307,22 @@ func (s *Server) handleRequest(proxy env.NodeID, m reqMsg) {
 		return
 	}
 	s.admitWrite(s.e.Now().Add(admitHoldDeadline), func() {
-		s.cpu.Acquire(cal.WriteParse, func() {
+		s.cpu.Acquire(s.graySvc(cal.WriteParse), func() {
 			s.performWrite(proxy, m)
 		})
 	}, func() {
 		s.e.Send(proxy, respMsg{ID: m.ID, Resp: rbe.Response{Err: true}})
 	})
+}
+
+// graySvc inflates one request service charge under the slow-walk flavor
+// of gray failure (Cluster.GrayFail with factor ≥ 1). Healthy servers pay
+// d unchanged.
+func (s *Server) graySvc(d time.Duration) time.Duration {
+	if f := s.c.graySlow[s.idx]; f > 1 {
+		return time.Duration(float64(d) * f)
+	}
+	return d
 }
 
 // Admission pacing: the step a slowed or held write waits before
@@ -345,7 +362,7 @@ func (s *Server) admitWrite(deadline time.Time, run, drop func()) {
 // log instance the write applied at (zero on errors): the proxy folds it
 // into the session's read-your-writes fence.
 func (s *Server) reply(proxy env.NodeID, id int64, resp rbe.Response, commit paxos.InstanceID) {
-	s.cpu.Acquire(s.c.cfg.Cal.WriteRender, func() {
+	s.cpu.Acquire(s.graySvc(s.c.cfg.Cal.WriteRender), func() {
 		s.e.Send(proxy, respMsg{ID: id, Resp: resp, Page: s.c.cfg.Cal.PageSize, Commit: commit})
 	})
 }
