@@ -342,6 +342,70 @@ func BenchmarkReadScale(b *testing.B) {
 	}
 }
 
+// BenchmarkTxn measures cross-shard transactions (2PC over the Paxos
+// groups) under the transaction-window faultloads: coordinator crash
+// between prepare and commit, participant group severed, participant
+// crash holding prepared branches. Each run drives gift purchases and
+// inventory sweeps at 2 txn/s beside the RBE load and audits atomicity
+// at run end; any lost, duplicated or half-applied transaction fails the
+// benchmark. Results are written to BENCH_txn.json.
+func BenchmarkTxn(b *testing.B) {
+	var rs []exp.RunResult
+	for i := 0; i < b.N; i++ {
+		rs = exp.TxnSuite(exp.ShardedSuiteConfig{Seed: benchSeed})
+	}
+	type row struct {
+		Scenario    string  `json:"scenario"`
+		Issued      int     `json:"issued"`
+		CrossShard  int     `json:"cross_shard"`
+		Committed   int     `json:"committed"`
+		Aborted     int     `json:"aborted"`
+		Unresolved  int     `json:"unresolved"`
+		Violations  int     `json:"violations"`
+		BlockedSec  float64 `json:"blocked_sec"`
+		AWIPS       float64 `json:"awips"`
+		Availabilty float64 `json:"availability"`
+	}
+	report := struct {
+		Rows []row `json:"rows"`
+	}{}
+	committed, violations := 0, 0
+	var blocked float64
+	for _, r := range rs {
+		exp.PrintTxnReport(os.Stdout, r)
+		fmt.Println()
+		var blk float64
+		for _, g := range r.PerGroup {
+			blk += g.TxnBlockedSec
+		}
+		report.Rows = append(report.Rows, row{
+			Scenario:    r.Cfg.Faultload.Name,
+			Issued:      r.Txn.Issued,
+			CrossShard:  r.Txn.CrossShard,
+			Committed:   r.Txn.Committed,
+			Aborted:     r.Txn.Aborted,
+			Unresolved:  r.Txn.Unresolved,
+			Violations:  r.Txn.Violations(),
+			BlockedSec:  blk,
+			AWIPS:       r.AWIPS,
+			Availabilty: r.Availability,
+		})
+		committed += r.Txn.Committed
+		violations += r.Txn.Violations()
+		blocked += blk
+	}
+	if data, err := json.MarshalIndent(report, "", "  "); err == nil {
+		if err := os.WriteFile("BENCH_txn.json", append(data, '\n'), 0o644); err != nil {
+			b.Logf("BENCH_txn.json not written: %v", err)
+		}
+	}
+	b.ReportMetric(float64(committed), "txns_committed")
+	b.ReportMetric(blocked, "key_blocked_s")
+	if violations > 0 {
+		b.Errorf("cross-shard atomicity: %d violation(s) across the faultload suite", violations)
+	}
+}
+
 // BenchmarkAblationFastVsClassicPaxos compares Treplica's Fast Paxos mode
 // against classic-only Paxos under the write-heavy ordering profile — the
 // protocol choice §2 motivates.

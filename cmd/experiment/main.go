@@ -64,7 +64,7 @@ import (
 
 func main() {
 	var (
-		which   = flag.String("run", "all", "experiment: speedup | scaleup | readscale | one-crash | two-crashes | delayed | recovery-times | batching | ablations | sharded | sharded-recovery | rebalance | checkpoint | partition | slowdisk | gray | hunt | all")
+		which   = flag.String("run", "all", "experiment: speedup | scaleup | readscale | one-crash | two-crashes | delayed | recovery-times | batching | ablations | sharded | sharded-recovery | rebalance | checkpoint | partition | slowdisk | gray | txn | hunt | all")
 		seed    = flag.Uint64("seed", 1, "root seed (runs are deterministic per seed)")
 		servers = flag.Int("servers", 5, "replication degree for single-run modes")
 		profile = flag.String("profile", "shopping", "workload profile for single-run modes: browsing | shopping | ordering")
@@ -110,6 +110,25 @@ func run(which string, seed uint64, servers int, profileName string, shards int,
 			exp.PrintHistogram(out, r)
 			exp.PrintShardedDependability(out, r)
 			fmt.Fprintln(out)
+		}
+	case "txn":
+		// Cross-shard transactions under 2PC-window faults: coordinator
+		// crash between prepare and commit, participant group severed,
+		// participant crash holding prepared branches — each run audited
+		// for atomicity (nothing lost, duplicated or half-applied).
+		cfg := exp.ShardedSuiteConfig{Shards: shards, Seed: seed}
+		if short {
+			cfg.Browsers = 300
+			cfg.Measure = 150 * time.Second
+		}
+		violations := 0
+		for _, r := range exp.TxnSuite(cfg) {
+			exp.PrintTxnReport(out, r)
+			fmt.Fprintln(out)
+			violations += r.Txn.Violations()
+		}
+		if violations > 0 {
+			return fmt.Errorf("txn: %d atomicity violation(s)", violations)
 		}
 	case "hunt":
 		// Generative fault search: random schedules, oracle judgement,
@@ -259,7 +278,7 @@ func run(which string, seed uint64, servers int, profileName string, shards int,
 	case "ablations":
 		exp.PrintAblation(out, exp.AblationFastPaxos(seed))
 	case "all":
-		for _, w := range []string{"speedup", "scaleup", "readscale", "one-crash", "two-crashes", "delayed", "recovery-times", "batching", "sharded", "sharded-recovery", "rebalance", "checkpoint", "partition", "slowdisk", "gray", "ablations"} {
+		for _, w := range []string{"speedup", "scaleup", "readscale", "one-crash", "two-crashes", "delayed", "recovery-times", "batching", "sharded", "sharded-recovery", "rebalance", "checkpoint", "partition", "slowdisk", "gray", "txn", "ablations"} {
 			fmt.Fprintln(out)
 			if err := run(w, seed, servers, profileName, shards, short, budget, pin); err != nil {
 				return err

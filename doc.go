@@ -90,8 +90,11 @@
 // least outstanding requests (rotation breaks ties) instead of pinning
 // by client hash, so a hot client's reads spread over the read-serving
 // set and queues drain toward the nodes with headroom; writes keep hash
-// affinity and go to voters only. At Readers=0 the read path is
-// bit-for-bit the pre-reader one. The learner fault family — lagging
+// affinity and go to voters only. The fence engages at every Readers
+// setting — with Readers=0 the read-serving set is the group's voters,
+// so a session's fenced reads spread across voting non-leader replicas
+// (and keep read-your-writes on whichever trailing voter they land)
+// instead of pinning to the client hash. The learner fault family — lagging
 // learner (flaky links), learner severed from its group while still
 // serving (OpGroupIsolate, the staleness worst case), a leader crash
 // racing in-flight fences — joins the faultload DSL, staleness is
@@ -101,6 +104,44 @@
 // (BENCH_readscale.json) measure read actions/s against read-serving
 // node count — ≥2× from 3 voters to 3 voters + 3 learners under the
 // Browsing mix.
+//
+// The single-shard invariant is lifted: one logical action can span
+// Paxos groups atomically, via two-phase commit whose every protocol
+// step is an ordered log record (core/txn.go). A participant group
+// orders a core.TxnPrepare carrying its branch — applying it validates
+// against local state (core.TxnStager), stages the action without
+// executing it, and blocks the branch's conflict keys
+// (core.Replica.TxnBlocks) so the tier boundary holds conflicting
+// writes until the outcome's log position decides what the branch
+// observes. The coordinator Paxos-commits a core.TxnDecision in its own
+// home group BEFORE replying or releasing the outcome; the record is
+// first-writer-wins, so a presumed-abort inquiry racing the real commit
+// resolves to whichever ordered first and every reader agrees.
+// Participants then order core.TxnCommit/TxnAbort — commit executes the
+// staged branch at the outcome record's position, abort discards it,
+// and either way duplicates degrade to ordered no-ops. All of it is
+// replayable and checkpoint-carried (the prepared set, terminal set and
+// decision map travel with the application snapshot), recovery is
+// record-driven, never memory-driven: a stranded participant inquires
+// at the home group after a grace (recording a presumed abort if no
+// decision exists), a restarting replica re-arms a resolution loop for
+// every staged branch at prepare-apply time (core.Config.OnTxnStaged —
+// readiness rescans alone miss a prepare that replays late), and
+// shard.Store.ResolveStranded drains abandoned branches on the blocking
+// API, whose shard.Store.ExecuteTxn is the goroutine-facing coordinator
+// the livenet -race audit hammers. The web tier drives the same records
+// event-style (webtier/txn.go) behind the first real multi-shard
+// workloads — cross-session gift orders debiting one group and
+// delivering on another, admin inventory sweeps repricing item sets
+// across groups — while a transaction that collapses to one group takes
+// the plain submit path, bit-identical to the pre-transaction tier
+// (equivalence-tested, like Shards=1 and Readers=0). The txn fault
+// scenarios (coordinator crash, coordinator–participant partition,
+// participant crash holding a prepared branch) run under cmd/experiment
+// -run txn with per-group commit/abort/blocked-time counters
+// (GroupReport.TxnCommits/TxnAborts/TxnBlockedSec) and an
+// exactly-once audit asserting nothing is lost, duplicated or
+// half-applied; BenchmarkTxn writes BENCH_txn.json.
 //
 // The dependability benchmark covers the sharded deployment too: a
 // composable faultload DSL (exp.Faultload — victim selectors × schedule)
@@ -161,9 +202,15 @@
 // schedules from the grammar — weighted op mix, random selectors, times
 // and factors, severing windows kept quorum-safe by construction —
 // judges every run with failure oracles (fence violations, an
-// availability floor, and a write-wedge oracle that demands throughput
+// availability floor, a write-wedge oracle that demands throughput
 // re-sustain half the failure-free baseline after the last fault
-// clears), delta-debugs each failure to a minimal event set and time
+// clears, and a transaction-atomicity oracle — on sharded deployments
+// the hunt drives cross-shard transactions beside the RBE load by
+// default and fails any run that loses, duplicates or half-applies
+// one; the sampler also draws compound 2PC-targeted schedules that
+// anchor correlated coordinator/participant crashes and partitions
+// inside one prepare→commit window), delta-debugs each failure to a
+// minimal event set and time
 // window (search.Shrink), and pins survivors as reproducible JSON
 // counterexamples under internal/exp/testdata/pinned/ — auto-replayed by
 // a regression test, so every bug the search ever caught stays caught.

@@ -114,11 +114,14 @@ func (r *Replica) checkpointLayered(ds DeltaSnapshotter, done func()) {
 func (r *Replica) writeDelta(data any, size int64, done func()) {
 	at := r.lastApplied
 	snap := appSnap{
-		LastApplied: at,
-		Delivered:   r.en.DeliveredSeqs(),
-		Data:        data,
-		Size:        size,
-		Imported:    r.copyImported(),
+		LastApplied:  at,
+		Delivered:    r.en.DeliveredSeqs(),
+		Data:         data,
+		Size:         size,
+		Imported:     r.copyImported(),
+		TxnPrepared:  r.copyTxnPrepared(),
+		TxnDone:      r.copyTxnDone(),
+		TxnDecisions: r.copyTxnDecisions(),
 	}
 	if r.cfg.OnCheckpoint != nil {
 		r.cfg.OnCheckpoint(size)
@@ -144,11 +147,14 @@ func (r *Replica) writeBase(done func()) {
 	at := r.lastApplied
 	data, size := r.sm.Snapshot()
 	snap := appSnap{
-		LastApplied: at,
-		Delivered:   r.en.DeliveredSeqs(),
-		Data:        data,
-		Size:        size,
-		Imported:    r.copyImported(),
+		LastApplied:  at,
+		Delivered:    r.en.DeliveredSeqs(),
+		Data:         data,
+		Size:         size,
+		Imported:     r.copyImported(),
+		TxnPrepared:  r.copyTxnPrepared(),
+		TxnDone:      r.copyTxnDone(),
+		TxnDecisions: r.copyTxnDecisions(),
 	}
 	if r.cfg.OnCheckpoint != nil {
 		r.cfg.OnCheckpoint(size)
@@ -238,9 +244,12 @@ func (r *Replica) loadChain(manifest metaSnap, bootEngine func()) {
 					bootEngine()
 				}
 				r.finishRestore(appSnap{
-					LastApplied: manifest.LastApplied,
-					Delivered:   last.Delivered,
-					Imported:    last.Imported,
+					LastApplied:  manifest.LastApplied,
+					Delivered:    last.Delivered,
+					Imported:     last.Imported,
+					TxnPrepared:  last.TxnPrepared,
+					TxnDone:      last.TxnDone,
+					TxnDecisions: last.TxnDecisions,
 				})
 				return
 			}

@@ -98,6 +98,14 @@ func (r *Replica) executeAction(action any) any {
 	switch a := action.(type) {
 	case Noop:
 		return nil
+	case TxnPrepare:
+		return r.execTxnPrepare(a)
+	case TxnCommit:
+		return r.execTxnOutcome(a.ID, true)
+	case TxnAbort:
+		return r.execTxnOutcome(a.ID, false)
+	case TxnDecision:
+		return r.execTxnDecision(a)
 	case PartitionImport:
 		key := importKey{Epoch: a.Epoch, Source: a.Source}
 		if r.imported[key] {

@@ -115,6 +115,13 @@ type Config struct {
 	// OnReady, if non-nil, fires when the application state is restored
 	// and the replica can serve local reads.
 	OnReady func()
+
+	// OnTxnStaged, if non-nil, fires whenever a TxnPrepare record stages
+	// a branch on this replica — live submit, duplicate, or log replay
+	// alike. The deployment tier arms its resolution loop here: readiness
+	// rescans alone miss a prepare whose log record replays only after
+	// the replica reported ready. Invoked on the replica's executor.
+	OnTxnStaged func(id string, home int)
 }
 
 func (c Config) withDefaults() Config {
@@ -178,6 +185,15 @@ type appSnap struct {
 	// from this checkpoint skips exactly the transfers the state already
 	// contains.
 	Imported map[importKey]bool
+
+	// Cross-shard transaction state at the checkpoint (txn.go), restored
+	// with the state for the same reason: a recovering replica must hold
+	// exactly the prepared branches, terminal transactions and recorded
+	// decisions its state reflects, or replayed records would re-stage or
+	// re-apply.
+	TxnPrepared  map[string]StagedTxn
+	TxnDone      map[string]bool
+	TxnDecisions map[string]bool
 }
 
 // Core-level transfer messages (remote checkpoint fallback).
@@ -260,6 +276,15 @@ type Replica struct {
 	// driven by the ordered log only, so every replica holds the same
 	// set at the same log position (see partition.go).
 	imported map[importKey]bool
+
+	// Cross-shard transaction state (txn.go), driven by the ordered log
+	// exactly like imported: branches staged by TxnPrepare and awaiting
+	// their outcome, transactions resolved on this group (idempotence
+	// guard for retried outcome records), and the coordinator decision
+	// records ordered in this group as the home group.
+	txnPrepared  map[string]StagedTxn
+	txnDone      map[string]bool
+	txnDecisions map[string]bool
 
 	lastCheckpoint paxos.InstanceID
 	hasCheckpoint  bool
@@ -381,6 +406,11 @@ func (r *Replica) Start(e env.Env) {
 				if pi, ok := c.Action.(PartitionImport); ok {
 					return 64 + pi.Size
 				}
+				// A prepare record carries a whole branch action plus the
+				// transaction header; charge both.
+				if tp, ok := c.Action.(TxnPrepare); ok {
+					return 96 + r.cfg.ActionSize(tp.Action)
+				}
 				return 48 + r.cfg.ActionSize(c.Action)
 			}
 			pcfg.Deliver = r.onDeliver
@@ -440,6 +470,7 @@ func (r *Replica) finishRestore(app appSnap) {
 			r.imported[k] = true
 		}
 	}
+	r.restoreTxnState(app)
 	if app.Delivered != nil {
 		r.en.SetDelivered(app.Delivered)
 	}
@@ -808,11 +839,14 @@ func (r *Replica) Checkpoint(done func()) {
 	}
 	data, size := r.sm.Snapshot()
 	snap := appSnap{
-		LastApplied: r.lastApplied,
-		Delivered:   r.en.DeliveredSeqs(),
-		Data:        data,
-		Size:        size,
-		Imported:    r.copyImported(),
+		LastApplied:  r.lastApplied,
+		Delivered:    r.en.DeliveredSeqs(),
+		Data:         data,
+		Size:         size,
+		Imported:     r.copyImported(),
+		TxnPrepared:  r.copyTxnPrepared(),
+		TxnDone:      r.copyTxnDone(),
+		TxnDecisions: r.copyTxnDecisions(),
 	}
 	if r.cfg.OnCheckpoint != nil {
 		r.cfg.OnCheckpoint(size)
@@ -933,6 +967,7 @@ func (r *Replica) onSnapReply(m snapReplyMsg) {
 			r.imported[k] = true
 		}
 	}
+	r.restoreTxnState(*last)
 	r.lastApplied = last.LastApplied
 	r.lastCheckpoint = last.LastApplied
 	// The local durable chain no longer describes the in-memory state,

@@ -1,0 +1,318 @@
+package core
+
+import "robuststore/internal/detsort"
+
+// This file is the core half of cross-shard transactions (two-phase
+// commit over Paxos groups, ROADMAP item 1): the ordered meta-action
+// records the 2PC protocol submits through the normal consensus path,
+// and the per-replica transaction state they evolve. The shape is the
+// shard-migration machinery's (partition.go): each record is totally
+// ordered like any action, applied idempotently per transaction ID, and
+// the resulting state travels with the application checkpoint so replay
+// and recovery reproduce it exactly.
+//
+// Protocol roles (the driver lives in internal/webtier and
+// internal/shard; core only executes the records):
+//
+//   - A participant group orders a TxnPrepare carrying its branch of the
+//     transaction. Applying it validates the branch against local state
+//     (TxnStager.StageTxn) and, on a yes-vote, stages the action without
+//     executing it; the staged keys block conflicting writes until the
+//     outcome arrives (TxnBlocks).
+//   - The coordinator Paxos-commits a TxnDecision in its own home group
+//     before releasing the outcome. The decision record is
+//     first-writer-wins: a presumed-abort inquiry racing the
+//     coordinator's commit resolves to whichever record was ordered
+//     first, and both readers see the same recorded outcome — this is
+//     what makes coordinator crash between prepare and commit recover
+//     deterministically.
+//   - Participants then order a TxnCommit or TxnAbort. Commit executes
+//     the staged action at the outcome record's log position; abort
+//     discards it. Either way the transaction becomes terminal on that
+//     participant, so retried outcome records (and late duplicate
+//     prepares) degrade to ordered no-ops.
+//
+// Every record is replayable: the maps below are driven by the ordered
+// log only, so each replica of a group holds the same transaction state
+// at the same log position, and a replica recovering from a checkpoint
+// plus log suffix reconstructs exactly the prepared set it crashed with.
+
+// TxnStager is the optional StateMachine capability a participant uses
+// to vote on a prepare. A machine that implements it validates the
+// branch action against current state without executing it; machines
+// without the capability vote yes unconditionally (commit then applies
+// the action like any ordered action, errors surfacing in its result).
+type TxnStager interface {
+	StateMachine
+
+	// StageTxn reports whether action could apply cleanly to the current
+	// state: an empty string is a yes-vote, a non-empty string is the
+	// no-vote reason. It must not mutate the state — the replica, not
+	// the machine, tracks staged transactions.
+	StageTxn(action any) string
+}
+
+// TxnPrepare stages one participant branch of a cross-shard transaction
+// in the participant group's ordered log. Idempotent per ID: duplicates
+// of an already-staged (or already-resolved) prepare re-vote from the
+// recorded state without re-staging.
+type TxnPrepare struct {
+	// ID names the transaction cluster-wide (the coordinator mints it).
+	ID string
+
+	// Home is the coordinator's group — where TxnDecision records for
+	// this transaction are ordered, and where a participant stuck with a
+	// prepared branch sends its status inquiry.
+	Home int
+
+	// Action is this group's branch, executed only on commit.
+	Action any
+
+	// Keys are the branch's conflict keys: while the branch is prepared,
+	// the tier boundary holds conflicting writes (TxnBlocks) so the
+	// outcome's log position, not a racing write, decides what the
+	// branch observes.
+	Keys []string
+}
+
+// TxnCommit resolves a prepared branch by executing its staged action at
+// this record's log position. Idempotent per ID.
+type TxnCommit struct {
+	ID string
+}
+
+// TxnAbort resolves a prepared branch by discarding it. Idempotent per
+// ID.
+type TxnAbort struct {
+	ID string
+}
+
+// TxnDecision records the coordinator's outcome in its home group's log,
+// first writer wins: the first decision record ordered for an ID is the
+// transaction's outcome forever, and every later record (a retry, or a
+// participant-driven presumed-abort racing the real commit) reads it
+// back instead of overwriting.
+type TxnDecision struct {
+	ID     string
+	Commit bool
+}
+
+// StagedTxn is one prepared branch held by a participant replica,
+// awaiting the transaction outcome. It travels with the application
+// checkpoint (appSnap) so recovery reconstructs the prepared set.
+type StagedTxn struct {
+	Home   int
+	Action any
+	Keys   []string
+}
+
+// TxnVoteResult is TxnPrepare's execution result.
+type TxnVoteResult struct {
+	// Prepared is the vote: true means the branch is staged and its keys
+	// are blocked until the outcome.
+	Prepared bool
+
+	// Reason is the no-vote explanation (validation failure, or a
+	// prepare arriving after the transaction already resolved).
+	Reason string
+}
+
+// TxnAppliedResult is TxnCommit's and TxnAbort's execution result.
+type TxnAppliedResult struct {
+	// First is true on the record that transitioned the transaction to
+	// terminal on this group; retried outcome records report false, so
+	// outcome counters stay exact under retries.
+	First bool
+
+	// Committed echoes the outcome this record applied.
+	Committed bool
+
+	// Applied is true when a staged action was actually executed
+	// (commit of a prepared branch); Result then holds its result.
+	Applied bool
+	Result  any
+}
+
+// TxnDecisionResult is TxnDecision's execution result: the recorded
+// outcome (which may predate this record — first writer wins) and
+// whether this record was the one that decided.
+type TxnDecisionResult struct {
+	Commit bool
+	First  bool
+}
+
+// PreparedTxnInfo describes one prepared branch for the recovery scan:
+// a restarted participant re-arms a resolution loop per entry.
+type PreparedTxnInfo struct {
+	ID   string
+	Home int
+}
+
+// execTxnPrepare applies a TxnPrepare record.
+func (r *Replica) execTxnPrepare(a TxnPrepare) TxnVoteResult {
+	if r.txnDone[a.ID] {
+		// The transaction already resolved here; the outcome stands and a
+		// stale duplicate prepare must not re-stage anything.
+		return TxnVoteResult{Prepared: false, Reason: "transaction already resolved"}
+	}
+	if _, ok := r.txnPrepared[a.ID]; ok {
+		return TxnVoteResult{Prepared: true} // duplicate of a staged prepare: re-vote yes
+	}
+	if ts, ok := r.sm.(TxnStager); ok {
+		if reason := ts.StageTxn(a.Action); reason != "" {
+			// A no-vote stages nothing and blocks nothing. The
+			// coordinator's all-yes rule makes the outcome an abort; the
+			// later TxnAbort is what marks the transaction terminal here.
+			return TxnVoteResult{Prepared: false, Reason: reason}
+		}
+	}
+	if r.txnPrepared == nil {
+		r.txnPrepared = make(map[string]StagedTxn)
+	}
+	r.txnPrepared[a.ID] = StagedTxn{Home: a.Home, Action: a.Action, Keys: a.Keys}
+	if r.cfg.OnTxnStaged != nil {
+		// Apply-time arming: a recovering replica can replay this record
+		// after its readiness rescan already ran, so the hook — not the
+		// rescan — is what guarantees a resolution loop exists for every
+		// staged branch.
+		r.cfg.OnTxnStaged(a.ID, a.Home)
+	}
+	return TxnVoteResult{Prepared: true}
+}
+
+// execTxnOutcome applies a TxnCommit (commit=true) or TxnAbort record.
+func (r *Replica) execTxnOutcome(id string, commit bool) TxnAppliedResult {
+	if r.txnDone[id] {
+		return TxnAppliedResult{Committed: commit} // retried outcome: ordered no-op
+	}
+	res := TxnAppliedResult{First: true, Committed: commit}
+	if st, ok := r.txnPrepared[id]; ok {
+		delete(r.txnPrepared, id)
+		if commit {
+			res.Applied = true
+			res.Result = r.sm.Execute(st.Action)
+		}
+	}
+	if r.txnDone == nil {
+		r.txnDone = make(map[string]bool)
+	}
+	r.txnDone[id] = true
+	return res
+}
+
+// execTxnDecision applies a TxnDecision record, first writer wins.
+func (r *Replica) execTxnDecision(a TxnDecision) TxnDecisionResult {
+	if c, ok := r.txnDecisions[a.ID]; ok {
+		return TxnDecisionResult{Commit: c}
+	}
+	if r.txnDecisions == nil {
+		r.txnDecisions = make(map[string]bool)
+	}
+	r.txnDecisions[a.ID] = a.Commit
+	return TxnDecisionResult{Commit: a.Commit, First: true}
+}
+
+// --- Introspection (loop-confined) --------------------------------------
+
+// PreparedTxns returns the branches staged on this replica and awaiting
+// their outcome, sorted by transaction ID. A restarted participant
+// server scans this once ready and re-arms a resolution loop per entry —
+// the prepared set is checkpoint-carried and log-replayed, so it
+// survives any crash. Loop-confined.
+func (r *Replica) PreparedTxns() []PreparedTxnInfo {
+	if len(r.txnPrepared) == 0 {
+		return nil
+	}
+	ids := detsort.Keys(r.txnPrepared)
+	out := make([]PreparedTxnInfo, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, PreparedTxnInfo{ID: id, Home: r.txnPrepared[id].Home})
+	}
+	return out
+}
+
+// TxnDecided reports the recorded outcome of a transaction whose home
+// group is this replica's: known=false means no decision record has been
+// ordered yet. Loop-confined.
+func (r *Replica) TxnDecided(id string) (commit, known bool) {
+	commit, known = r.txnDecisions[id]
+	return commit, known
+}
+
+// TxnBlocks reports whether key conflicts with a prepared branch: the
+// tier boundary holds conflicting writes until the outcome record
+// releases the key, so the outcome's log position decides what the
+// branch observes. Loop-confined.
+func (r *Replica) TxnBlocks(key string) bool {
+	for _, st := range r.txnPrepared {
+		for _, k := range st.Keys {
+			if k == key {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// --- Checkpoint plumbing -------------------------------------------------
+
+// copyTxnPrepared snapshots the prepared set for a checkpoint.
+func (r *Replica) copyTxnPrepared() map[string]StagedTxn {
+	if len(r.txnPrepared) == 0 {
+		return nil
+	}
+	cp := make(map[string]StagedTxn, len(r.txnPrepared))
+	for id, st := range r.txnPrepared {
+		cp[id] = st
+	}
+	return cp
+}
+
+// copyTxnDone snapshots the terminal set for a checkpoint.
+func (r *Replica) copyTxnDone() map[string]bool {
+	if len(r.txnDone) == 0 {
+		return nil
+	}
+	cp := make(map[string]bool, len(r.txnDone))
+	for id := range r.txnDone {
+		cp[id] = true
+	}
+	return cp
+}
+
+// copyTxnDecisions snapshots the decision records for a checkpoint.
+func (r *Replica) copyTxnDecisions() map[string]bool {
+	if len(r.txnDecisions) == 0 {
+		return nil
+	}
+	cp := make(map[string]bool, len(r.txnDecisions))
+	for id, c := range r.txnDecisions {
+		cp[id] = c
+	}
+	return cp
+}
+
+// restoreTxnState installs a checkpoint's transaction state (the mirror
+// of the copy helpers above, used by finishRestore and the remote
+// snapshot fallback).
+func (r *Replica) restoreTxnState(app appSnap) {
+	r.txnPrepared, r.txnDone, r.txnDecisions = nil, nil, nil
+	if len(app.TxnPrepared) > 0 {
+		r.txnPrepared = make(map[string]StagedTxn, len(app.TxnPrepared))
+		for id, st := range app.TxnPrepared {
+			r.txnPrepared[id] = st
+		}
+	}
+	if len(app.TxnDone) > 0 {
+		r.txnDone = make(map[string]bool, len(app.TxnDone))
+		for id := range app.TxnDone {
+			r.txnDone[id] = true
+		}
+	}
+	if len(app.TxnDecisions) > 0 {
+		r.txnDecisions = make(map[string]bool, len(app.TxnDecisions))
+		for id, c := range app.TxnDecisions {
+			r.txnDecisions[id] = c
+		}
+	}
+}

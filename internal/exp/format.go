@@ -293,6 +293,40 @@ func printFaultWindows(w io.Writer, wins []metrics.FaultWindow) {
 	}
 }
 
+// PrintTxnReport renders one transaction-faultload run: the atomicity
+// audit first (the point of the experiment), then each group's decision
+// outcomes and key-blocked time beside its dependability row.
+func PrintTxnReport(w io.Writer, r RunResult) {
+	name := r.Cfg.Fault.String()
+	if r.Cfg.Faultload != nil {
+		name = r.Cfg.Faultload.Name
+	}
+	a := r.Txn
+	fmt.Fprintf(w, "Cross-shard transactions — %s (%d group(s) × %d servers, %g txn/s)\n",
+		name, len(r.PerGroup), r.Cfg.Servers, r.Cfg.TxnRate)
+	fmt.Fprintf(w, "  issued %d (%d cross-shard): %d committed, %d aborted, %d unresolved\n",
+		a.Issued, a.CrossShard, a.Committed, a.Aborted, a.Unresolved)
+	if v := a.Violations(); v == 0 {
+		fmt.Fprintf(w, "  atomicity: OK — nothing lost, duplicated or half-applied\n")
+	} else {
+		fmt.Fprintf(w, "  atomicity: %d VIOLATION(S) — %d lost, %d duplicated, %d half-applied\n",
+			v, a.Lost, a.Duplicated, a.HalfApplied)
+	}
+	fmt.Fprintf(w, "%-10s %9s %8s %9s %8s %8s %9s\n",
+		"group", "AWIPS", "acc(%)", "avail", "commits", "aborts", "blk(s)")
+	for _, g := range r.PerGroup {
+		fmt.Fprintf(w, "%-10d %9.1f %8.3f %9.5f %8d %8d %9.2f\n",
+			g.Group, g.AWIPS, g.Accuracy, g.Availability,
+			g.TxnCommits, g.TxnAborts, g.TxnBlockedSec)
+	}
+	total := rampUp + r.Cfg.Measure + rampDown
+	agg := metrics.AggregateGroups(r.PerGroup, total)
+	fmt.Fprintf(w, "%-10s %9.1f %8.3f %9.5f %8d %8d %9.2f\n",
+		"aggregate", agg.AWIPS, r.Accuracy, r.Availability,
+		agg.TxnCommits, agg.TxnAborts, agg.TxnBlockedSec)
+	printFaultWindows(w, r.FaultWindows)
+}
+
 // PrintPartitionBench renders the leader-isolation failover summary.
 func PrintPartitionBench(w io.Writer, p PartitionBenchPoint) {
 	sec := func(v float64) string {

@@ -92,6 +92,13 @@ type RunConfig struct {
 	// rotation victim exactly when the migration enters its copy phase —
 	// the handoff-under-fault scenario.
 	CrashMidMigration bool
+
+	// TxnRate, when > 0, drives cross-shard transactions (gift purchases
+	// and inventory sweeps under 2PC) at this many per second of
+	// measured time, alongside the RBE load, and audits their atomicity
+	// at run end (RunResult.Txn). Zero keeps the historical runs
+	// byte-identical: no driver is scheduled at all.
+	TxnRate float64
 }
 
 func (c RunConfig) withDefaults() RunConfig {
@@ -128,13 +135,18 @@ func (c RunConfig) faultload() Faultload {
 	return fl
 }
 
-// key returns the memoization key.
+// key returns the memoization key. Options that default to off append
+// only when set, so historical keys stay byte-identical.
 func (c RunConfig) key() string {
-	return fmt.Sprintf("%v/%d/%d/%d/%d/%v/%d/%v/%d/%v/%v/%v/%.0f/%.0f/%v/%d/%v/%s",
+	k := fmt.Sprintf("%v/%d/%d/%d/%d/%v/%d/%v/%d/%v/%v/%v/%.0f/%.0f/%v/%d/%v/%s",
 		c.Profile, c.Servers, c.Shards, c.Readers, c.StateMB, c.Fault, c.Browsers, c.Measure,
 		c.Seed, c.NoFast, c.NoBatch, c.SeqRec, c.CrashAt,
 		c.RebalanceAtSec, c.CrashMidMigration,
 		c.CheckpointIntervalSec, c.FullCheckpoints, c.faultload().key())
+	if c.TxnRate > 0 {
+		k += fmt.Sprintf("/txn%g", c.TxnRate)
+	}
+	return k
 }
 
 // RunResult aggregates everything the paper reports about one run.
@@ -179,6 +191,12 @@ type RunResult struct {
 	// webtier.Cluster.FenceViolations). The seeded fault suite asserts
 	// it stays zero.
 	FenceViolations int64
+
+	// Txn is the cross-shard transaction atomicity audit, filled when
+	// the run drove transactions (TxnRate > 0): issue/outcome counts and
+	// the three violation classes — lost, duplicated, half-applied —
+	// which must all stay zero under every faultload.
+	Txn TxnAudit
 
 	// Steady-state checkpoint I/O across all servers, measured from T0
 	// (the initial population install is excluded) until the run's drain
@@ -628,6 +646,15 @@ func runOnce(cfg RunConfig) RunResult {
 		})
 	}
 
+	// Cross-shard transaction driver: gift purchases and inventory
+	// sweeps at TxnRate per second of measured time, audited for
+	// atomicity after the drain tail. Scheduled only when enabled, so
+	// TxnRate=0 runs replay the exact historical event sequence.
+	var txnDrv *txnDriver
+	if cfg.TxnRate > 0 {
+		txnDrv = startTxnDriver(cfg, cluster, s, t0, proto.Info())
+	}
+
 	// Run to completion plus a drain tail for late recoveries.
 	s.RunUntil(t0.Add(total + 90*time.Second))
 
@@ -643,6 +670,9 @@ func runOnce(cfg RunConfig) RunResult {
 	res.CheckpointWrites = w - ckptW0
 	res.CheckpointBytes = b - ckptB0
 	res.CheckpointWindowSec = s.Now().Sub(t0).Seconds()
+	if txnDrv != nil {
+		res.Txn = txnDrv.audit()
+	}
 	return res
 }
 
@@ -822,6 +852,13 @@ func collect(cfg RunConfig, cluster *webtier.Cluster, srec *metrics.ShardedRecor
 			gr.ReadsPerSec = float64(served) / total.Seconds()
 			gr.FenceWaits = fw
 			gr.StaleServes = ss
+			// Cross-shard transaction accounting (zero when the run
+			// drove none): decision outcomes this group's log ordered
+			// and the time its prepared branches blocked conflict keys.
+			tc, ta, tb := cluster.TxnStats(g)
+			gr.TxnCommits = tc
+			gr.TxnAborts = ta
+			gr.TxnBlockedSec = tb.Seconds()
 		}
 		// Group accuracy folds read-path quality in: fence waits and stale
 		// serves discount it alongside hard errors (bit-identical to plain

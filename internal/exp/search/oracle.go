@@ -13,6 +13,10 @@ package search
 //     failure-free baseline after the last fault is restored — the
 //     liveness timeout, phrased on the per-second series so a late wedge
 //     is not washed out by a healthy start.
+//   - txn-atomicity: a cross-shard transaction lost, duplicated or
+//     half-applied (RunResult.Txn, armed when the hunt drives
+//     transactions) — like a fence violation, a safety breach no fault
+//     schedule can excuse.
 
 import (
 	"fmt"
@@ -143,6 +147,11 @@ func Evaluate(r exp.RunResult, baselineAWIPS, lastFaultSec float64) Verdict {
 	if r.FenceViolations != 0 {
 		v.Violations = append(v.Violations,
 			fmt.Sprintf("fence-violations: %d fenced reads served below their fence", r.FenceViolations))
+	}
+	if n := r.Txn.Violations(); n > 0 {
+		v.Violations = append(v.Violations,
+			fmt.Sprintf("txn-atomicity: %d cross-shard transaction(s) lost (%d), duplicated (%d) or half-applied (%d)",
+				n, r.Txn.Lost, r.Txn.Duplicated, r.Txn.HalfApplied))
 	}
 	if r.Availability < availFloor {
 		v.Violations = append(v.Violations,

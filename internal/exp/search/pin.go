@@ -49,6 +49,7 @@ type PinnedCase struct {
 	StateMB    int           `json:"state_mb"`
 	Browsers   int           `json:"browsers"`
 	MeasureSec int           `json:"measure_sec"`
+	TxnRate    float64       `json:"txn_rate,omitempty"`
 	Events     []PinnedEvent `json:"events"`
 }
 
@@ -158,6 +159,7 @@ func (p PinnedCase) RunConfig() (exp.RunConfig, error) {
 		Browsers:  p.Browsers,
 		Measure:   time.Duration(p.MeasureSec) * time.Second,
 		Seed:      p.Seed,
+		TxnRate:   p.TxnRate,
 	}, nil
 }
 

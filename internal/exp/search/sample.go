@@ -135,6 +135,44 @@ func sampleSchedule(rng *rand.Rand, shards, servers int) sampledSchedule {
 	}
 
 	fl := exp.Faultload{Name: fmt.Sprintf("hunt-%08x", rng.Uint32())}
+
+	// Compound 2PC-targeted draw (sharded deployments, ~1 in 4
+	// schedules): two correlated events anchored inside one
+	// prepare→commit-sized window, aimed across a coordinator group and a
+	// participant group — the schedules most likely to strand a prepared
+	// branch or race a presumed abort against a real commit. Still
+	// quorum-safe: each group loses at most one member / a minority, and
+	// both windows register in severSpans so later draws never overlap
+	// them.
+	if shards > 1 && rng.Intn(4) == 0 {
+		cg := rng.Intn(shards)
+		pg := (cg + 1 + rng.Intn(shards-1)) % shards
+		at := sampleStartSec + rng.Float64()*(crashInjectEndSec-sampleStartSec)
+		at = float64(int(at))
+		if rng.Intn(2) == 0 {
+			// Coordinator leader dies while the participant group's
+			// leader is partitioned away: prepares land on a group
+			// mid-election, the decision's home loses its writer.
+			to := float64(int(at + 20 + rng.Float64()*60))
+			severSpans[cg] = append(severSpans[cg], span{at, at + 180})
+			severSpans[pg] = append(severSpans[pg], span{at - 4, to})
+			fl.Events = append(fl.Events,
+				exp.FaultEvent{AtSec: at - 4, Op: exp.OpPartition, Select: exp.Leader(pg)},
+				exp.FaultEvent{AtSec: at, Op: exp.OpCrash, Select: exp.Leader(cg)},
+				exp.FaultEvent{AtSec: to, Op: exp.OpHeal, Select: exp.Leader(pg)},
+			)
+		} else {
+			// Double leader crash one second apart: both ends of the
+			// transaction lose their proposer inside the same window.
+			severSpans[cg] = append(severSpans[cg], span{at, at + 180})
+			severSpans[pg] = append(severSpans[pg], span{at + 1, at + 181})
+			fl.Events = append(fl.Events,
+				exp.FaultEvent{AtSec: at, Op: exp.OpCrash, Select: exp.Leader(cg)},
+				exp.FaultEvent{AtSec: at + 1, Op: exp.OpCrash, Select: exp.Leader(pg)},
+			)
+		}
+	}
+
 	n := 1 + rng.Intn(3)
 	for i := 0; i < n; i++ {
 		g := rng.Intn(shards)

@@ -29,6 +29,13 @@ type Config struct {
 	Measure  time.Duration // default 120 s (shortened; event times scale)
 	Profile  rbe.Profile   // default Shopping
 
+	// TxnRate drives cross-shard transactions (2PC) beside the RBE load
+	// at this many per second of measured time, arming the atomicity
+	// oracle. Defaults to 1/s on sharded deployments (a hunt on 2+
+	// groups should always be probing the transaction window) and 0 on
+	// single-group ones, where no transaction can cross anything.
+	TxnRate float64
+
 	Seed         uint64 // sampler base seed; trial t draws its own stream
 	Budget       int    // schedules to try; default 16
 	ShrinkBudget int    // max probe runs per shrink; default 24
@@ -60,6 +67,9 @@ func (c Config) withDefaults() Config {
 	if c.Budget == 0 {
 		c.Budget = 16
 	}
+	if c.TxnRate == 0 && c.Shards > 1 {
+		c.TxnRate = 1
+	}
 	if c.ShrinkBudget == 0 {
 		c.ShrinkBudget = 24
 	}
@@ -77,6 +87,7 @@ func (c Config) runConfig(fl exp.Faultload, seed uint64) exp.RunConfig {
 		Browsers:  c.Browsers,
 		Measure:   c.Measure,
 		Seed:      seed,
+		TxnRate:   c.TxnRate,
 	}
 }
 
@@ -161,6 +172,7 @@ func Hunt(cfg Config) Report {
 			StateMB:    cfg.StateMB,
 			Browsers:   cfg.Browsers,
 			MeasureSec: int(cfg.Measure.Seconds()),
+			TxnRate:    cfg.TxnRate,
 			Events:     pinEvents(minEvents),
 		}
 		f := Finding{

@@ -278,6 +278,14 @@ type GroupReport struct {
 	ReadsPerSec float64
 	FenceWaits  int64
 	StaleServes int64
+
+	// Cross-shard transaction accounting (2PC over the Paxos groups):
+	// decision records this group's log committed or aborted, and the
+	// cumulative time its prepared branches held conflict keys blocked
+	// while waiting for an outcome.
+	TxnCommits    int64
+	TxnAborts     int64
+	TxnBlockedSec float64
 }
 
 // AggregateGroups folds per-group reports into one deployment-wide row:
@@ -322,6 +330,9 @@ func AggregateGroups(groups []GroupReport, total time.Duration) GroupReport {
 		out.ReadsPerSec += g.ReadsPerSec
 		out.FenceWaits += g.FenceWaits
 		out.StaleServes += g.StaleServes
+		out.TxnCommits += g.TxnCommits
+		out.TxnAborts += g.TxnAborts
+		out.TxnBlockedSec += g.TxnBlockedSec
 	}
 	out.AWIPS = awipsSum
 	out.Availability = Availability(out.Downtime, total)

@@ -37,6 +37,14 @@ const (
 	OrderDisplay
 	AdminRequest
 	AdminConfirm
+
+	// Cross-shard interactions (appended past the TPC-W fourteen so the
+	// profile mixes stay untouched): a gift purchase delivered to a
+	// customer on another session's shard, and an admin inventory sweep
+	// repricing items across groups. Issued by the experiment harness's
+	// transaction driver, never drawn from a profile mix.
+	GiftPurchase
+	StockSweep
 )
 
 // interactionNames for reporting.
@@ -47,7 +55,8 @@ var interactionNames = map[Interaction]string{
 	CustomerRegistration: "customer_registration", BuyRequest: "buy_request",
 	BuyConfirm: "buy_confirm", OrderInquiry: "order_inquiry",
 	OrderDisplay: "order_display", AdminRequest: "admin_request",
-	AdminConfirm: "admin_confirm",
+	AdminConfirm: "admin_confirm", GiftPurchase: "gift_purchase",
+	StockSweep: "stock_sweep",
 }
 
 // String implements fmt.Stringer.
@@ -58,7 +67,8 @@ func (i Interaction) String() string { return interactionNames[i] }
 // ≈18.5 % for shopping and ≈49.4 % for ordering.
 func (i Interaction) IsWrite() bool {
 	switch i {
-	case ShoppingCart, CustomerRegistration, BuyRequest, BuyConfirm, AdminConfirm:
+	case ShoppingCart, CustomerRegistration, BuyRequest, BuyConfirm, AdminConfirm,
+		GiftPurchase, StockSweep:
 		return true
 	default:
 		return false
@@ -167,6 +177,19 @@ type Request struct {
 	UName      string
 	Cart       tpcw.CartID
 	Qty        int32
+
+	// Peer is the counterparty of a cross-shard interaction: the gift
+	// recipient of a GiftPurchase. The proxy routes the request by Client
+	// as usual (the buyer's group coordinates) and the recipient's group
+	// joins as a 2PC participant.
+	Peer tpcw.CustomerID
+
+	// Items is the item set of a StockSweep; Cost is its new unique cost
+	// (the sweep's atomicity audit marker). Tag labels the transaction
+	// for the consistency audit.
+	Items []tpcw.ItemID
+	Cost  float64
+	Tag   string
 }
 
 // Response is the frontend's answer.

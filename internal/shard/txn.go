@@ -1,0 +1,196 @@
+package shard
+
+// Cross-shard transactions over the goroutine-facing store API: the
+// blocking sibling of the event-driven 2PC driver in internal/webtier,
+// built on the same core transaction records (core/txn.go) and therefore
+// on the same recovery rules — the durable outcome is the TxnDecision
+// record in the home group's log, prepares are idempotent per ID, and a
+// transaction stranded by a crash resolves from the recorded (or
+// presumed-abort) decision, never from any coordinator's memory.
+//
+// ExecuteTxn is what the livenet consistency audit drives under -race:
+// many goroutines coordinating transactions concurrently against real
+// replica goroutines, with crashes and restarts in between, after which
+// ResolveStranded plus the audit's own counting prove no transaction was
+// lost, duplicated, or half-applied.
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"sync"
+	"time"
+
+	"robuststore/internal/core"
+)
+
+// TxnBranch is one group's share of a cross-shard transaction: the
+// branch action ordered under the prepare record, and the conflict keys
+// it blocks while prepared.
+type TxnBranch struct {
+	Action any
+	Keys   []string
+}
+
+// txnPrepareTimeout bounds how long ExecuteTxn waits for a participant's
+// prepare before presuming abort — the same window the webtier driver
+// uses.
+const txnPrepareTimeout = 2 * time.Second
+
+// executeOnGroup proposes an action on group g and blocks until applied,
+// retrying while the group has no ready member (live runtime only).
+func (s *Store) executeOnGroup(ctx context.Context, g int, action any) (any, error) {
+	for {
+		grp := s.groupList()[g]
+		if r := grp.pick(); r != nil {
+			result, err := r.Execute(ctx, action)
+			if err == nil || !errors.Is(err, core.ErrNotReady) {
+				return result, err
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(5 * time.Millisecond): //walltime:live — client-goroutine retry backoff (ExecuteTxn), never on the sim executor
+		}
+	}
+}
+
+// ExecuteTxn coordinates one cross-shard transaction: prepare every
+// branch in its group's log, Paxos-commit the decision (all-yes →
+// commit) in the home group, then release the outcome to every branch
+// group. It returns the recorded outcome — which may be an abort even
+// after all-yes votes, if a presumed-abort inquiry won the decision race
+// — once every branch group has ordered its outcome record.
+//
+// id must be cluster-unique (the caller mints it); home names the group
+// whose log holds the decision and should own one of the branches.
+// Safe from any goroutine; blocks until resolved or ctx expires. A
+// coordinator abandoned mid-flight (crash, ctx cancel) strands only
+// prepared branches, which ResolveStranded — or any later inquiry —
+// resolves deterministically from the decision state.
+func (s *Store) ExecuteTxn(ctx context.Context, id string, home int, branches map[int]TxnBranch) (bool, error) {
+	groups := make([]int, 0, len(branches))
+	for g := range branches {
+		groups = append(groups, g)
+	}
+	sort.Ints(groups)
+
+	// Phase 1: prepare all branches concurrently, bounded by the prepare
+	// window. A branch that cannot be ordered in time counts as a no.
+	pctx, cancel := context.WithTimeout(ctx, txnPrepareTimeout)
+	votes := make([]bool, len(groups))
+	var wg sync.WaitGroup
+	for i, g := range groups {
+		i, g := i, g
+		br := branches[g]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			result, err := s.executeOnGroup(pctx, g,
+				core.TxnPrepare{ID: id, Home: home, Action: br.Action, Keys: br.Keys})
+			if err != nil {
+				return
+			}
+			if vr, ok := result.(core.TxnVoteResult); ok && vr.Prepared {
+				votes[i] = true
+			}
+		}()
+	}
+	wg.Wait()
+	cancel()
+	want := true
+	for _, v := range votes {
+		want = want && v
+	}
+
+	// Phase 2: the decision record is the transaction's durable outcome.
+	// First writer wins — obey what was recorded, not what was wanted.
+	commit := false
+	dres, err := s.executeOnGroup(ctx, home, core.TxnDecision{ID: id, Commit: want})
+	if err != nil {
+		// No decision could be ordered: prepared branches stay blocked
+		// until ResolveStranded (or any inquiry) records the presumed
+		// abort. Nothing committed.
+		return false, err
+	}
+	if dr, ok := dres.(core.TxnDecisionResult); ok {
+		commit = dr.Commit
+	}
+
+	// Phase 3: release the outcome everywhere. Outcome records are
+	// idempotent, so retries and concurrent resolvers are harmless.
+	var outcomeErr error
+	var mu sync.Mutex
+	var wg2 sync.WaitGroup
+	for _, g := range groups {
+		g := g
+		wg2.Add(1)
+		go func() {
+			defer wg2.Done()
+			var action any = core.TxnAbort{ID: id}
+			if commit {
+				action = core.TxnCommit{ID: id}
+			}
+			if _, err := s.executeOnGroup(ctx, g, action); err != nil {
+				mu.Lock()
+				outcomeErr = err
+				mu.Unlock()
+			}
+		}()
+	}
+	wg2.Wait()
+	return commit, outcomeErr
+}
+
+// ResolveStranded scans every group for prepared branches left behind by
+// abandoned coordinators and resolves each from its home group's
+// decision state, recording a presumed abort where no decision exists.
+// It returns how many branches it resolved. Safe from any goroutine;
+// idempotent — concurrent resolvers converge on the recorded outcomes.
+func (s *Store) ResolveStranded(ctx context.Context) (int, error) {
+	resolved := 0
+	for gi, grp := range s.groupList() {
+		// Collect the group's prepared set from one ready member's
+		// executor (the prepared map is loop-confined replica state).
+		var prepared []core.PreparedTxnInfo
+		for m := range grp.ids {
+			r := grp.reps[m].Load()
+			if r == nil || !r.Ready() || !s.rt.Alive(grp.ids[m]) {
+				continue
+			}
+			ch := make(chan []core.PreparedTxnInfo, 1)
+			if !r.Inspect(func(core.StateMachine) { ch <- r.PreparedTxns() }) {
+				continue
+			}
+			select {
+			case prepared = <-ch:
+			case <-ctx.Done():
+				return resolved, ctx.Err()
+			}
+			break
+		}
+		for _, p := range prepared {
+			// Record (or read back) the decision in the home group:
+			// presumed abort for transactions whose coordinator never
+			// decided, the recorded outcome otherwise.
+			dres, err := s.executeOnGroup(ctx, p.Home, core.TxnDecision{ID: p.ID, Commit: false})
+			if err != nil {
+				return resolved, err
+			}
+			commit := false
+			if dr, ok := dres.(core.TxnDecisionResult); ok {
+				commit = dr.Commit
+			}
+			var action any = core.TxnAbort{ID: p.ID}
+			if commit {
+				action = core.TxnCommit{ID: p.ID}
+			}
+			if _, err := s.executeOnGroup(ctx, gi, action); err != nil {
+				return resolved, err
+			}
+			resolved++
+		}
+	}
+	return resolved, nil
+}

@@ -1,0 +1,330 @@
+package shard
+
+// Live-runtime cross-shard transaction audit, meant to run under -race:
+// many client goroutines coordinate 2PC transactions through
+// Store.ExecuteTxn against real replica goroutines while members crash
+// and restart, and afterwards ResolveStranded plus a counting audit
+// prove no transaction was lost, duplicated, or half-applied. The
+// deterministic window cases (a branch stranded with no decision, a
+// decision recorded but never fanned out) run as their own test below.
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"robuststore/internal/core"
+	"robuststore/internal/livenet"
+	"robuststore/internal/paxos"
+)
+
+// txnKVMachine is kvMachine plus the staging capability: branches on
+// "veto/…" keys vote no, so the suite exercises real abort decisions,
+// not just crash-induced ones.
+type txnKVMachine struct {
+	kvMachine
+}
+
+func (m *txnKVMachine) StageTxn(action any) string {
+	if a, ok := action.(kvAction); ok && strings.HasPrefix(a.Key, "veto/") {
+		return "veto key refuses to stage"
+	}
+	return ""
+}
+
+var _ core.TxnStager = (*txnKVMachine)(nil)
+
+// txnLiveStore builds a 2-group live-runtime store with fast consensus
+// timeouts and boots both groups.
+func txnLiveStore(t *testing.T) (*livenet.Cluster, *Store) {
+	t.Helper()
+	cluster := livenet.New(livenet.Config{Latency: 100 * time.Microsecond})
+	store := New(cluster, Config{
+		Shards:  2,
+		Machine: func(int) core.StateMachine { return &txnKVMachine{kvMachine{counts: map[string]int64{}}} },
+		Core: core.Config{
+			CheckpointInterval: time.Second,
+			Paxos: paxos.Config{
+				HeartbeatInterval: 20 * time.Millisecond,
+				LeaderTimeout:     150 * time.Millisecond,
+				SweepInterval:     10 * time.Millisecond,
+				BatchDelay:        time.Millisecond,
+			},
+		},
+	})
+	cluster.StartAll()
+	for g := 0; g < 2; g++ {
+		ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+		if _, err := s_exec(store, ctx, g, kvAction{Key: fmt.Sprintf("boot/%d", g)}); err != nil {
+			cancel()
+			t.Fatalf("group %d never became ready: %v", g, err)
+		}
+		cancel()
+	}
+	return cluster, store
+}
+
+// s_exec orders one action on group g (test shorthand over the internal
+// retry loop ExecuteTxn itself uses).
+func s_exec(s *Store, ctx context.Context, g int, action any) (any, error) {
+	return s.executeOnGroup(ctx, g, action)
+}
+
+// groupCounts snapshots one ready replica's machine state on group g via
+// the executor (the machine is goroutine-confined; Inspect is the only
+// race-safe read).
+func groupCounts(t *testing.T, s *Store, g int) map[string]int64 {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		grp := s.Group(g)
+		for m := 0; m < len(grp.Members()); m++ {
+			r := grp.Replica(m)
+			if r == nil || !r.Ready() {
+				continue
+			}
+			ch := make(chan map[string]int64, 1)
+			if !r.Inspect(func(sm core.StateMachine) {
+				src := sm.(*txnKVMachine).counts
+				cp := make(map[string]int64, len(src))
+				for k, v := range src {
+					cp[k] = v
+				}
+				ch <- cp
+			}) {
+				continue
+			}
+			select {
+			case cp := <-ch:
+				return cp
+			case <-time.After(2 * time.Second):
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("group %d: no ready replica to audit", g)
+	return nil
+}
+
+// preparedOnGroup reports the prepared-branch count on one ready replica
+// of group g.
+func preparedOnGroup(t *testing.T, s *Store, g int) int {
+	t.Helper()
+	grp := s.Group(g)
+	for m := 0; m < len(grp.Members()); m++ {
+		r := grp.Replica(m)
+		if r == nil || !r.Ready() {
+			continue
+		}
+		ch := make(chan int, 1)
+		if !r.Inspect(func(core.StateMachine) { ch <- len(r.PreparedTxns()) }) {
+			continue
+		}
+		select {
+		case n := <-ch:
+			return n
+		case <-time.After(2 * time.Second):
+		}
+	}
+	return 0
+}
+
+// eventually polls cond until it holds or the timeout lapses.
+func eventually(timeout time.Duration, cond func() bool) bool {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return true
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	return cond()
+}
+
+// TestExecuteTxnLivenetAtomicityUnderCrashes is the -race audit: 40
+// concurrent cross-shard transactions (every fifth carrying a branch
+// that votes no) while one member of each group crashes and restarts
+// repeatedly. After ResolveStranded drains the wreckage, every
+// transaction must be atomic: a reported commit applied exactly once on
+// both groups, a reported abort applied nowhere, an unknown outcome
+// (coordinator error) applied on both groups or on neither.
+func TestExecuteTxnLivenetAtomicityUnderCrashes(t *testing.T) {
+	cluster, store := txnLiveStore(t)
+	defer cluster.Close()
+
+	const txns = 40
+	key := func(i, g int) string { return fmt.Sprintf("txn/%d/g%d", i, g) }
+	type result struct {
+		commit bool
+		err    error
+		keys   map[int]string // group → counted key
+		vetoed bool
+	}
+	results := make([]result, txns)
+
+	chaosDone := make(chan struct{})
+	go func() {
+		defer close(chaosDone)
+		for round := 0; round < 3; round++ {
+			for g := 0; g < 2; g++ {
+				v := store.Group(g).Members()[2]
+				cluster.Crash(v)
+				time.Sleep(250 * time.Millisecond)
+				cluster.Restart(v)
+				time.Sleep(250 * time.Millisecond)
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, 8)
+	for i := 0; i < txns; i++ {
+		i := i
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			r := result{keys: map[int]string{0: key(i, 0), 1: key(i, 1)}, vetoed: i%5 == 4}
+			if r.vetoed {
+				r.keys[1] = fmt.Sprintf("veto/%d", i)
+			}
+			branches := map[int]TxnBranch{}
+			for g, k := range r.keys {
+				branches[g] = TxnBranch{Action: kvAction{Key: k}, Keys: []string{k}}
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+			defer cancel()
+			r.commit, r.err = store.ExecuteTxn(ctx, fmt.Sprintf("txn-%d", i), i%2, branches)
+			results[i] = r
+		}()
+	}
+	wg.Wait()
+	<-chaosDone
+
+	// Drain every stranded branch; converge to two consecutive clean scans.
+	rctx, rcancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer rcancel()
+	for clean := 0; clean < 2; {
+		n, err := store.ResolveStranded(rctx)
+		if err != nil {
+			t.Fatalf("ResolveStranded: %v", err)
+		}
+		if n == 0 {
+			clean++
+		} else {
+			clean = 0
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	committed := 0
+	for i, r := range results {
+		c0 := func() map[string]int64 { return groupCounts(t, store, 0) }
+		c1 := func() map[string]int64 { return groupCounts(t, store, 1) }
+		k0, k1 := r.keys[0], r.keys[1]
+		switch {
+		case r.err == nil && r.commit:
+			committed++
+			if r.vetoed {
+				t.Errorf("txn %d committed despite a vetoing branch", i)
+			}
+			if !eventually(5*time.Second, func() bool { return c0()[k0] == 1 && c1()[k1] == 1 }) {
+				t.Errorf("txn %d: committed but applied g0=%d g1=%d (want 1/1)", i, c0()[k0], c1()[k1])
+			}
+		case r.err == nil && !r.commit:
+			if n0, n1 := c0()[k0], c1()[k1]; n0 != 0 || n1 != 0 {
+				t.Errorf("txn %d: aborted but applied g0=%d g1=%d (want 0/0)", i, n0, n1)
+			}
+		default:
+			// Coordinator-side error: the outcome is whatever the decision
+			// state says — the audit only demands agreement.
+			if !eventually(5*time.Second, func() bool { return c0()[k0] == c1()[k1] }) {
+				t.Errorf("txn %d: unknown outcome diverged: g0=%d g1=%d", i, c0()[k0], c1()[k1])
+			}
+		}
+		if n0, n1 := groupCounts(t, store, 0)[k0], groupCounts(t, store, 1)[k1]; n0 > 1 || n1 > 1 {
+			t.Errorf("txn %d duplicated: g0=%d g1=%d", i, n0, n1)
+		}
+	}
+	if committed == 0 {
+		t.Error("no transaction committed — the audit exercised nothing")
+	}
+	for g := 0; g < 2; g++ {
+		if n := preparedOnGroup(t, store, g); n != 0 {
+			t.Errorf("group %d still stages %d prepared branch(es) after ResolveStranded", g, n)
+		}
+	}
+}
+
+// TestResolveStrandedLivenet pins the two deterministic recovery
+// windows: a branch prepared with no decision resolves as presumed
+// abort (and the late real decision loses the first-writer race), and a
+// recorded commit whose fanout never ran is applied by the resolver.
+func TestResolveStrandedLivenet(t *testing.T) {
+	cluster, store := txnLiveStore(t)
+	defer cluster.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	prepare := func(id string, key string) {
+		t.Helper()
+		res, err := s_exec(store, ctx, 1, core.TxnPrepare{
+			ID: id, Home: 0, Action: kvAction{Key: key}, Keys: []string{key}})
+		if err != nil {
+			t.Fatalf("prepare %s: %v", id, err)
+		}
+		if vr, ok := res.(core.TxnVoteResult); !ok || !vr.Prepared {
+			t.Fatalf("prepare %s voted no: %+v", id, res)
+		}
+	}
+
+	// Window 1: prepared, coordinator gone before any decision.
+	prepare("stranded-abort", "s/abort")
+	// Window 2: decision recorded commit, fanout never ran.
+	prepare("stranded-commit", "s/commit")
+	if res, err := s_exec(store, ctx, 0, core.TxnDecision{ID: "stranded-commit", Commit: true}); err != nil {
+		t.Fatalf("decision: %v", err)
+	} else if dr := res.(core.TxnDecisionResult); !dr.Commit || !dr.First {
+		t.Fatalf("decision not recorded as first-writer commit: %+v", dr)
+	}
+	if n := preparedOnGroup(t, store, 1); n != 2 {
+		t.Fatalf("group 1 stages %d branches, want 2", n)
+	}
+
+	n, err := store.ResolveStranded(ctx)
+	if err != nil {
+		t.Fatalf("ResolveStranded: %v", err)
+	}
+	if n != 2 {
+		t.Errorf("resolved %d branches, want 2", n)
+	}
+
+	if !eventually(5*time.Second, func() bool {
+		c := groupCounts(t, store, 1)
+		return c["s/abort"] == 0 && c["s/commit"] == 1
+	}) {
+		c := groupCounts(t, store, 1)
+		t.Errorf("resolution applied wrong outcomes: abort-key=%d (want 0), commit-key=%d (want 1)",
+			c["s/abort"], c["s/commit"])
+	}
+	if n := preparedOnGroup(t, store, 1); n != 0 {
+		t.Errorf("group 1 still stages %d branches after resolution", n)
+	}
+
+	// The abandoned coordinator's real commit arrives late: first writer
+	// (the resolver's presumed abort) already won.
+	res, err := s_exec(store, ctx, 0, core.TxnDecision{ID: "stranded-abort", Commit: true})
+	if err != nil {
+		t.Fatalf("late decision: %v", err)
+	}
+	if dr := res.(core.TxnDecisionResult); dr.Commit || dr.First {
+		t.Errorf("late commit decision should lose the first-writer race, got %+v", dr)
+	}
+	if c := groupCounts(t, store, 1)["s/abort"]; c != 0 {
+		t.Errorf("presumed-aborted branch applied %d times after the late commit attempt", c)
+	}
+}

@@ -126,6 +126,14 @@ func (s *Store) Apply(action any) any {
 		return s.applyBuyConfirm(a)
 	case AdminUpdateAction:
 		return s.applyAdminUpdate(a)
+	case GiftOrderAction:
+		return s.applyGiftOrder(a)
+	case GiftDebitAction:
+		return s.applyGiftDebit(a)
+	case GiftDeliverAction:
+		return s.applyGiftDeliver(a)
+	case InventorySweepAction:
+		return s.applyInventorySweep(a)
 	default:
 		return fmt.Errorf("tpcw: unknown action %T", action)
 	}
@@ -147,6 +155,14 @@ func ActionSize(action any) int64 {
 		return 160
 	case AdminUpdateAction:
 		return 96
+	case GiftOrderAction:
+		return 120
+	case GiftDebitAction:
+		return 72
+	case GiftDeliverAction:
+		return 112 + int64(len(a.Lines))*24
+	case InventorySweepAction:
+		return 56 + int64(len(a.Items))*8
 	default:
 		return 64
 	}

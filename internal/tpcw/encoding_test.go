@@ -33,6 +33,13 @@ func TestActionsAreGobEncodable(t *testing.T) {
 			ShipDate: now, Comment: "c", Now: now,
 		},
 		AdminUpdateAction{Item: 7, Cost: 9.5, Image: "i", Thumbnail: "t", Now: now},
+		GiftOrderAction{Cart: 3, Buyer: 4, Recipient: 5, ShipType: "AIR", ShipDate: now, Tag: "g1", Now: now},
+		GiftDebitAction{Cart: 3, Buyer: 4, Total: 21.5, Tag: "g1", Now: now},
+		GiftDeliverAction{
+			Recipient: 5, Lines: []OrderLine{{Item: 7, Qty: 2, Comments: "g1"}},
+			SubTotal: 18, Tax: 1.5, Total: 21.5, ShipType: "AIR", ShipDate: now, Tag: "g1", Now: now,
+		},
+		InventorySweepAction{Items: []ItemID{7, 9}, Cost: 4.25, Tag: "s1", Now: now},
 	}
 	for _, action := range actions {
 		var buf bytes.Buffer
@@ -62,6 +69,10 @@ func TestResultsAreGobEncodable(t *testing.T) {
 		CartResult{Cart: Cart{ID: 1, Lines: []CartLine{{Item: 2, Qty: 3}}}},
 		CreateCustomerResult{Customer: Customer{ID: 5, UName: "C5"}},
 		BuyConfirmResult{Order: 9, Total: 12.5},
+		GiftOrderResult{Order: 9, Total: 21.5},
+		GiftDebitResult{},
+		GiftDeliverResult{Order: 9},
+		InventorySweepResult{Updated: 2},
 	}
 	for _, r := range results {
 		var buf bytes.Buffer

@@ -26,10 +26,47 @@ func PartitionKey(action any) (key string, ok bool) {
 		return "customer/" + strconv.FormatInt(int64(a.Customer), 10), true
 	case AdminUpdateAction:
 		return "item/" + strconv.FormatInt(int64(a.Item), 10), true
+	case GiftOrderAction:
+		// The merged single-group form lives where the buyer's cart does.
+		return "cart/" + strconv.FormatInt(int64(a.Cart), 10), true
+	case GiftDebitAction:
+		return "cart/" + strconv.FormatInt(int64(a.Cart), 10), true
+	case GiftDeliverAction:
+		return "customer/" + strconv.FormatInt(int64(a.Recipient), 10), true
+	case InventorySweepAction:
+		// A sweep branch carries one group's item set; there is no single
+		// row key — the 2PC driver dispatches it by participant group.
+		return "", false
 	case CreateCartAction, CreateCustomerAction:
 		return "", false
 	default:
 		return "", false
+	}
+}
+
+// TxnKeys lists a branch action's conflict keys: while the branch is
+// prepared, the web tier holds conflicting writes on these keys until the
+// outcome record releases them (core.TxnBlocks).
+func TxnKeys(action any) []string {
+	switch a := action.(type) {
+	case GiftDebitAction:
+		return []string{
+			"cart/" + strconv.FormatInt(int64(a.Cart), 10),
+			"customer/" + strconv.FormatInt(int64(a.Buyer), 10),
+		}
+	case GiftDeliverAction:
+		return []string{"customer/" + strconv.FormatInt(int64(a.Recipient), 10)}
+	case InventorySweepAction:
+		keys := make([]string, 0, len(a.Items))
+		for _, id := range a.Items {
+			keys = append(keys, "item/"+strconv.FormatInt(int64(id), 10))
+		}
+		return keys
+	default:
+		if key, ok := PartitionKey(action); ok {
+			return []string{key}
+		}
+		return nil
 	}
 }
 

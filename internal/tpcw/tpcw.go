@@ -104,6 +104,13 @@ type Item struct {
 	PageCount int32
 	Backing   string
 	Related   [5]ItemID
+
+	// SweptTag is the audit tag of the last inventory sweep that
+	// repriced this item. Ordinary repricing (admin update) preserves it
+	// under the copy-on-write discipline, so the cross-shard atomicity
+	// audit can recognize a sweep's application even after the regular
+	// workload touched the item's cost again.
+	SweptTag string
 }
 
 // OrderLine is a TPC-W ORDER_LINE row.

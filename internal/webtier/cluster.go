@@ -35,7 +35,8 @@ type Config struct {
 	// WAL-quorum latency. The proxy balances reads per-request across
 	// voters + readers and attaches each session's commit-index fence
 	// (read-your-writes); writes still go to voters only. Default 0 —
-	// the read path is then bit-for-bit the voter-only one.
+	// reads then rotate across the group's voters alone, still fenced,
+	// so non-leader voters serve read-your-writes-safe reads too.
 	Readers int
 
 	// FastPaxos enables Treplica's fast mode.
@@ -136,6 +137,15 @@ type Cluster struct {
 	fenceWaits  []int64
 	staleServes []int64
 
+	// Cross-shard transaction accounting per group (sim-loop confined):
+	// branch outcomes ordered in the group's log (counted exactly once
+	// per group per transaction, on the record that made it terminal) and
+	// time ordinary writes spent held behind a prepared branch's blocked
+	// keys.
+	txnCommits   []int64
+	txnAborts    []int64
+	txnBlockedNs []int64
+
 	// Gray-failure state per server (sim-loop confined): a grayed server
 	// keeps answering probes — its probe path is untouched — while
 	// erroring a fraction of real requests (grayErr) or slow-walking
@@ -180,20 +190,23 @@ func NewCluster(cfg Config) *Cluster {
 	voters := cfg.Shards * cfg.Servers
 	total := voters + cfg.Shards*cfg.Readers
 	c := &Cluster{
-		cfg:         cfg,
-		table:       shard.NewRoutingTable(cfg.Shards),
-		shards:      cfg.Shards,
-		voters:      voters,
-		servers:     make([]*Server, total),
-		groupIDs:    make([][]env.NodeID, cfg.Shards),
-		readerIDs:   make([][]env.NodeID, cfg.Shards),
-		auto:        make([]bool, total),
-		crashedAt:   make([]time.Time, total),
-		readsServed: make([]int64, cfg.Shards),
-		fenceWaits:  make([]int64, cfg.Shards),
-		staleServes: make([]int64, cfg.Shards),
-		grayErr:     make([]float64, total),
-		graySlow:    make([]float64, total),
+		cfg:          cfg,
+		table:        shard.NewRoutingTable(cfg.Shards),
+		shards:       cfg.Shards,
+		voters:       voters,
+		servers:      make([]*Server, total),
+		groupIDs:     make([][]env.NodeID, cfg.Shards),
+		readerIDs:    make([][]env.NodeID, cfg.Shards),
+		auto:         make([]bool, total),
+		crashedAt:    make([]time.Time, total),
+		readsServed:  make([]int64, cfg.Shards),
+		fenceWaits:   make([]int64, cfg.Shards),
+		staleServes:  make([]int64, cfg.Shards),
+		txnCommits:   make([]int64, cfg.Shards),
+		txnAborts:    make([]int64, cfg.Shards),
+		txnBlockedNs: make([]int64, cfg.Shards),
+		grayErr:      make([]float64, total),
+		graySlow:     make([]float64, total),
 	}
 	c.sim = sim.New(sim.Config{Seed: cfg.Seed, Net: cfg.Net, Disk: cfg.Disk, DebugLog: cfg.DebugLog})
 	for i := 0; i < voters; i++ {
@@ -527,6 +540,17 @@ func (c *Cluster) ReadStats(g int) (served, fenceWaits, staleServes int64) {
 		return 0, 0, 0
 	}
 	return c.readsServed[g], c.fenceWaits[g], c.staleServes[g]
+}
+
+// TxnStats returns group g's cumulative cross-shard transaction
+// accounting: branch commits and aborts ordered in the group's log, and
+// the total time ordinary writes spent held behind prepared branches'
+// blocked keys. Read it outside the simulation loop's execution.
+func (c *Cluster) TxnStats(g int) (commits, aborts int64, blocked time.Duration) {
+	if g < 0 || g >= len(c.txnCommits) {
+		return 0, 0, 0
+	}
+	return c.txnCommits[g], c.txnAborts[g], time.Duration(c.txnBlockedNs[g])
 }
 
 // FenceViolations returns the number of fenced reads served below their

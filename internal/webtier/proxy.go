@@ -64,9 +64,13 @@ type Proxy struct {
 	// index into its group's ordered log), attached as a fence on the
 	// session's subsequent reads so it always reads its own writes —
 	// across server switches, crashes, and rotation onto lagging
-	// learners. Maintained only when learner-backed readers exist; at
-	// Readers == 0 the read path is exactly the pre-reader one.
-	sessFence map[int64]paxos.InstanceID
+	// learners. Maintained at every Readers setting: even with no
+	// learner readers, reads rotate across the group's voters, and a
+	// non-leader voter may trail the session's last acked write. The
+	// fence is meaningful only within the group whose log indexed it, so
+	// it carries its group and resets when the session migrates (the
+	// cutover itself guarantees the new group holds the session's data).
+	sessFence map[int64]fenceEntry
 
 	// rrSeq rotates read dispatch across the read-serving candidates
 	// (voters + readers) per request, instead of pinning a client's
@@ -124,6 +128,14 @@ type ProxyStats struct {
 	QualityEvictions int
 }
 
+// fenceEntry is one session's read-your-writes fence: the highest acked
+// commit index, valid only against the group whose ordered log it
+// indexes.
+type fenceEntry struct {
+	group int
+	idx   paxos.InstanceID
+}
+
 type outReq struct {
 	req       rbe.Request
 	done      func(rbe.Response)
@@ -160,7 +172,7 @@ func (p *Proxy) Start(e env.Env) {
 	p.qualSamples = make([]int, n)
 	p.quarantineUntil = make([]time.Time, n)
 	p.probes = make(map[int64]int)
-	p.sessFence = make(map[int64]paxos.InstanceID)
+	p.sessFence = make(map[int64]fenceEntry)
 	p.noServiceSince = make([]time.Time, p.c.Shards())
 	p.downtime = make([]time.Duration, p.c.Shards())
 	p.e.After(p.c.cfg.Cal.ProbeInterval, p.probeLoop)
@@ -204,7 +216,7 @@ func (p *Proxy) dispatch(r *outReq) {
 	group := p.c.GroupOf(r.req.Client)
 	read := !r.req.Kind.IsWrite()
 	var candidates []int
-	if read && p.c.cfg.Readers > 0 && !r.votersOnly {
+	if read && !r.votersOnly {
 		candidates = p.readCandidates(group)
 	} else {
 		candidates = p.candidates(group)
@@ -230,9 +242,13 @@ func (p *Proxy) dispatch(r *outReq) {
 		return
 	}
 	p.clearNoService(group)
-	if read && p.c.cfg.Readers > 0 {
+	if read {
 		// Least-outstanding over the read-serving set, the per-request
-		// rotation breaking ties; see rrSeq and inflight.
+		// rotation breaking ties; see rrSeq and inflight. With Readers=0
+		// the set is the group's voters: fenced reads then spread across
+		// voting non-leader replicas instead of pinning to the client
+		// hash, and the fence keeps read-your-writes intact on whichever
+		// trailing voter they land.
 		p.rrSeq++
 		off := int(p.rrSeq % uint64(len(candidates)))
 		pick := candidates[off]
@@ -269,10 +285,14 @@ func (p *Proxy) dispatch(r *outReq) {
 	}
 	r.sentAt = p.e.Now()
 	m := reqMsg{ID: id, Req: r.req}
-	if read && p.c.cfg.Readers > 0 {
+	if read {
 		// Read-your-writes: fence the read at the session's last acked
-		// commit index, whichever server it lands on.
-		m.Fence = p.sessFence[r.req.Client]
+		// commit index, whichever server it lands on. A fence minted in
+		// another group's log (the session just migrated) is meaningless
+		// here and is dropped — the cutover moved the data first.
+		if f, ok := p.sessFence[r.req.Client]; ok && f.group == group {
+			m.Fence = f.idx
+		}
 	}
 	p.e.Send(p.c.serverIDs[r.server], m)
 }
@@ -397,12 +417,15 @@ func (p *Proxy) onResponse(m respMsg) {
 	if m.Resp.Err {
 		p.Stats.ErrServerSide++
 	}
-	if r.req.Kind.IsWrite() && !m.Resp.Err && m.Commit > 0 && p.c.cfg.Readers > 0 {
+	if r.req.Kind.IsWrite() && !m.Resp.Err && m.Commit > 0 {
 		// The write's acked commit index becomes the session's new
-		// read-your-writes fence (monotone: a retried older ack must
-		// not lower it).
-		if m.Commit > p.sessFence[r.req.Client] {
-			p.sessFence[r.req.Client] = m.Commit
+		// read-your-writes fence (monotone within its group: a retried
+		// older ack must not lower it; an ack from a different group —
+		// the session migrated — replaces the now-meaningless old fence).
+		g := p.c.groupOfServer(r.server)
+		f, ok := p.sessFence[r.req.Client]
+		if !ok || f.group != g || m.Commit > f.idx {
+			p.sessFence[r.req.Client] = fenceEntry{group: g, idx: m.Commit}
 		}
 	}
 	p.finish(r, m.Resp)

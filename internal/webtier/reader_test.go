@@ -72,7 +72,7 @@ func TestLaggingReaderFencedReads(t *testing.T) {
 		t.Fatalf("purchase failed: %+v got=%v", resp, got)
 	}
 	order := resp.Order
-	if c.proxy.sessFence[7] == 0 {
+	if c.proxy.sessFence[7].idx == 0 {
 		t.Fatal("acked writes did not set the session's fence")
 	}
 	if _, ok := c.Store(reader).GetOrder(order); ok {
@@ -110,25 +110,48 @@ func TestLaggingReaderFencedReads(t *testing.T) {
 	}
 }
 
-// TestReaderZeroDispatchUnchanged: without readers the read path is the
-// pre-reader one — reads pin to one server by client hash, no fence
-// state accrues even when acks carry commit indices, and the staleness
-// counters stay untouched.
-func TestReaderZeroDispatchUnchanged(t *testing.T) {
+// TestReaderZeroVoterFencedReads: with no learner readers the fences
+// engage on the voters themselves — one client's reads rotate across the
+// group's voting replicas (a trailing non-leader voter is now a
+// legitimate read server), acked commit indices fold into the session
+// fence, writes keep their voter hash affinity, and no read is ever
+// served below its fence.
+func TestReaderZeroVoterFencedReads(t *testing.T) {
 	c := testCluster(t, 3, nil)
-	servers := dispatchAll(c, repeat(rbe.Request{Client: 42, Kind: rbe.Home, Item: 1}, 6), 0)
-	for _, srv := range servers {
-		if srv != servers[0] {
-			t.Fatalf("Readers=0 reads moved between servers: %v (hash affinity is the pre-reader dispatch)", servers)
+	dispatchAll(c, repeat(rbe.Request{Client: 42, Kind: rbe.ShoppingCart, Item: 1, Qty: 1}, 1), 7)
+	if f := c.proxy.sessFence[42].idx; f != 7 {
+		t.Fatalf("Readers=0 did not fold the acked commit index into the fence: got %d, want 7", f)
+	}
+	reads := dispatchAll(c, repeat(rbe.Request{Client: 42, Kind: rbe.Home, Item: 1}, 6), 0)
+	distinct := map[int]bool{}
+	for _, srv := range reads {
+		distinct[srv] = true
+		if c.isReader(srv) {
+			t.Fatalf("Readers=0 dispatched a read to a reader index %d", srv)
 		}
 	}
-	dispatchAll(c, repeat(rbe.Request{Client: 42, Kind: rbe.ShoppingCart, Item: 1, Qty: 1}, 2), 9)
-	if n := len(c.proxy.sessFence); n != 0 {
-		t.Fatalf("Readers=0 folded %d commit acks into session fences", n)
+	if len(distinct) < 2 {
+		t.Fatalf("Readers=0 reads stayed pinned to one voter: %v", reads)
 	}
-	_, fw, ss := c.ReadStats(0)
-	if fw != 0 || ss != 0 {
-		t.Fatalf("Readers=0 touched the staleness counters: waits=%d stale=%d", fw, ss)
+	writes := dispatchAll(c, repeat(rbe.Request{Client: 42, Kind: rbe.ShoppingCart, Item: 2, Qty: 1}, 4), 0)
+	for _, srv := range writes {
+		if srv != writes[0] {
+			t.Fatalf("writes lost their hash affinity: %v", writes)
+		}
+	}
+	// End-to-end: real fenced reads against the voters never serve below
+	// the session's acked writes.
+	resp, got := do(c, rbe.Request{Client: 7, Kind: rbe.ShoppingCart, Item: 5, Qty: 1})
+	if !got || resp.Err || resp.Cart == 0 {
+		t.Fatalf("cart write failed: %+v got=%v", resp, got)
+	}
+	for i := 0; i < 8; i++ {
+		if resp, got := do(c, rbe.Request{Client: 7, Kind: rbe.Home, Item: 1}); !got || resp.Err {
+			t.Fatalf("fenced read %d failed: %+v got=%v", i, resp, got)
+		}
+	}
+	if v := c.FenceViolations(); v != 0 {
+		t.Fatalf("%d fenced reads served below their fence", v)
 	}
 }
 
@@ -139,12 +162,12 @@ func TestReaderZeroDispatchUnchanged(t *testing.T) {
 func TestReaderRotationAndFenceFold(t *testing.T) {
 	c := readerCluster(t, 1)
 	dispatchAll(c, repeat(rbe.Request{Client: 42, Kind: rbe.ShoppingCart, Item: 1, Qty: 1}, 1), 7)
-	if f := c.proxy.sessFence[42]; f != 7 {
+	if f := c.proxy.sessFence[42].idx; f != 7 {
 		t.Fatalf("fence after first acked write = %d, want 7", f)
 	}
 	// A retried older ack must not lower the fence.
 	dispatchAll(c, repeat(rbe.Request{Client: 42, Kind: rbe.ShoppingCart, Item: 1, Qty: 1}, 1), 3)
-	if f := c.proxy.sessFence[42]; f != 7 {
+	if f := c.proxy.sessFence[42].idx; f != 7 {
 		t.Fatalf("stale ack lowered the fence to %d", f)
 	}
 	reads := dispatchAll(c, repeat(rbe.Request{Client: 42, Kind: rbe.Home, Item: 1}, 6), 0)

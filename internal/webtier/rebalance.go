@@ -179,6 +179,9 @@ func (c *Cluster) Rebalance(opts RebalanceOptions) {
 	c.readsServed = append(c.readsServed, 0)
 	c.fenceWaits = append(c.fenceWaits, 0)
 	c.staleServes = append(c.staleServes, 0)
+	c.txnCommits = append(c.txnCommits, 0)
+	c.txnAborts = append(c.txnAborts, 0)
+	c.txnBlockedNs = append(c.txnBlockedNs, 0)
 	if c.proxy != nil {
 		c.proxy.grow(len(c.serverIDs), c.shards)
 	}

@@ -27,7 +27,8 @@ type reqMsg struct {
 	// Fence is the read-your-writes fence on read requests: the session's
 	// commit-index high-water mark. The serving replica must have applied
 	// at least this log index before answering (core.Replica.ReadAt);
-	// zero means unfenced. Always zero with Readers=0.
+	// zero means unfenced. Maintained at every Readers setting — voting
+	// non-leader replicas serve fenced reads even with no learner readers.
 	Fence paxos.InstanceID
 }
 
@@ -93,6 +94,15 @@ type Server struct {
 	// moment the replica "is ready to proceed as if it had not
 	// crashed", §2).
 	caughtUp bool
+
+	// Cross-shard transaction state (txn.go). txnCoords is this server's
+	// volatile coordinator bookkeeping — losing it is safe, the decision
+	// record is the durable outcome. txnArmed/txnResolve track the
+	// participant-side resolution loops for prepared branches.
+	txnSeq     int64
+	txnCoords  map[string]*txnCoord
+	txnArmed   map[string]bool
+	txnResolve map[string]int
 }
 
 var _ env.Node = (*Server)(nil)
@@ -142,12 +152,27 @@ func (s *Server) Start(e env.Env) {
 			if s.replica.Recovered() {
 				s.caughtUp = true
 			}
+			// Re-arm resolution for any prepared branch this incarnation
+			// restored from checkpoint + log (txn.go): a participant
+			// crash between prepare and outcome must not strand the
+			// branch or its blocked keys.
+			s.armTxnRecovery()
 		},
 		OnRecovered: func() {
 			// The consensus layer is re-synchronized, but the replayed
 			// backlog still occupies the CPU; the replica is
 			// operational once that drains.
 			s.awaitReplayDrain()
+		},
+		OnTxnStaged: func(id string, home int) {
+			// Every staged branch gets a resolution loop the moment its
+			// prepare record applies — including records replayed after
+			// the readiness rescans ran, which is the one window those
+			// rescans cannot see (coordinator crash after deciding, its
+			// own branch replaying into the fresh incarnation).
+			if !s.learner {
+				s.armTxnResolve(id, home)
+			}
 		},
 	}
 	s.replica = core.NewReplica(cfg)
@@ -159,6 +184,10 @@ func (s *Server) Start(e env.Env) {
 func (s *Server) awaitReplayDrain() {
 	if s.cpu.QueueLen() == 0 {
 		s.caughtUp = true
+		// The replayed log suffix may have staged branches beyond what
+		// the checkpoint (scanned at OnReady) carried: rescan now that
+		// replay has drained.
+		s.armTxnRecovery()
 		if s.c.cfg.OnRecovered != nil {
 			s.c.cfg.OnRecovered(s.idx, s.e.Now())
 		}
@@ -184,6 +213,18 @@ func (s *Server) Receive(from env.NodeID, msg env.Message) {
 	switch m := msg.(type) {
 	case reqMsg:
 		s.handleRequest(from, m)
+	case txnPrepareMsg:
+		s.onTxnPrepare(from, m)
+	case txnVoteMsg:
+		s.onTxnVote(m)
+	case txnOutcomeMsg:
+		s.onTxnOutcome(from, m)
+	case txnAckMsg:
+		s.onTxnAck(m)
+	case txnStatusMsg:
+		s.onTxnStatus(from, m)
+	case txnStatusRespMsg:
+		s.onTxnStatusResp(m)
 	case probeMsg:
 		// The probe is an HTTP request: it queues on the same CPU as
 		// real requests, so a server drowning in replay work misses
@@ -223,6 +264,10 @@ func (m *serverMachine) Execute(action any) any {
 
 func (m *serverMachine) Snapshot() (any, int64) { return m.s.store.Snapshot() }
 func (m *serverMachine) Restore(data any)       { m.s.store.Restore(data) }
+
+// The transaction-staging capability (core.TxnStager) delegates the
+// prepare-time vote to the bookstore's read-only branch validation.
+func (m *serverMachine) StageTxn(action any) string { return m.s.store.StageTxn(action) }
 
 // The incremental-checkpoint capability (core.DeltaSnapshotter)
 // delegates to the bookstore's dirty-row tracking; like Restore, replay
@@ -306,9 +351,17 @@ func (s *Server) handleRequest(proxy env.NodeID, m reqMsg) {
 		s.e.Send(proxy, respMsg{ID: m.ID, Resp: rbe.Response{Err: true}})
 		return
 	}
-	s.admitWrite(s.e.Now().Add(admitHoldDeadline), func() {
-		s.cpu.Acquire(s.graySvc(cal.WriteParse), func() {
-			s.performWrite(proxy, m)
+	// Writes whose keys conflict with a prepared transaction branch hold
+	// at the tier boundary until the outcome record releases them
+	// (txn.go); with no prepared branches — always true on the
+	// single-group fast path — the gate is a plain passthrough.
+	s.withTxnGate(m, func() {
+		s.admitWrite(s.e.Now().Add(admitHoldDeadline), func() {
+			s.cpu.Acquire(s.graySvc(cal.WriteParse), func() {
+				s.performWrite(proxy, m)
+			})
+		}, func() {
+			s.e.Send(proxy, respMsg{ID: m.ID, Resp: rbe.Response{Err: true}})
 		})
 	}, func() {
 		s.e.Send(proxy, respMsg{ID: m.ID, Resp: rbe.Response{Err: true}})
@@ -526,6 +579,12 @@ func (s *Server) performWrite(proxy env.NodeID, m reqMsg) {
 			}
 			s.reply(proxy, m.ID, rbe.Response{}, inst)
 		})
+
+	case rbe.GiftPurchase:
+		s.performGiftPurchase(proxy, m)
+
+	case rbe.StockSweep:
+		s.performStockSweep(proxy, m)
 
 	default:
 		fail()
